@@ -1,0 +1,98 @@
+//! Ablation studies around the paper's operating point.
+//!
+//! These sweeps are not in the paper; they probe the design choices its
+//! discussion raises: how sensitive each encoder is to the spread magnitude
+//! (the ±20–30 % design guideline), how much of the Hamming(8,4) advantage
+//! comes from its error flag, and how the encoders compare when the channel —
+//! not PPV — is the dominant error source.
+
+use bench::banner;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryolink::ablation::{counting_comparison, channel_noise_sweep, spread_sweep};
+use cryolink::Fig5Experiment;
+use encoders::EncoderKind;
+use sfq_cells::CellLibrary;
+use sfq_sim::PpvModel;
+use std::hint::black_box;
+
+fn base() -> Fig5Experiment {
+    Fig5Experiment {
+        chips: 250,
+        messages_per_chip: 100,
+        threads: 4,
+        ..Fig5Experiment::paper_setup()
+    }
+}
+
+fn print_ablations() {
+    let library = CellLibrary::coldflux();
+    let base = base();
+
+    banner("Ablation A: zero-error probability vs. parameter spread");
+    let spreads = [0.10, 0.20, 0.30];
+    for point in spread_sweep(&base, &spreads, &library) {
+        print!("{:<14}", point.label);
+        for kind in EncoderKind::ALL {
+            print!(
+                "  {:?}={:>5.1}%",
+                kind,
+                point.probability(kind).unwrap_or(f64::NAN) * 100.0
+            );
+        }
+        println!();
+    }
+
+    banner("Ablation B: does the error flag matter? (counting policy)");
+    for point in counting_comparison(&base, &library) {
+        print!("{:<32}", point.label);
+        for kind in EncoderKind::ALL {
+            print!(
+                "  {:?}={:>5.1}%",
+                kind,
+                point.probability(kind).unwrap_or(f64::NAN) * 100.0
+            );
+        }
+        println!();
+    }
+
+    banner("Ablation C: fault-free encoders on a noisy receiver channel");
+    for point in channel_noise_sweep(&base, &[14.0, 11.0, 9.0], &library) {
+        print!("{:<14}", point.label);
+        for kind in EncoderKind::ALL {
+            print!(
+                "  {:?}={:>5.1}%",
+                kind,
+                point.probability(kind).unwrap_or(f64::NAN) * 100.0
+            );
+        }
+        println!();
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_ablations();
+    let library = CellLibrary::coldflux();
+    let model = PpvModel::paper_defaults();
+    c.bench_function("ablations/ppv_sample_rm13", |b| {
+        use rand::SeedableRng;
+        let design = encoders::EncoderDesign::build(EncoderKind::Rm13);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        b.iter(|| black_box(model.sample_chip(design.netlist(), &library, &mut rng)))
+    });
+    c.bench_function("ablations/spread_sweep_tiny", |b| {
+        let tiny = Fig5Experiment {
+            chips: 20,
+            messages_per_chip: 20,
+            threads: 2,
+            ..Fig5Experiment::paper_setup()
+        };
+        b.iter(|| black_box(spread_sweep(&tiny, &[0.2], &library)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

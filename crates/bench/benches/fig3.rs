@@ -1,0 +1,72 @@
+//! Fig. 3 — simulation waveforms of the Hamming(8,4) encoder at 5 GHz.
+//!
+//! Regenerates the waveform set for the paper's stimulus (message 1011 →
+//! codeword 01100110, appearing two clock cycles later) and measures both the
+//! gate-level simulation and the analog (josim-lite) JTL reference run.
+
+use bench::banner;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryolink::waveform::{render_waveforms, WaveformConfig};
+use encoders::{EncoderDesign, EncoderKind};
+use gf2::BitVec;
+use josim_lite::cells::jtl_chain;
+use josim_lite::solver::Transient;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn print_fig3() {
+    banner("Fig. 3: Hamming(8,4) encoder waveforms at 5 GHz (message 1011)");
+    let design = EncoderDesign::build(EncoderKind::Hamming84);
+    let message = BitVec::from_str01("1011");
+    let codeword = design.encode_gate_level(&message);
+    let config = WaveformConfig::fig3();
+    let mut rng = StdRng::seed_from_u64(42);
+    let set = render_waveforms(&design, &message, &config, &mut rng);
+    println!("codeword: {codeword} (appears after {} clock cycles)", design.latency());
+    println!("{}", set.to_ascii(72));
+    for name in ["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8"] {
+        let series = set.series_named(name).unwrap();
+        match series.first_pulse_ps(config.output_amplitude_uv, config.sample_ps) {
+            Some(t) => println!("  {name}: first pulse at {t:.0} ps"),
+            None => println!("  {name}: no pulse (bit = 0)"),
+        }
+    }
+
+    // Analog reference: one SFQ pulse traversing a 4-stage JTL.
+    let (circuit, junctions) = jtl_chain(4);
+    let result = Transient::new(5e-14, 80e-12).run(&circuit);
+    println!();
+    println!(
+        "analog reference (josim-lite JTL): {} flux quanta at the last stage, peak {:.0} uV, pulse area {:.2e} Wb (phi0 = 2.07e-15)",
+        result.flux_quanta(*junctions.last().unwrap()),
+        result.peak_voltage(2) * 1e6,
+        result.voltage_area(2)
+    );
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    print_fig3();
+    let design = EncoderDesign::build(EncoderKind::Hamming84);
+    let message = BitVec::from_str01("1011");
+    c.bench_function("fig3/gate_level_encode", |b| {
+        b.iter(|| black_box(design.encode_gate_level(black_box(&message))))
+    });
+    let config = WaveformConfig::fig3();
+    c.bench_function("fig3/render_waveforms", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(render_waveforms(&design, &message, &config, &mut rng)))
+    });
+    c.bench_function("fig3/analog_jtl_transient", |b| {
+        let (circuit, _) = jtl_chain(4);
+        let transient = Transient::new(1e-13, 60e-12);
+        b.iter(|| black_box(transient.run(black_box(&circuit))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig3
+}
+criterion_main!(benches);

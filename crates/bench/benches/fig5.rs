@@ -1,0 +1,94 @@
+//! Fig. 5 — CDF of the number of erroneous messages out of 100 transmissions
+//! under ±20 % process parameter variations.
+//!
+//! Regenerates the four curves (RM(1,3), Hamming(7,4), Hamming(8,4), no
+//! encoder) with a Monte-Carlo run and measures the per-chip simulation cost.
+
+use bench::banner;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryolink::montecarlo::paper_zero_error_probabilities;
+use cryolink::{CryoLink, ChannelConfig, Fig5Experiment};
+use encoders::{EncoderDesign, EncoderKind};
+use gf2::BitVec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfq_cells::CellLibrary;
+use sfq_sim::PpvModel;
+use std::hint::black_box;
+
+/// Number of chips used when regenerating the figure inside `cargo bench`.
+/// The paper uses 1000; 400 keeps the bench under a minute while staying well
+/// within ±2 percentage points of the asymptotic values. Use the `ppv_sweep`
+/// example for a full-resolution run.
+const BENCH_CHIPS: usize = 400;
+
+fn print_fig5() {
+    banner("Fig. 5: CDF of erroneous messages per 100 transmissions (±20% PPV)");
+    let library = CellLibrary::coldflux();
+    let experiment = Fig5Experiment {
+        chips: BENCH_CHIPS,
+        ..Fig5Experiment::paper_setup()
+    };
+    println!(
+        "{} chips x {} messages (paper: 1000 x 100), margin scale {:.3}",
+        experiment.chips, experiment.messages_per_chip, experiment.ppv.margin_scale
+    );
+    let result = experiment.run_all(&library);
+    println!();
+    println!("{}", result.to_table());
+    println!("zero-error probability (CDF at N = 0):");
+    let reference = paper_zero_error_probabilities();
+    for (kind, measured) in result.zero_error_summary() {
+        let paper = reference
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, p)| *p)
+            .unwrap_or(f64::NAN);
+        println!(
+            "  {:<24} measured {:>5.1}%   paper {:>5.1}%",
+            format!("{kind:?}"),
+            measured * 100.0,
+            paper * 100.0
+        );
+    }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    print_fig5();
+    let library = CellLibrary::coldflux();
+    let model = PpvModel::paper_defaults();
+
+    // Kernel 1: sampling one chip's fault map.
+    let design = EncoderDesign::build(EncoderKind::Hamming84);
+    c.bench_function("fig5/sample_chip_hamming84", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(model.sample_chip(design.netlist(), &library, &mut rng)))
+    });
+
+    // Kernel 2: transmitting 100 messages across one faulty chip.
+    c.bench_function("fig5/transmit_100_messages", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let chip = model.sample_chip(design.netlist(), &library, &mut rng);
+        let link = CryoLink::new(&design, chip.faults, ChannelConfig::ideal());
+        let messages: Vec<BitVec> = (0..100).map(|i| BitVec::from_u64(4, i % 16)).collect();
+        b.iter(|| black_box(link.transmit_batch(&messages, &mut rng)))
+    });
+
+    // Kernel 3: a reduced end-to-end experiment for one encoder.
+    c.bench_function("fig5/experiment_50_chips_hamming84", |b| {
+        let experiment = Fig5Experiment {
+            chips: 50,
+            messages_per_chip: 100,
+            threads: 4,
+            ..Fig5Experiment::paper_setup()
+        };
+        b.iter(|| black_box(experiment.run_design(&design, &library)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table II — circuit-level comparison of the encoders.
+//!
+//! Regenerates the cell counts, JJ counts, power, and area from the
+//! synthesized netlists and measures the circuit construction + bookkeeping.
+
+use bench::banner;
+use criterion::{criterion_group, criterion_main, Criterion};
+use encoders::{paper_table2, table2_rows, EncoderDesign, EncoderKind};
+use sfq_cells::CellLibrary;
+use sfq_netlist::NetlistStats;
+use std::hint::black_box;
+
+fn print_table2() {
+    banner("Table II: circuit-level comparison of error-correction code encoders");
+    let library = CellLibrary::coldflux();
+    for (ours, paper) in table2_rows(&library).iter().zip(paper_table2()) {
+        println!("computed: {}", ours.format());
+        println!("paper:    {}", paper.format());
+        println!();
+    }
+}
+
+fn bench_table2(c: &mut Criterion) {
+    print_table2();
+    let library = CellLibrary::coldflux();
+    c.bench_function("table2/build_hamming84_netlist", |b| {
+        b.iter(|| black_box(EncoderDesign::build(EncoderKind::Hamming84)))
+    });
+    c.bench_function("table2/build_rm13_netlist", |b| {
+        b.iter(|| black_box(EncoderDesign::build(EncoderKind::Rm13)))
+    });
+    let design = EncoderDesign::build(EncoderKind::Hamming84);
+    c.bench_function("table2/netlist_stats", |b| {
+        b.iter(|| black_box(NetlistStats::compute(design.netlist(), &library)))
+    });
+    c.bench_function("table2/full_table", |b| {
+        b.iter(|| black_box(table2_rows(&library)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_table2
+}
+criterion_main!(benches);

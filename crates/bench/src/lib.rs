@@ -1,0 +1,15 @@
+//! Benchmark harness support.
+//!
+//! The actual table/figure regeneration lives in the Criterion benches under
+//! `benches/`: each bench first *prints* the reproduced table or figure
+//! series (so that `cargo bench` regenerates the paper's data) and then
+//! measures the runtime of the computational kernel behind it.
+
+/// Prints a banner separating the regenerated data from Criterion's timing
+/// output.
+pub fn banner(title: &str) {
+    println!();
+    println!("================================================================");
+    println!("  {title}");
+    println!("================================================================");
+}

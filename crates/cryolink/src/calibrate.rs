@@ -1,0 +1,133 @@
+//! Calibration of the PPV fault model against the paper's anchor point.
+//!
+//! The paper's absolute numbers depend on the JoSIM netlists of the ColdFlux
+//! cells, which are not reproducible without the proprietary-free but
+//! JJ-level cell layouts and a SPICE engine. Instead of hand-tuning the fault
+//! model, this module pins it to a single published anchor: the *uncoded*
+//! 4-bit link has an 80.0 % probability of delivering 100 messages without
+//! error at ±20 % spread (Fig. 5, "no encoder" curve). A one-dimensional
+//! bisection on the global margin scale of [`PpvModel`] reproduces that
+//! anchor; everything else — the ordering and spacing of the three encoder
+//! curves — is then a genuine prediction of the model, not a fit.
+
+use crate::montecarlo::Fig5Experiment;
+use encoders::{EncoderDesign, EncoderKind};
+use sfq_cells::CellLibrary;
+use sfq_sim::PpvModel;
+
+/// Result of a calibration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// The margin scale that meets the target.
+    pub margin_scale: f64,
+    /// The zero-error probability achieved by the uncoded link at that scale.
+    pub achieved: f64,
+    /// The calibration target (0.80 for the paper's anchor).
+    pub target: f64,
+}
+
+/// Calibrates `model.margin_scale` so that the uncoded 4-bit link reaches the
+/// target zero-error probability (default anchor: 0.80).
+///
+/// `chips` and `messages` control the Monte-Carlo resolution of each
+/// bisection step; the paper-scale values (1000 × 100) give a resolution of
+/// about ±1 percentage point.
+#[must_use]
+pub fn calibrate_margin_scale(
+    library: &CellLibrary,
+    base: PpvModel,
+    target: f64,
+    chips: usize,
+    messages: usize,
+    seed: u64,
+) -> Calibration {
+    let design = EncoderDesign::build(EncoderKind::None);
+    let evaluate = |margin_scale: f64| -> f64 {
+        let experiment = Fig5Experiment {
+            chips,
+            messages_per_chip: messages,
+            ppv: base.with_margin_scale(margin_scale),
+            seed,
+            threads: 4,
+            ..Fig5Experiment::paper_setup()
+        };
+        experiment
+            .run_design(&design, library)
+            .zero_error_probability()
+    };
+
+    // Zero-error probability is monotonically increasing in the margin scale
+    // (larger margins -> fewer failures). Bracket the target first.
+    let mut lo = 0.3f64;
+    let mut hi = 3.0f64;
+    let mut lo_val = evaluate(lo);
+    let mut hi_val = evaluate(hi);
+    for _ in 0..6 {
+        if lo_val > target {
+            lo /= 1.5;
+            lo_val = evaluate(lo);
+        }
+        if hi_val < target {
+            hi *= 1.5;
+            hi_val = evaluate(hi);
+        }
+        if lo_val <= target && hi_val >= target {
+            break;
+        }
+    }
+
+    let mut best = (lo + hi) / 2.0;
+    let mut best_val = evaluate(best);
+    for _ in 0..12 {
+        if (best_val - target).abs() < 0.004 {
+            break;
+        }
+        if best_val < target {
+            lo = best;
+        } else {
+            hi = best;
+        }
+        best = (lo + hi) / 2.0;
+        best_val = evaluate(best);
+    }
+
+    Calibration {
+        margin_scale: best,
+        achieved: best_val,
+        target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_moves_toward_target() {
+        // A coarse, fast calibration: verifies monotonicity and that the
+        // bisection lands within a few points of the target.
+        let lib = CellLibrary::coldflux();
+        let cal = calibrate_margin_scale(&lib, PpvModel::paper_defaults(), 0.80, 150, 40, 77);
+        assert!(cal.margin_scale > 0.1 && cal.margin_scale < 5.0);
+        assert!(
+            (cal.achieved - 0.80).abs() < 0.08,
+            "achieved {} with scale {}",
+            cal.achieved,
+            cal.margin_scale
+        );
+    }
+
+    #[test]
+    fn paper_default_margin_scale_is_close_to_calibrated_value() {
+        // The default PpvModel ships with the margin scale produced by a
+        // paper-resolution calibration run; a quick run should land nearby.
+        let lib = CellLibrary::coldflux();
+        let default_scale = PpvModel::paper_defaults().margin_scale;
+        let cal = calibrate_margin_scale(&lib, PpvModel::paper_defaults(), 0.80, 200, 50, 123);
+        assert!(
+            (cal.margin_scale - default_scale).abs() < 0.35,
+            "default {default_scale} vs calibrated {}",
+            cal.margin_scale
+        );
+    }
+}

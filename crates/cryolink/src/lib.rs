@@ -1,0 +1,31 @@
+//! The cryogenic digital output data link of Fig. 1 and the Monte-Carlo
+//! experiments that evaluate the encoders under process parameter variations
+//! (Fig. 5 of the paper).
+//!
+//! The link chains together:
+//!
+//! 1. the SFQ encoder circuit at 4.2 K (`encoders` crate), simulated at gate
+//!    level with PPV-induced faults (`sfq-sim`);
+//! 2. the SFQ-to-DC output drivers and cryogenic cables carrying the DC
+//!    levels to the 50–300 K stage ([`channel::CryoCable`]);
+//! 3. a CMOS threshold receiver and the error-correction decoder
+//!    ([`link::CryoLink`]), which reconstructs the 4-bit message and raises
+//!    the error flags of Fig. 1 when it detects an uncorrectable word.
+//!
+//! [`montecarlo::Fig5Experiment`] repeats the paper's evaluation: 100 random
+//! messages per chip, 1000 independently sampled chips at ±20 % parameter
+//! spread, and the CDF of the number of erroneous messages per chip.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod calibrate;
+pub mod channel;
+pub mod link;
+pub mod montecarlo;
+pub mod waveform;
+
+pub use channel::{ChannelConfig, CryoCable};
+pub use link::{CryoLink, LinkOutcome, TransmissionResult};
+pub use montecarlo::{ErrorCounting, Fig5Curve, Fig5Experiment, Fig5Result};

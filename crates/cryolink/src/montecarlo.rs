@@ -1,0 +1,392 @@
+//! The Fig. 5 Monte-Carlo experiment.
+//!
+//! The paper's setup: 100 random 4-bit messages are sent through each encoder
+//! circuit; the whole experiment is repeated 1000 times, each repetition with
+//! an independently sampled set of process-parameter deviations of up to
+//! ±20 % ("each iteration can be viewed as a distinct fabricated chip"). The
+//! result is the cumulative distribution of the number of erroneous messages
+//! per 100 transmissions, one curve per encoder, plus the "no encoder"
+//! baseline.
+
+use crate::channel::ChannelConfig;
+use crate::link::{CryoLink, LinkOutcome};
+use encoders::{EncoderDesign, EncoderKind};
+use gf2::BitVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sfq_cells::CellLibrary;
+use sfq_sim::PpvModel;
+
+/// How an "erroneous message" is counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCounting {
+    /// Only silent errors count: a message flagged by the decoder's error
+    /// flag (Fig. 1) is considered handled by the system (e.g. retransmitted)
+    /// rather than erroneous. This is the counting that reproduces the
+    /// relative ordering of Fig. 5.
+    SilentOnly,
+    /// Both silent errors and flagged-uncorrectable messages count as
+    /// erroneous (no retransmission path). Used by the ablation study.
+    AnyWrong,
+}
+
+/// Configuration of the Fig. 5 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Experiment {
+    /// Number of independently sampled chips (the paper uses 1000).
+    pub chips: usize,
+    /// Number of random messages per chip (the paper uses 100).
+    pub messages_per_chip: usize,
+    /// PPV model (spread, margins, calibration).
+    pub ppv: PpvModel,
+    /// Cable / receiver configuration.
+    pub channel: ChannelConfig,
+    /// Error-counting policy.
+    pub counting: ErrorCounting,
+    /// Base RNG seed; chip `i` uses `seed + i` so runs are reproducible and
+    /// trivially parallelizable.
+    pub seed: u64,
+    /// Number of worker threads (1 = run serially).
+    pub threads: usize,
+}
+
+impl Fig5Experiment {
+    /// The paper's configuration: 1000 chips × 100 messages at ±20 % spread.
+    #[must_use]
+    pub fn paper_setup() -> Self {
+        Fig5Experiment {
+            chips: 1000,
+            messages_per_chip: 100,
+            ppv: PpvModel::paper_defaults(),
+            channel: ChannelConfig::ideal(),
+            counting: ErrorCounting::SilentOnly,
+            seed: 0x5f5_ecc,
+            threads: 4,
+        }
+    }
+
+    /// A reduced configuration for unit tests and quick smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Fig5Experiment {
+            chips: 120,
+            messages_per_chip: 50,
+            threads: 2,
+            ..Self::paper_setup()
+        }
+    }
+
+    /// Runs the experiment for one encoder design.
+    #[must_use]
+    pub fn run_design(&self, design: &EncoderDesign, library: &CellLibrary) -> Fig5Curve {
+        let errors_per_chip = self.simulate_chips(design, library);
+        Fig5Curve::from_error_counts(
+            design.kind(),
+            design.name().to_string(),
+            self.messages_per_chip,
+            errors_per_chip,
+        )
+    }
+
+    /// Runs the experiment for all four designs of the paper (three encoders
+    /// plus the uncoded baseline), in the paper's ordering.
+    #[must_use]
+    pub fn run_all(&self, library: &CellLibrary) -> Fig5Result {
+        let curves = EncoderKind::ALL
+            .iter()
+            .map(|&kind| {
+                let design = EncoderDesign::build(kind);
+                self.run_design(&design, library)
+            })
+            .collect();
+        Fig5Result {
+            experiment: *self,
+            curves,
+        }
+    }
+
+    fn simulate_chips(&self, design: &EncoderDesign, library: &CellLibrary) -> Vec<usize> {
+        let chips = self.chips;
+        let threads = self.threads.max(1).min(chips.max(1));
+        if threads <= 1 || chips == 0 {
+            return (0..chips)
+                .map(|chip| self.simulate_one_chip(design, library, chip as u64))
+                .collect();
+        }
+        let mut results = vec![0usize; chips];
+        let chunk = chips.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (t, slice) in results.chunks_mut(chunk).enumerate() {
+                let design_ref = &*design;
+                let library_ref = &*library;
+                let this = *self;
+                scope.spawn(move |_| {
+                    for (i, slot) in slice.iter_mut().enumerate() {
+                        let chip = t * chunk + i;
+                        *slot = this.simulate_one_chip(design_ref, library_ref, chip as u64);
+                    }
+                });
+            }
+        })
+        .expect("Monte-Carlo worker thread panicked");
+        results
+    }
+
+    /// Simulates one chip: samples its fault map, sends
+    /// `messages_per_chip` random messages, and returns how many of them were
+    /// erroneous under the configured counting policy.
+    fn simulate_one_chip(
+        &self,
+        design: &EncoderDesign,
+        library: &CellLibrary,
+        chip_index: u64,
+    ) -> usize {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(chip_index));
+        let chip = self.ppv.sample_chip(design.netlist(), library, &mut rng);
+        let link = CryoLink::new(design, chip.faults, self.channel);
+        let mut erroneous = 0;
+        for _ in 0..self.messages_per_chip {
+            let message = BitVec::from_u64(4, rng.random_range(0..16));
+            let outcome = link.transmit(&message, &mut rng).outcome;
+            let is_error = match self.counting {
+                ErrorCounting::SilentOnly => outcome == LinkOutcome::SilentError,
+                ErrorCounting::AnyWrong => outcome != LinkOutcome::Correct,
+            };
+            if is_error {
+                erroneous += 1;
+            }
+        }
+        erroneous
+    }
+}
+
+/// The Fig. 5 curve of one encoder: the distribution of erroneous messages
+/// per chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Curve {
+    /// Which design this curve describes.
+    pub kind: EncoderKind,
+    /// Display name.
+    pub name: String,
+    /// Number of messages per chip (the x-axis upper bound).
+    pub messages_per_chip: usize,
+    /// Number of erroneous messages observed on each simulated chip.
+    pub errors_per_chip: Vec<usize>,
+}
+
+impl Fig5Curve {
+    /// Builds a curve from raw per-chip error counts.
+    #[must_use]
+    pub fn from_error_counts(
+        kind: EncoderKind,
+        name: String,
+        messages_per_chip: usize,
+        errors_per_chip: Vec<usize>,
+    ) -> Self {
+        Fig5Curve {
+            kind,
+            name,
+            messages_per_chip,
+            errors_per_chip,
+        }
+    }
+
+    /// Number of chips simulated.
+    #[must_use]
+    pub fn chips(&self) -> usize {
+        self.errors_per_chip.len()
+    }
+
+    /// `P(errors ≤ n)`: the CDF value the paper plots.
+    #[must_use]
+    pub fn cdf(&self, n: usize) -> f64 {
+        if self.errors_per_chip.is_empty() {
+            return 1.0;
+        }
+        let count = self.errors_per_chip.iter().filter(|&&e| e <= n).count();
+        count as f64 / self.errors_per_chip.len() as f64
+    }
+
+    /// The probability of a chip delivering all messages without error —
+    /// `CDF(0)`, the headline number the paper quotes per encoder (80.0 %,
+    /// 86.7 %, 89.8 %, 92.7 %).
+    #[must_use]
+    pub fn zero_error_probability(&self) -> f64 {
+        self.cdf(0)
+    }
+
+    /// Mean number of erroneous messages per chip.
+    #[must_use]
+    pub fn mean_errors(&self) -> f64 {
+        if self.errors_per_chip.is_empty() {
+            return 0.0;
+        }
+        self.errors_per_chip.iter().sum::<usize>() as f64 / self.errors_per_chip.len() as f64
+    }
+
+    /// Samples the CDF at the given x-axis points (e.g. `0, 10, 20, … 90` as
+    /// in the paper's plot).
+    #[must_use]
+    pub fn cdf_series(&self, points: &[usize]) -> Vec<(usize, f64)> {
+        points.iter().map(|&n| (n, self.cdf(n))).collect()
+    }
+}
+
+/// The complete Fig. 5 dataset: one curve per design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// The experiment configuration that produced this result.
+    pub experiment: Fig5Experiment,
+    /// One curve per design, ordered RM(1,3), Hamming(7,4), Hamming(8,4),
+    /// no encoder.
+    pub curves: Vec<Fig5Curve>,
+}
+
+impl Fig5Result {
+    /// Finds the curve of a specific design.
+    #[must_use]
+    pub fn curve(&self, kind: EncoderKind) -> Option<&Fig5Curve> {
+        self.curves.iter().find(|c| c.kind == kind)
+    }
+
+    /// Formats a textual table of the CDF at the paper's sampling points.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let points: Vec<usize> = (0..=90).step_by(10).collect();
+        let mut out = String::new();
+        out.push_str("N (erroneous msgs) |");
+        for p in &points {
+            out.push_str(&format!(" {p:>6}"));
+        }
+        out.push('\n');
+        for curve in &self.curves {
+            out.push_str(&format!("{:<19}|", curve.name));
+            for p in &points {
+                out.push_str(&format!(" {:>6.3}", curve.cdf(*p)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The zero-error probabilities the paper quotes, keyed by design.
+    #[must_use]
+    pub fn zero_error_summary(&self) -> Vec<(EncoderKind, f64)> {
+        self.curves
+            .iter()
+            .map(|c| (c.kind, c.zero_error_probability()))
+            .collect()
+    }
+}
+
+/// The zero-error probabilities reported in the paper for Fig. 5.
+#[must_use]
+pub fn paper_zero_error_probabilities() -> Vec<(EncoderKind, f64)> {
+    vec![
+        (EncoderKind::Rm13, 0.867),
+        (EncoderKind::Hamming74, 0.898),
+        (EncoderKind::Hamming84, 0.927),
+        (EncoderKind::None, 0.800),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_statistics() {
+        let curve = Fig5Curve::from_error_counts(
+            EncoderKind::None,
+            "No encoder".to_string(),
+            100,
+            vec![0, 0, 0, 5, 50, 100],
+        );
+        assert_eq!(curve.chips(), 6);
+        assert!((curve.zero_error_probability() - 0.5).abs() < 1e-12);
+        assert!((curve.cdf(5) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((curve.cdf(100) - 1.0).abs() < 1e-12);
+        assert!((curve.mean_errors() - 155.0 / 6.0).abs() < 1e-12);
+        let series = curve.cdf_series(&[0, 50]);
+        assert_eq!(series.len(), 2);
+        assert!((series[1].1 - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_spread_gives_error_free_chips_for_every_design() {
+        let lib = CellLibrary::coldflux();
+        let experiment = Fig5Experiment {
+            chips: 10,
+            messages_per_chip: 20,
+            ppv: PpvModel::paper_defaults().with_spread(0.0),
+            threads: 1,
+            ..Fig5Experiment::paper_setup()
+        };
+        let result = experiment.run_all(&lib);
+        for curve in &result.curves {
+            assert!(
+                (curve.zero_error_probability() - 1.0).abs() < 1e-12,
+                "{} had errors at zero spread",
+                curve.name
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_is_reproducible_for_fixed_seed() {
+        let lib = CellLibrary::coldflux();
+        let experiment = Fig5Experiment {
+            chips: 30,
+            messages_per_chip: 20,
+            threads: 2,
+            ..Fig5Experiment::paper_setup()
+        };
+        let design = EncoderDesign::build(EncoderKind::Hamming84);
+        let a = experiment.run_design(&design, &lib);
+        let b = experiment.run_design(&design, &lib);
+        assert_eq!(a.errors_per_chip, b.errors_per_chip);
+    }
+
+    #[test]
+    fn serial_and_parallel_execution_agree() {
+        let lib = CellLibrary::coldflux();
+        let serial = Fig5Experiment {
+            chips: 24,
+            messages_per_chip: 10,
+            threads: 1,
+            ..Fig5Experiment::paper_setup()
+        };
+        let parallel = Fig5Experiment {
+            threads: 4,
+            ..serial
+        };
+        let design = EncoderDesign::build(EncoderKind::Hamming74);
+        let a = serial.run_design(&design, &lib);
+        let b = parallel.run_design(&design, &lib);
+        assert_eq!(a.errors_per_chip, b.errors_per_chip);
+    }
+
+    #[test]
+    fn paper_reference_lists_all_designs() {
+        let reference = paper_zero_error_probabilities();
+        assert_eq!(reference.len(), 4);
+        assert!(reference.iter().any(|(k, p)| *k == EncoderKind::Hamming84 && (*p - 0.927).abs() < 1e-9));
+    }
+
+    #[test]
+    fn table_rendering_contains_every_curve() {
+        let lib = CellLibrary::coldflux();
+        let experiment = Fig5Experiment {
+            chips: 5,
+            messages_per_chip: 5,
+            threads: 1,
+            ..Fig5Experiment::paper_setup()
+        };
+        let result = experiment.run_all(&lib);
+        let table = result.to_table();
+        assert!(table.contains("Hamming(8,4)"));
+        assert!(table.contains("No encoder"));
+        assert!(result.curve(EncoderKind::Rm13).is_some());
+    }
+}

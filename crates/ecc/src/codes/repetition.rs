@@ -1,0 +1,165 @@
+//! Repetition codes — the simplest lightweight code, used as an additional
+//! baseline in the ablation experiments (a designer constrained to 8 output
+//! channels could also simply send each of the 4 message bits twice).
+
+use crate::decoder::Decoded;
+use crate::{validate_code_matrices, BlockCode, HardDecoder};
+use gf2::{BitMat, BitVec};
+
+/// A code that repeats each of `k` message bits `factor` times, giving
+/// `n = k · factor`. With `factor = 2` it detects single errors per bit pair;
+/// with `factor ≥ 3` it corrects by majority vote.
+#[derive(Debug, Clone)]
+pub struct Repetition {
+    k: usize,
+    factor: usize,
+    g: BitMat,
+    h: BitMat,
+    name: String,
+}
+
+impl Repetition {
+    /// Creates a repetition code for `k` message bits repeated `factor` times.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `factor == 0` or `k * factor > 64`.
+    #[must_use]
+    pub fn new(k: usize, factor: usize) -> Self {
+        assert!(k > 0 && factor > 0, "k and factor must be positive");
+        let n = k * factor;
+        assert!(n <= 64, "repetition code length limited to 64 bits");
+        let mut g = BitMat::zeros(k, n);
+        for i in 0..k {
+            for rep in 0..factor {
+                g.set(i, i * factor + rep, true);
+            }
+        }
+        let h = g.null_space();
+        if h.rows() > 0 {
+            validate_code_matrices(&g, &h);
+        }
+        Repetition {
+            k,
+            factor,
+            g,
+            h,
+            name: format!("Repetition(x{factor}, k={k})"),
+        }
+    }
+
+    /// The repetition factor.
+    #[must_use]
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+}
+
+impl BlockCode for Repetition {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn n(&self) -> usize {
+        self.k * self.factor
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+    fn generator(&self) -> &BitMat {
+        &self.g
+    }
+    fn parity_check(&self) -> &BitMat {
+        &self.h
+    }
+    fn message_of(&self, codeword: &BitVec) -> Option<BitVec> {
+        if self.is_codeword(codeword) {
+            Some((0..self.k).map(|i| codeword.get(i * self.factor)).collect())
+        } else {
+            None
+        }
+    }
+}
+
+impl HardDecoder for Repetition {
+    /// Majority vote per bit group. An exact tie (possible only for even
+    /// repetition factors) is reported as detected-uncorrectable.
+    fn decode(&self, received: &BitVec) -> Decoded {
+        assert_eq!(received.len(), self.n(), "received word length mismatch");
+        let mut message = BitVec::zeros(self.k);
+        let mut flips = 0usize;
+        for i in 0..self.k {
+            let ones = (0..self.factor)
+                .filter(|&rep| received.get(i * self.factor + rep))
+                .count();
+            let zeros = self.factor - ones;
+            if ones == zeros {
+                return Decoded::detected();
+            }
+            let bit = ones > zeros;
+            message.set(i, bit);
+            flips += if bit { zeros } else { ones };
+        }
+        let codeword = self.encode(&message);
+        if flips == 0 {
+            Decoded::clean(codeword, message)
+        } else {
+            Decoded::corrected(codeword, message, flips)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplication_code_parameters() {
+        let code = Repetition::new(4, 2);
+        assert_eq!(code.n(), 8);
+        assert_eq!(code.k(), 4);
+        assert_eq!(code.min_distance(), 2);
+        assert_eq!(code.factor(), 2);
+    }
+
+    #[test]
+    fn triplication_corrects_single_errors() {
+        let code = Repetition::new(2, 3);
+        assert_eq!(code.min_distance(), 3);
+        for m in 0u64..4 {
+            let msg = BitVec::from_u64(2, m);
+            let cw = code.encode(&msg);
+            for pos in 0..6 {
+                let mut r = cw.clone();
+                r.flip(pos);
+                assert!(code.decode(&r).message_is(&msg), "m={m:02b} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplication_detects_single_errors_as_ties() {
+        let code = Repetition::new(4, 2);
+        let msg = BitVec::from_str01("1011");
+        let cw = code.encode(&msg);
+        let mut r = cw.clone();
+        r.flip(3);
+        let d = code.decode(&r);
+        assert!(d.outcome.error_flag());
+    }
+
+    #[test]
+    fn encode_repeats_bits() {
+        let code = Repetition::new(3, 2);
+        let cw = code.encode(&BitVec::from_str01("101"));
+        assert_eq!(cw.to_string01(), "110011");
+    }
+
+    #[test]
+    fn message_of_round_trips() {
+        let code = Repetition::new(4, 2);
+        for m in 0u64..16 {
+            let msg = BitVec::from_u64(4, m);
+            let cw = code.encode(&msg);
+            assert_eq!(code.message_of(&cw), Some(msg));
+        }
+    }
+}

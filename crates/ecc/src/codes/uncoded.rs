@@ -1,0 +1,107 @@
+//! The "no encoder" baseline of Fig. 5: the 4-bit message is sent directly
+//! over 4 of the 8 output channels with no redundancy.
+
+use crate::decoder::Decoded;
+use crate::{BlockCode, HardDecoder};
+use gf2::{BitMat, BitVec};
+
+/// The identity (uncoded) transmission of `k` bits: `n = k`, no detection or
+/// correction capability. `d_min` is reported as 1 by convention (any single
+/// bit flip produces another valid "codeword").
+#[derive(Debug, Clone)]
+pub struct Uncoded {
+    k: usize,
+    g: BitMat,
+    h: BitMat,
+    name: String,
+}
+
+impl Uncoded {
+    /// Creates an uncoded channel of width `k` bits.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > 64`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0 && k <= 64, "k must be in 1..=64");
+        Uncoded {
+            k,
+            g: BitMat::identity(k),
+            h: BitMat::zeros(0, k),
+            name: format!("No encoder ({k}-bit)"),
+        }
+    }
+}
+
+impl BlockCode for Uncoded {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn n(&self) -> usize {
+        self.k
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+    fn generator(&self) -> &BitMat {
+        &self.g
+    }
+    fn parity_check(&self) -> &BitMat {
+        &self.h
+    }
+    fn min_distance(&self) -> usize {
+        1
+    }
+    fn syndrome(&self, received: &BitVec) -> BitVec {
+        assert_eq!(received.len(), self.k, "received word length mismatch");
+        BitVec::zeros(0)
+    }
+    fn is_codeword(&self, _word: &BitVec) -> bool {
+        true
+    }
+    fn message_of(&self, codeword: &BitVec) -> Option<BitVec> {
+        Some(codeword.clone())
+    }
+}
+
+impl HardDecoder for Uncoded {
+    fn decode(&self, received: &BitVec) -> Decoded {
+        assert_eq!(received.len(), self.k, "received word length mismatch");
+        Decoded::clean(received.clone(), received.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncoded_passes_bits_through() {
+        let code = Uncoded::new(4);
+        let msg = BitVec::from_str01("1011");
+        assert_eq!(code.encode(&msg), msg);
+        assert_eq!(code.decode(&msg).message.unwrap(), msg);
+        assert_eq!(code.n(), 4);
+        assert_eq!(code.k(), 4);
+        assert_eq!(code.min_distance(), 1);
+    }
+
+    #[test]
+    fn uncoded_never_detects_errors() {
+        let code = Uncoded::new(4);
+        let msg = BitVec::from_str01("0000");
+        let mut r = code.encode(&msg);
+        r.flip(2);
+        let d = code.decode(&r);
+        assert!(!d.outcome.error_flag());
+        assert!(!d.message_is(&msg), "error goes through silently");
+    }
+
+    #[test]
+    fn every_word_is_a_codeword() {
+        let code = Uncoded::new(4);
+        for w in 0u64..16 {
+            assert!(code.is_codeword(&BitVec::from_u64(4, w)));
+        }
+    }
+}

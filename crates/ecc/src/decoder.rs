@@ -1,0 +1,125 @@
+//! Common decoder output types shared by every code in this crate.
+
+use gf2::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// Classification of a single decoding attempt.
+///
+/// The categories follow the terminology used in Section II-C of the paper
+/// when comparing the "worst case" and "best case" behaviour of each code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeOutcome {
+    /// The received word was already a codeword; no correction applied.
+    ///
+    /// Note that this does *not* imply the transmission was error free: an
+    /// error pattern equal to a nonzero codeword is invisible to the decoder.
+    NoErrorDetected,
+    /// The decoder corrected one or more bits and produced a codeword.
+    Corrected {
+        /// Number of bit positions the decoder flipped.
+        bits_flipped: usize,
+    },
+    /// The decoder established that errors are present but could not correct
+    /// them (e.g. a double error under an extended-Hamming decoder). The
+    /// error flag of Fig. 1 is raised.
+    DetectedUncorrectable,
+}
+
+impl DecodeOutcome {
+    /// Returns `true` if the decoder raised the error flag (detected but did
+    /// not correct).
+    #[must_use]
+    pub fn error_flag(&self) -> bool {
+        matches!(self, DecodeOutcome::DetectedUncorrectable)
+    }
+
+    /// Returns `true` if the decoder performed a correction.
+    #[must_use]
+    pub fn corrected(&self) -> bool {
+        matches!(self, DecodeOutcome::Corrected { .. })
+    }
+}
+
+/// Result of decoding one received word.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decoded {
+    /// The decoder's estimate of the transmitted codeword, when it produced
+    /// one. `None` when the outcome is [`DecodeOutcome::DetectedUncorrectable`].
+    pub codeword: Option<BitVec>,
+    /// The decoder's estimate of the transmitted message, when available.
+    pub message: Option<BitVec>,
+    /// What the decoder concluded about the received word.
+    pub outcome: DecodeOutcome,
+}
+
+impl Decoded {
+    /// Constructs a result for a received word accepted as a codeword.
+    #[must_use]
+    pub fn clean(codeword: BitVec, message: BitVec) -> Self {
+        Decoded {
+            codeword: Some(codeword),
+            message: Some(message),
+            outcome: DecodeOutcome::NoErrorDetected,
+        }
+    }
+
+    /// Constructs a result for a corrected word.
+    #[must_use]
+    pub fn corrected(codeword: BitVec, message: BitVec, bits_flipped: usize) -> Self {
+        Decoded {
+            codeword: Some(codeword),
+            message: Some(message),
+            outcome: DecodeOutcome::Corrected { bits_flipped },
+        }
+    }
+
+    /// Constructs a result for a detected-but-uncorrectable word.
+    #[must_use]
+    pub fn detected() -> Self {
+        Decoded {
+            codeword: None,
+            message: None,
+            outcome: DecodeOutcome::DetectedUncorrectable,
+        }
+    }
+
+    /// Returns `true` if the decoded message equals `expected`.
+    ///
+    /// A detected-uncorrectable outcome returns `false`.
+    #[must_use]
+    pub fn message_is(&self, expected: &BitVec) -> bool {
+        self.message.as_ref() == Some(expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_flags() {
+        assert!(!DecodeOutcome::NoErrorDetected.error_flag());
+        assert!(!DecodeOutcome::NoErrorDetected.corrected());
+        assert!(DecodeOutcome::Corrected { bits_flipped: 1 }.corrected());
+        assert!(!DecodeOutcome::Corrected { bits_flipped: 1 }.error_flag());
+        assert!(DecodeOutcome::DetectedUncorrectable.error_flag());
+    }
+
+    #[test]
+    fn constructors_populate_fields() {
+        let cw = BitVec::from_str01("01100110");
+        let msg = BitVec::from_str01("1011");
+        let d = Decoded::clean(cw.clone(), msg.clone());
+        assert!(d.message_is(&msg));
+        assert_eq!(d.codeword.as_ref().unwrap(), &cw);
+
+        let c = Decoded::corrected(cw, msg.clone(), 1);
+        assert_eq!(c.outcome, DecodeOutcome::Corrected { bits_flipped: 1 });
+        assert!(c.message_is(&msg));
+
+        let det = Decoded::detected();
+        assert!(det.message.is_none());
+        assert!(!det.message_is(&msg));
+        assert!(det.outcome.error_flag());
+    }
+}

@@ -1,0 +1,262 @@
+//! Lightweight error-correction codes for short blocklengths.
+//!
+//! This crate implements the coding-theory layer of the paper *"Lightweight
+//! Error-Correction Code Encoders in Superconducting Electronic Systems"*
+//! (SOCC 2025): the Hamming(7,4) code, the extended Hamming(8,4) code, the
+//! first-order Reed–Muller RM(1,3) code, the general Hamming and RM(1,m)
+//! families they belong to, and the (38,32) linear block code used by the
+//! prior-art SFQ encoder the paper compares against.
+//!
+//! Besides encoding and decoding, the crate provides the *exhaustive
+//! error-pattern analysis* that generates Table I of the paper: for every
+//! code and every error weight it classifies each error pattern as corrected,
+//! detected, miscorrected, or undetected, under both a correction-oriented
+//! ("worst case") and a detection-oriented ("best case") decoding policy.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ecc::codes::hamming::Hamming84;
+//! use ecc::{BlockCode, HardDecoder};
+//! use gf2::BitVec;
+//!
+//! let code = Hamming84::new();
+//! // The stimulus used in Fig. 3 of the paper: message 1011 -> codeword 01100110.
+//! let msg = BitVec::from_str01("1011");
+//! let cw = code.encode(&msg);
+//! assert_eq!(cw.to_string01(), "01100110");
+//!
+//! // A single bit error anywhere is corrected.
+//! let mut received = cw.clone();
+//! received.flip(5);
+//! let decoded = code.decode(&received);
+//! assert_eq!(decoded.message.unwrap(), msg);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod codes;
+pub mod decoder;
+pub mod weight;
+
+pub use analysis::{CodeAnalysis, DecodingPolicy, ErrorPatternStats};
+pub use codes::hamming::{Hamming74, Hamming84, HammingCode, ShortenedHamming3832};
+pub use codes::reed_muller::{ReedMuller, Rm13};
+pub use codes::repetition::Repetition;
+pub use codes::uncoded::Uncoded;
+pub use decoder::{DecodeOutcome, Decoded};
+
+use gf2::{BitMat, BitVec};
+
+/// A binary linear block code of length `n` and dimension `k`.
+///
+/// Implementations expose the generator matrix `G` (k × n) and parity-check
+/// matrix `H` ((n−k) × n). Encoding is `codeword = message · G (mod 2)`,
+/// exactly Eq. (2) of the paper.
+pub trait BlockCode {
+    /// Human-readable name of the code, e.g. `"Hamming(8,4)"`.
+    fn name(&self) -> &str;
+
+    /// Codeword length `n` in bits.
+    fn n(&self) -> usize;
+
+    /// Message length `k` in bits.
+    fn k(&self) -> usize;
+
+    /// The k × n generator matrix.
+    fn generator(&self) -> &BitMat;
+
+    /// The (n−k) × n parity-check matrix.
+    fn parity_check(&self) -> &BitMat;
+
+    /// Encodes a `k`-bit message into an `n`-bit codeword.
+    ///
+    /// # Panics
+    /// Panics if `message.len() != self.k()`.
+    fn encode(&self, message: &BitVec) -> BitVec {
+        assert_eq!(message.len(), self.k(), "message length must equal k");
+        self.generator().left_mul_vec(message)
+    }
+
+    /// Computes the syndrome `H · rᵀ` of a received word.
+    ///
+    /// # Panics
+    /// Panics if `received.len() != self.n()`.
+    fn syndrome(&self, received: &BitVec) -> BitVec {
+        assert_eq!(received.len(), self.n(), "received length must equal n");
+        self.parity_check().mul_vec(received)
+    }
+
+    /// Returns `true` if `word` is a codeword (zero syndrome).
+    fn is_codeword(&self, word: &BitVec) -> bool {
+        self.syndrome(word).is_zero()
+    }
+
+    /// The minimum Hamming distance of the code, computed by exhaustive
+    /// enumeration of the 2^k − 1 nonzero codewords.
+    fn min_distance(&self) -> usize {
+        let k = self.k();
+        assert!(k <= 24, "exhaustive min-distance only supported for k <= 24");
+        (1u64..(1 << k))
+            .map(|m| self.encode(&BitVec::from_u64(k, m)).weight())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Enumerates every codeword (message, codeword) pair.
+    ///
+    /// Only intended for short codes (`k ≤ 24`).
+    fn codebook(&self) -> Vec<(BitVec, BitVec)> {
+        let k = self.k();
+        assert!(k <= 24, "codebook enumeration only supported for k <= 24");
+        (0u64..(1 << k))
+            .map(|m| {
+                let msg = BitVec::from_u64(k, m);
+                let cw = self.encode(&msg);
+                (msg, cw)
+            })
+            .collect()
+    }
+
+    /// Recovers the message from a *codeword* (not an arbitrary word).
+    ///
+    /// The default implementation solves the linear system using the
+    /// generator matrix; systematic codes override this with direct bit
+    /// extraction.
+    ///
+    /// Returns `None` if `codeword` is not in the code.
+    fn message_of(&self, codeword: &BitVec) -> Option<BitVec> {
+        if !self.is_codeword(codeword) {
+            return None;
+        }
+        let k = self.k();
+        // Brute force over messages is acceptable for the short codes used here.
+        if k <= 20 {
+            for m in 0u64..(1 << k) {
+                let msg = BitVec::from_u64(k, m);
+                if &self.encode(&msg) == codeword {
+                    return Some(msg);
+                }
+            }
+            return None;
+        }
+        unimplemented!("message_of default implementation requires k <= 20")
+    }
+
+    /// Code rate `k / n`.
+    fn rate(&self) -> f64 {
+        self.k() as f64 / self.n() as f64
+    }
+}
+
+/// Hard-decision decoding of a received `n`-bit word.
+pub trait HardDecoder: BlockCode {
+    /// Decodes a hard-decision received word.
+    ///
+    /// # Panics
+    /// Panics if `received.len() != self.n()`.
+    fn decode(&self, received: &BitVec) -> Decoded;
+
+    /// Best-effort decoding: like [`HardDecoder::decode`] but ambiguous
+    /// received words are resolved with a deterministic tie-break instead of
+    /// being flagged as uncorrectable.
+    ///
+    /// Codes whose decoder never flags ambiguity (e.g. the perfect
+    /// Hamming(7,4) code) behave identically under both methods. The RM(1,3)
+    /// decoder overrides this to resolve Hadamard-spectrum ties, which is
+    /// what lets it correct certain 2-bit error patterns (the "best case"
+    /// column of Table I of the paper).
+    fn decode_best_effort(&self, received: &BitVec) -> Decoded {
+        self.decode(received)
+    }
+}
+
+/// Soft-decision decoding from per-bit log-likelihood ratios.
+///
+/// Positive LLR means "bit is more likely 0" (the convention used by the
+/// receiver model in the `cryolink` crate).
+pub trait SoftDecoder: BlockCode {
+    /// Decodes a soft-decision received word given per-bit LLRs.
+    ///
+    /// # Panics
+    /// Panics if `llrs.len() != self.n()`.
+    fn decode_soft(&self, llrs: &[f64]) -> Decoded;
+}
+
+/// Validates that `g` and `h` describe the same code: `G · Hᵀ = 0` and the
+/// ranks are `k` and `n − k` respectively.
+///
+/// Used by the constructors of every concrete code in this crate as an
+/// internal consistency check.
+///
+/// # Panics
+/// Panics if the matrices are inconsistent.
+pub fn validate_code_matrices(g: &BitMat, h: &BitMat) {
+    let n = g.cols();
+    let k = g.rows();
+    assert_eq!(h.cols(), n, "G and H must have the same number of columns");
+    assert_eq!(h.rows(), n - k, "H must have n-k rows");
+    assert_eq!(g.rank(), k, "G must have full row rank");
+    assert_eq!(h.rank(), n - k, "H must have full row rank");
+    let prod = g.mul(&h.transpose());
+    assert!(prod.is_zero(), "G * H^T must be zero");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::hamming::{Hamming74, Hamming84};
+    use crate::codes::reed_muller::Rm13;
+
+    #[test]
+    fn paper_codes_have_expected_parameters() {
+        let h74 = Hamming74::new();
+        assert_eq!((h74.n(), h74.k(), h74.min_distance()), (7, 4, 3));
+        let h84 = Hamming84::new();
+        assert_eq!((h84.n(), h84.k(), h84.min_distance()), (8, 4, 4));
+        let rm = Rm13::new();
+        assert_eq!((rm.n(), rm.k(), rm.min_distance()), (8, 4, 4));
+    }
+
+    #[test]
+    fn rate_matches_k_over_n() {
+        let h84 = Hamming84::new();
+        assert!((h84.rate() - 0.5).abs() < 1e-12);
+        let h74 = Hamming74::new();
+        assert!((h74.rate() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codebook_size_is_two_to_k() {
+        let h74 = Hamming74::new();
+        let cb = h74.codebook();
+        assert_eq!(cb.len(), 16);
+        // All codewords distinct.
+        let mut words: Vec<u64> = cb.iter().map(|(_, c)| c.to_u64()).collect();
+        words.sort_unstable();
+        words.dedup();
+        assert_eq!(words.len(), 16);
+    }
+
+    #[test]
+    fn message_of_inverts_encode() {
+        let h84 = Hamming84::new();
+        for m in 0u64..16 {
+            let msg = BitVec::from_u64(4, m);
+            let cw = h84.encode(&msg);
+            assert_eq!(h84.message_of(&cw), Some(msg));
+        }
+        // Non-codeword returns None.
+        let mut bad = h84.encode(&BitVec::from_u64(4, 5));
+        bad.flip(0);
+        assert_eq!(h84.message_of(&bad), None);
+    }
+
+    #[test]
+    fn validate_code_matrices_accepts_consistent_codes() {
+        let h84 = Hamming84::new();
+        validate_code_matrices(h84.generator(), h84.parity_check());
+    }
+}

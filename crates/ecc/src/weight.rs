@@ -1,0 +1,206 @@
+//! Weight distributions and analytical error-rate bounds.
+//!
+//! These utilities complement the exhaustive analysis of [`crate::analysis`]
+//! with the standard closed-form expressions used to sanity-check the
+//! Monte-Carlo link experiments (Fig. 5): the weight enumerator of a code,
+//! the probability of undetected error on a binary symmetric channel, and the
+//! block-error probability of bounded-distance decoding.
+
+use crate::BlockCode;
+use gf2::binomial;
+use serde::{Deserialize, Serialize};
+
+/// The weight enumerator `A_0, A_1, …, A_n` of a code: `A_w` is the number of
+/// codewords of Hamming weight `w`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightDistribution {
+    /// Code length `n`.
+    pub n: usize,
+    /// `counts[w]` = number of codewords of weight `w`.
+    pub counts: Vec<u64>,
+}
+
+impl WeightDistribution {
+    /// Computes the weight distribution of a code by enumerating its codebook.
+    ///
+    /// # Panics
+    /// Panics if `k > 24` (enumeration would be too large).
+    pub fn of_code<C: BlockCode + ?Sized>(code: &C) -> Self {
+        let n = code.n();
+        let mut counts = vec![0u64; n + 1];
+        for (_, cw) in code.codebook() {
+            counts[cw.weight()] += 1;
+        }
+        WeightDistribution { n, counts }
+    }
+
+    /// Total number of codewords (must equal `2^k`).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Minimum distance: the smallest nonzero weight with a nonzero count.
+    #[must_use]
+    pub fn min_distance(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find(|(_, &c)| c > 0)
+            .map_or(0, |(w, _)| w)
+    }
+
+    /// Probability that an error pattern on a binary symmetric channel with
+    /// crossover probability `p` equals a nonzero codeword — i.e. the
+    /// probability of an *undetected* error when the code is used for error
+    /// detection only.
+    #[must_use]
+    pub fn undetected_error_probability(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        self.counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(w, &a)| a as f64 * p.powi(w as i32) * (1.0 - p).powi((self.n - w) as i32))
+            .sum()
+    }
+
+    /// Applies the MacWilliams identity to obtain the weight distribution of
+    /// the dual code, given the dimension `k` of this code.
+    #[must_use]
+    pub fn dual(&self, k: usize) -> WeightDistribution {
+        let n = self.n;
+        let mut dual_counts = vec![0f64; n + 1];
+        // B_j = (1 / 2^k) * sum_w A_w * K_j(w), with Krawtchouk polynomial K.
+        for (j, slot) in dual_counts.iter_mut().enumerate() {
+            let mut acc = 0f64;
+            for (w, &a) in self.counts.iter().enumerate() {
+                acc += a as f64 * krawtchouk(n, j, w);
+            }
+            *slot = acc / 2f64.powi(k as i32);
+        }
+        WeightDistribution {
+            n,
+            counts: dual_counts.iter().map(|&x| x.round() as u64).collect(),
+        }
+    }
+}
+
+/// Krawtchouk polynomial `K_j(w)` over GF(2) of length `n`:
+/// `K_j(w) = Σ_i (-1)^i C(w, i) C(n-w, j-i)`.
+#[must_use]
+pub fn krawtchouk(n: usize, j: usize, w: usize) -> f64 {
+    let mut acc = 0f64;
+    for i in 0..=j.min(w) {
+        if j - i > n - w {
+            continue;
+        }
+        let term = binomial(w as u64, i as u64) as f64
+            * binomial((n - w) as u64, (j - i) as u64) as f64;
+        if i % 2 == 0 {
+            acc += term;
+        } else {
+            acc -= term;
+        }
+    }
+    acc
+}
+
+/// Block-error probability of bounded-distance decoding that corrects up to
+/// `t` errors on a binary symmetric channel with crossover probability `p`:
+/// `P_block = Σ_{w > t} C(n, w) p^w (1-p)^(n-w)`.
+#[must_use]
+pub fn bounded_distance_block_error(n: usize, t: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    (t + 1..=n)
+        .map(|w| binomial(n as u64, w as u64) as f64 * p.powi(w as i32) * (1.0 - p).powi((n - w) as i32))
+        .sum()
+}
+
+/// Probability that an uncoded `k`-bit message is received with at least one
+/// bit error on a BSC with crossover probability `p`.
+#[must_use]
+pub fn uncoded_message_error(k: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    1.0 - (1.0 - p).powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::hamming::{Hamming74, Hamming84};
+    use crate::codes::reed_muller::Rm13;
+
+    #[test]
+    fn hamming74_weight_enumerator() {
+        let wd = WeightDistribution::of_code(&Hamming74::new());
+        assert_eq!(wd.counts, vec![1, 0, 0, 7, 7, 0, 0, 1]);
+        assert_eq!(wd.total(), 16);
+        assert_eq!(wd.min_distance(), 3);
+    }
+
+    #[test]
+    fn hamming84_weight_enumerator_is_self_dual() {
+        let wd = WeightDistribution::of_code(&Hamming84::new());
+        assert_eq!(wd.counts, vec![1, 0, 0, 0, 14, 0, 0, 0, 1]);
+        // The extended Hamming(8,4) code is self-dual: the MacWilliams
+        // transform must reproduce the same distribution.
+        let dual = wd.dual(4);
+        assert_eq!(dual.counts, wd.counts);
+    }
+
+    #[test]
+    fn rm13_and_hamming84_share_weight_distribution() {
+        let a = WeightDistribution::of_code(&Rm13::new());
+        let b = WeightDistribution::of_code(&Hamming84::new());
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn hamming74_dual_is_simplex_code() {
+        // The dual of Hamming(7,4) is the [7,3] simplex code: all 7 nonzero
+        // codewords have weight 4.
+        let wd = WeightDistribution::of_code(&Hamming74::new());
+        let dual = wd.dual(4);
+        assert_eq!(dual.counts, vec![1, 0, 0, 0, 7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn undetected_error_probability_is_small_for_small_p() {
+        let wd = WeightDistribution::of_code(&Hamming84::new());
+        let p_ud = wd.undetected_error_probability(1e-3);
+        // Dominated by the 14 weight-4 codewords: ~14e-12.
+        assert!(p_ud > 1e-12 && p_ud < 1e-10, "P_ud = {p_ud}");
+        // Monotone in p over the low-error regime.
+        assert!(wd.undetected_error_probability(1e-2) > p_ud);
+    }
+
+    #[test]
+    fn krawtchouk_zeroth_is_binomial() {
+        for w in 0..=8 {
+            assert_eq!(krawtchouk(8, 0, w), 1.0);
+        }
+        assert_eq!(krawtchouk(8, 1, 0), 8.0);
+        assert_eq!(krawtchouk(8, 1, 8), -8.0);
+    }
+
+    #[test]
+    fn bounded_distance_matches_direct_sum() {
+        let p: f64 = 0.05;
+        let direct: f64 = (2..=7)
+            .map(|w| binomial(7, w as u64) as f64 * p.powi(w) * (1.0 - p).powi(7 - w))
+            .sum();
+        let got = bounded_distance_block_error(7, 1, p);
+        assert!((got - direct).abs() < 1e-15);
+    }
+
+    #[test]
+    fn uncoded_message_error_matches_complement() {
+        let p = 0.1;
+        let e = uncoded_message_error(4, p);
+        assert!((e - (1.0 - 0.9f64.powi(4))).abs() < 1e-15);
+        assert_eq!(uncoded_message_error(4, 0.0), 0.0);
+        assert!((uncoded_message_error(4, 1.0) - 1.0).abs() < 1e-15);
+    }
+}

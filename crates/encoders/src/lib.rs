@@ -1,0 +1,349 @@
+//! Lightweight SFQ error-correction code encoders — the primary contribution
+//! of the paper.
+//!
+//! Three encoder circuits are provided, built gate-by-gate the way the paper
+//! draws them:
+//!
+//! * [`hamming84::build_netlist`] — the extended Hamming(8,4) encoder of
+//!   Fig. 2: 6 XOR gates, 8 path-balancing DFFs, 10 data splitters + 13
+//!   clock-tree splitters, 8 SFQ-to-DC output drivers, logic depth 2;
+//! * [`hamming74::build_netlist`] — the Hamming(7,4) encoder (same circuit
+//!   without the overall-parity output `c8`);
+//! * [`rm13::build_netlist`] — the RM(1,3) encoder of Fig. 4;
+//! * [`no_encoder::build_netlist`] — the uncoded 4-bit baseline of Fig. 5.
+//!
+//! [`EncoderDesign`] bundles a circuit with its reference code (from the
+//! `ecc` crate) and its receiver-side decoder, and [`table2`] regenerates the
+//! circuit-level comparison of Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use encoders::{EncoderDesign, EncoderKind};
+//! use gf2::BitVec;
+//!
+//! let enc = EncoderDesign::build(EncoderKind::Hamming84);
+//! // Gate-level simulation of the circuit reproduces the reference encoding:
+//! // message 1011 -> codeword 01100110 (the Fig. 3 stimulus).
+//! let cw = enc.encode_gate_level(&BitVec::from_str01("1011"));
+//! assert_eq!(cw.to_string01(), "01100110");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hamming74;
+pub mod hamming84;
+pub mod no_encoder;
+pub mod rm13;
+pub mod table2;
+
+pub use table2::{paper_table2, table2_rows, Table2Row};
+
+use ecc::{BlockCode, Decoded, HardDecoder, Hamming74, Hamming84, Rm13, Uncoded};
+use gf2::BitVec;
+use serde::{Deserialize, Serialize};
+use sfq_cells::CellLibrary;
+use sfq_netlist::{Netlist, NetlistStats};
+use sfq_sim::{FaultMap, GateLevelSim, Stimulus, Trace};
+
+/// Which encoder design to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EncoderKind {
+    /// Uncoded 4-bit transmission (the "no encoder" curve of Fig. 5).
+    None,
+    /// Hamming(7,4) encoder.
+    Hamming74,
+    /// Extended Hamming(8,4) encoder (Fig. 2).
+    Hamming84,
+    /// First-order Reed–Muller RM(1,3) encoder (Fig. 4).
+    Rm13,
+}
+
+impl EncoderKind {
+    /// The three coded designs plus the uncoded baseline, in the order used
+    /// by the paper's figures.
+    pub const ALL: [EncoderKind; 4] = [
+        EncoderKind::Rm13,
+        EncoderKind::Hamming74,
+        EncoderKind::Hamming84,
+        EncoderKind::None,
+    ];
+
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EncoderKind::None => "No encoder",
+            EncoderKind::Hamming74 => "Hamming(7,4)",
+            EncoderKind::Hamming84 => "Hamming(8,4)",
+            EncoderKind::Rm13 => "Reed-Muller RM(1,3)",
+        }
+    }
+}
+
+/// Reference code + decoder behind an encoder circuit.
+enum ReferenceCode {
+    None(Uncoded),
+    Hamming74(Hamming74),
+    Hamming84(Hamming84),
+    Rm13(Rm13),
+}
+
+impl ReferenceCode {
+    fn encode(&self, message: &BitVec) -> BitVec {
+        match self {
+            ReferenceCode::None(c) => c.encode(message),
+            ReferenceCode::Hamming74(c) => c.encode(message),
+            ReferenceCode::Hamming84(c) => c.encode(message),
+            ReferenceCode::Rm13(c) => c.encode(message),
+        }
+    }
+
+    fn decode(&self, received: &BitVec) -> Decoded {
+        match self {
+            ReferenceCode::None(c) => c.decode(received),
+            ReferenceCode::Hamming74(c) => c.decode(received),
+            ReferenceCode::Hamming84(c) => c.decode(received),
+            // The paper credits RM(1,3) with correcting certain 2-bit error
+            // patterns (Table I best case); that corresponds to the FHT
+            // decoder with spectral tie-breaking.
+            ReferenceCode::Rm13(c) => c.decode_best_effort(received),
+        }
+    }
+
+    fn n(&self) -> usize {
+        match self {
+            ReferenceCode::None(c) => c.n(),
+            ReferenceCode::Hamming74(c) => c.n(),
+            ReferenceCode::Hamming84(c) => c.n(),
+            ReferenceCode::Rm13(c) => c.n(),
+        }
+    }
+}
+
+/// An encoder circuit bundled with its reference code, gate-level simulator,
+/// and receiver-side decoder.
+pub struct EncoderDesign {
+    kind: EncoderKind,
+    netlist: Netlist,
+    sim: GateLevelSim,
+    code: ReferenceCode,
+    latency: usize,
+}
+
+impl EncoderDesign {
+    /// Builds one of the paper's encoder designs.
+    #[must_use]
+    pub fn build(kind: EncoderKind) -> Self {
+        let netlist = match kind {
+            EncoderKind::None => no_encoder::build_netlist(),
+            EncoderKind::Hamming74 => hamming74::build_netlist(),
+            EncoderKind::Hamming84 => hamming84::build_netlist(),
+            EncoderKind::Rm13 => rm13::build_netlist(),
+        };
+        let code = match kind {
+            EncoderKind::None => ReferenceCode::None(Uncoded::new(4)),
+            EncoderKind::Hamming74 => ReferenceCode::Hamming74(Hamming74::new()),
+            EncoderKind::Hamming84 => ReferenceCode::Hamming84(Hamming84::new()),
+            EncoderKind::Rm13 => ReferenceCode::Rm13(Rm13::new()),
+        };
+        let latency = netlist.logic_depth();
+        let sim = GateLevelSim::new(&netlist);
+        EncoderDesign {
+            kind,
+            netlist,
+            sim,
+            code,
+            latency,
+        }
+    }
+
+    /// Builds all four designs (three encoders + uncoded baseline).
+    #[must_use]
+    pub fn build_all() -> Vec<EncoderDesign> {
+        EncoderKind::ALL.iter().map(|&k| Self::build(k)).collect()
+    }
+
+    /// Which design this is.
+    #[must_use]
+    pub fn kind(&self) -> EncoderKind {
+        self.kind
+    }
+
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// The gate-level netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Message length (always 4 in the paper's setting).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        4
+    }
+
+    /// Number of output channels used (7, 8, or 4).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.code.n()
+    }
+
+    /// Encoding latency in clock cycles (the logic depth of the circuit).
+    #[must_use]
+    pub fn latency(&self) -> usize {
+        self.latency
+    }
+
+    /// Circuit statistics against a cell library — one row of Table II.
+    #[must_use]
+    pub fn stats(&self, library: &CellLibrary) -> NetlistStats {
+        NetlistStats::compute(&self.netlist, library)
+    }
+
+    /// Reference (mathematical) encoding of a 4-bit message.
+    ///
+    /// # Panics
+    /// Panics if the message is not 4 bits long.
+    #[must_use]
+    pub fn encode_reference(&self, message: &BitVec) -> BitVec {
+        self.code.encode(message)
+    }
+
+    /// Receiver-side decoding of an `n`-bit received word.
+    #[must_use]
+    pub fn decode(&self, received: &BitVec) -> Decoded {
+        self.code.decode(received)
+    }
+
+    /// Encodes a message by simulating the gate-level circuit fault-free and
+    /// sampling the SFQ-to-DC output levels after the encoding latency.
+    ///
+    /// # Panics
+    /// Panics if the message is not 4 bits long.
+    #[must_use]
+    pub fn encode_gate_level(&self, message: &BitVec) -> BitVec {
+        let trace = self.simulate(message);
+        trace.dc_word_at(self.latency)
+    }
+
+    /// Simulates one fault-free transmission and returns the full trace
+    /// (used by the Fig. 3 waveform reproduction).
+    #[must_use]
+    pub fn simulate(&self, message: &BitVec) -> Trace {
+        assert_eq!(message.len(), 4, "the paper's interface carries 4-bit messages");
+        let mut stim = Stimulus::new(&self.netlist);
+        stim.apply_word(message, 0);
+        self.sim.run(&stim, self.latency + 1)
+    }
+
+    /// Simulates one transmission on a faulty chip and returns the received
+    /// word (the SFQ-to-DC levels sampled after the encoding latency).
+    #[must_use]
+    pub fn transmit_with_faults<R: rand::Rng + ?Sized>(
+        &self,
+        message: &BitVec,
+        faults: &FaultMap,
+        rng: &mut R,
+    ) -> BitVec {
+        assert_eq!(message.len(), 4, "the paper's interface carries 4-bit messages");
+        let mut stim = Stimulus::new(&self.netlist);
+        stim.apply_word(message, 0);
+        let trace = self
+            .sim
+            .run_with_faults(&stim, self.latency + 1, faults, rng);
+        trace.dc_word_at(self.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_netlist::drc;
+
+    #[test]
+    fn all_designs_build_and_pass_drc() {
+        for design in EncoderDesign::build_all() {
+            let violations = drc::check(design.netlist());
+            assert!(
+                violations.is_empty(),
+                "{}: {:?}",
+                design.name(),
+                violations
+            );
+        }
+    }
+
+    #[test]
+    fn gate_level_encoding_matches_reference_for_all_messages() {
+        for design in EncoderDesign::build_all() {
+            for m in 0u64..16 {
+                let msg = BitVec::from_u64(4, m);
+                let reference = design.encode_reference(&msg);
+                let simulated = design.encode_gate_level(&msg);
+                assert_eq!(
+                    simulated,
+                    reference,
+                    "{} disagrees on message {m:04b}",
+                    design.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_stimulus_produces_expected_codeword() {
+        let enc = EncoderDesign::build(EncoderKind::Hamming84);
+        let cw = enc.encode_gate_level(&BitVec::from_str01("1011"));
+        assert_eq!(cw.to_string01(), "01100110");
+        assert_eq!(enc.latency(), 2, "codeword is produced after two clock cycles");
+    }
+
+    #[test]
+    fn decode_round_trips_for_every_design() {
+        for design in EncoderDesign::build_all() {
+            for m in 0u64..16 {
+                let msg = BitVec::from_u64(4, m);
+                let cw = design.encode_reference(&msg);
+                let decoded = design.decode(&cw);
+                assert_eq!(decoded.message.unwrap(), msg, "{}", design.name());
+            }
+        }
+    }
+
+    #[test]
+    fn coded_designs_correct_single_channel_errors() {
+        for kind in [EncoderKind::Hamming74, EncoderKind::Hamming84, EncoderKind::Rm13] {
+            let design = EncoderDesign::build(kind);
+            for m in 0u64..16 {
+                let msg = BitVec::from_u64(4, m);
+                let cw = design.encode_reference(&msg);
+                for pos in 0..design.n() {
+                    let mut r = cw.clone();
+                    r.flip(pos);
+                    let decoded = design.decode(&r);
+                    assert_eq!(
+                        decoded.message,
+                        Some(msg.clone()),
+                        "{} failed at msg {m:04b} pos {pos}",
+                        design.kind().name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_match_logic_depths() {
+        assert_eq!(EncoderDesign::build(EncoderKind::None).latency(), 0);
+        assert_eq!(EncoderDesign::build(EncoderKind::Hamming74).latency(), 2);
+        assert_eq!(EncoderDesign::build(EncoderKind::Hamming84).latency(), 2);
+        assert_eq!(EncoderDesign::build(EncoderKind::Rm13).latency(), 2);
+    }
+}

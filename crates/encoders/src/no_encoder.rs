@@ -1,0 +1,46 @@
+//! The uncoded 4-bit baseline ("no encoder" in Fig. 5).
+//!
+//! The four message bits are sent directly to four SFQ-to-DC output drivers;
+//! no clocked logic, no redundancy, and therefore no ability to detect or
+//! correct the errors that process variations introduce.
+
+use sfq_cells::CellKind;
+use sfq_netlist::{Netlist, PortRef};
+
+/// Builds the uncoded 4-bit output data path.
+#[must_use]
+pub fn build_netlist() -> Netlist {
+    let mut nl = Netlist::new("no_encoder");
+    for i in 1..=4 {
+        let input = nl.add_input(format!("m{i}"));
+        let driver = nl.add_cell(CellKind::SfqToDc, format!("c{i}_drv"));
+        nl.connect(PortRef::of(input), driver, 0);
+        let output = nl.add_output(format!("c{i}"));
+        nl.connect(PortRef::of(driver), output, 0);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_netlist::drc;
+
+    #[test]
+    fn uses_only_four_output_drivers() {
+        let nl = build_netlist();
+        assert_eq!(nl.count_cells(CellKind::SfqToDc), 4);
+        assert_eq!(nl.count_cells(CellKind::Xor), 0);
+        assert_eq!(nl.count_cells(CellKind::Dff), 0);
+        assert_eq!(nl.count_cells(CellKind::Splitter), 0);
+    }
+
+    #[test]
+    fn is_clean_and_has_zero_depth() {
+        let nl = build_netlist();
+        assert!(drc::is_clean(&nl), "{:?}", drc::check(&nl));
+        assert_eq!(nl.logic_depth(), 0);
+        assert_eq!(nl.inputs().len(), 4);
+        assert_eq!(nl.outputs().len(), 4);
+    }
+}

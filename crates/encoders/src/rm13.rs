@@ -1,0 +1,120 @@
+//! The Reed–Muller RM(1,3) encoder circuit of Fig. 4.
+//!
+//! The eight codeword bits are affine Boolean functions of the message,
+//! `c_{j+1} = m1 ⊕ (j₀·m2) ⊕ (j₁·m3) ⊕ (j₂·m4)`, implemented as a two-level
+//! XOR network with shared first-level terms:
+//!
+//! ```text
+//! x12 = m1 ⊕ m2 (= c2)      x13 = m1 ⊕ m3 (= c3)
+//! x14 = m1 ⊕ m4 (= c5)      x34 = m3 ⊕ m4
+//! c4 = x12 ⊕ m3'            c6 = x12 ⊕ m4'
+//! c7 = x13 ⊕ m4'            c8 = x12 ⊕ x34
+//! c1 = m1 (two balancing DFFs)
+//! ```
+//!
+//! where `m3'`/`m4'` are message bits delayed by one DFF so that both inputs
+//! of each second-level XOR arrive in the same clock period. The first-level
+//! outputs that double as codeword bits (`c2`, `c3`, `c5`) pass through one
+//! balancing DFF each. Cell budget (Table II row "Reed-Muller RM(1,3)"):
+//! 8 XOR, 7 DFF, 26 splitters (12 data + 14 clock), 8 SFQ-to-DC converters
+//! → 305 JJs.
+
+use crate::hamming84::add_xor;
+use sfq_cells::CellKind;
+use sfq_netlist::{synth, Netlist, PortRef};
+
+/// Builds the RM(1,3) encoder netlist of Fig. 4.
+#[must_use]
+pub fn build_netlist() -> Netlist {
+    let mut nl = Netlist::new("rm13_encoder");
+
+    let m: Vec<_> = (1..=4).map(|i| nl.add_input(format!("m{i}"))).collect();
+    nl.add_clock("clk");
+
+    // Data fan-out:
+    //   m1 -> x12, x13, x14, c1 chain        (4 loads, 3 splitters)
+    //   m2 -> x12                            (1 load)
+    //   m3 -> x13, x34, alignment DFF        (3 loads, 2 splitters)
+    //   m4 -> x14, x34, alignment DFF        (3 loads, 2 splitters)
+    let m1 = synth::fanout(&mut nl, PortRef::of(m[0]), 4, "m1");
+    let m2 = synth::fanout(&mut nl, PortRef::of(m[1]), 1, "m2");
+    let m3 = synth::fanout(&mut nl, PortRef::of(m[2]), 3, "m3");
+    let m4 = synth::fanout(&mut nl, PortRef::of(m[3]), 3, "m4");
+
+    // First-level XOR gates.
+    let x12 = add_xor(&mut nl, "x12", m1[0], m2[0]);
+    let x13 = add_xor(&mut nl, "x13", m1[1], m3[0]);
+    let x14 = add_xor(&mut nl, "x14", m1[2], m4[0]);
+    let x34 = add_xor(&mut nl, "x34", m3[1], m4[1]);
+
+    // Alignment DFFs for the message bits that feed second-level gates.
+    let m3_delayed = synth::dff_chain(&mut nl, m3[2], 1, "m3_align");
+    let m4_delayed = synth::dff_chain(&mut nl, m4[2], 1, "m4_align");
+    let m4_delayed_ports = synth::fanout(&mut nl, m4_delayed, 2, "m4_align");
+
+    // First-level fan-out: x12 feeds c2 plus three second-level gates,
+    // x13 feeds c3 plus one second-level gate.
+    let x12_ports = synth::fanout(&mut nl, x12, 4, "x12");
+    let x13_ports = synth::fanout(&mut nl, x13, 2, "x13");
+
+    // Second-level XOR gates.
+    let c4 = add_xor(&mut nl, "c4_xor", x12_ports[1], m3_delayed);
+    let c6 = add_xor(&mut nl, "c6_xor", x12_ports[2], m4_delayed_ports[0]);
+    let c7 = add_xor(&mut nl, "c7_xor", x13_ports[1], m4_delayed_ports[1]);
+    let c8 = add_xor(&mut nl, "c8_xor", x12_ports[3], x34);
+
+    // Balancing DFFs.
+    let c1 = synth::dff_chain(&mut nl, m1[3], 2, "c1");
+    let c2 = synth::dff_chain(&mut nl, x12_ports[0], 1, "c2");
+    let c3 = synth::dff_chain(&mut nl, x13_ports[0], 1, "c3");
+    let c5 = synth::dff_chain(&mut nl, x14, 1, "c5");
+
+    for (idx, signal) in [c1, c2, c3, c4, c5, c6, c7, c8].into_iter().enumerate() {
+        let name = format!("c{}", idx + 1);
+        let driver = nl.add_cell(CellKind::SfqToDc, format!("{name}_drv"));
+        nl.connect(signal, driver, 0);
+        let output = nl.add_output(name);
+        nl.connect(PortRef::of(driver), output, 0);
+    }
+
+    // Clock network: 8 XOR + 7 DFF sinks -> 14 splitters.
+    synth::build_clock_tree(&mut nl, "clk");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_netlist::drc;
+
+    #[test]
+    fn cell_counts_match_table2() {
+        let nl = build_netlist();
+        assert_eq!(nl.count_cells(CellKind::Xor), 8, "8 XOR gates");
+        assert_eq!(nl.count_cells(CellKind::Dff), 7, "7 DFFs");
+        assert_eq!(nl.count_cells(CellKind::Splitter), 26, "12 data + 14 clock splitters");
+        assert_eq!(nl.count_cells(CellKind::SfqToDc), 8, "8 output drivers");
+    }
+
+    #[test]
+    fn logic_depth_is_two_and_outputs_balanced() {
+        let nl = build_netlist();
+        assert_eq!(nl.logic_depth(), 2);
+        assert!(nl.output_depths().iter().all(|&d| d == 2), "{:?}", nl.output_depths());
+    }
+
+    #[test]
+    fn netlist_is_drc_clean() {
+        let nl = build_netlist();
+        assert!(drc::is_clean(&nl), "{:?}", drc::check(&nl));
+    }
+
+    #[test]
+    fn rm13_uses_more_cells_than_hamming84() {
+        // The theoretical-complexity vs. physical-size trade-off the paper
+        // identifies: RM(1,3) is the largest of the three encoders.
+        let rm = build_netlist();
+        let h84 = crate::hamming84::build_netlist();
+        assert!(rm.cell_histogram().values().sum::<u64>() > h84.cell_histogram().values().sum::<u64>());
+    }
+}

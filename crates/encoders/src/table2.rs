@@ -1,0 +1,164 @@
+//! Table II — circuit-level comparison of the error-correction code encoders.
+//!
+//! [`table2_rows`] computes the table from the synthesized netlists and a
+//! cell library; [`paper_table2`] holds the values printed in the paper for
+//! side-by-side comparison in the benchmark output and EXPERIMENTS.md.
+
+use crate::{EncoderDesign, EncoderKind};
+use serde::{Deserialize, Serialize};
+use sfq_cells::{CellKind, CellLibrary};
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Encoder name as printed in the paper.
+    pub encoder: String,
+    /// Number of XOR gates.
+    pub xor_gates: u64,
+    /// Number of D flip-flops.
+    pub dffs: u64,
+    /// Number of splitters (data + clock distribution).
+    pub splitters: u64,
+    /// Number of SFQ-to-DC converters.
+    pub sfq_to_dc: u64,
+    /// Total Josephson-junction count.
+    pub jj_count: u64,
+    /// Static power dissipation in microwatts.
+    pub power_uw: f64,
+    /// Layout area in square millimetres.
+    pub area_mm2: f64,
+}
+
+impl Table2Row {
+    /// Formats the row like the paper's table.
+    #[must_use]
+    pub fn format(&self) -> String {
+        format!(
+            "{:<22} | {:>2} XOR, {:>2} DFF, {:>2} SPL, {:>2} SFQ/DC | {:>4} JJ | {:>6.1} uW | {:>6.3} mm2",
+            self.encoder,
+            self.xor_gates,
+            self.dffs,
+            self.splitters,
+            self.sfq_to_dc,
+            self.jj_count,
+            self.power_uw,
+            self.area_mm2
+        )
+    }
+}
+
+/// Computes Table II from the three encoder netlists and a cell library.
+///
+/// Rows are ordered as in the paper: RM(1,3), Hamming(7,4), Hamming(8,4).
+#[must_use]
+pub fn table2_rows(library: &CellLibrary) -> Vec<Table2Row> {
+    [EncoderKind::Rm13, EncoderKind::Hamming74, EncoderKind::Hamming84]
+        .iter()
+        .map(|&kind| {
+            let design = EncoderDesign::build(kind);
+            let stats = design.stats(library);
+            Table2Row {
+                encoder: design.name().to_string(),
+                xor_gates: stats.histogram.count(CellKind::Xor),
+                dffs: stats.histogram.count(CellKind::Dff),
+                splitters: stats.histogram.count(CellKind::Splitter),
+                sfq_to_dc: stats.histogram.count(CellKind::SfqToDc),
+                jj_count: stats.cost.jj_count,
+                power_uw: stats.cost.static_power_uw,
+                area_mm2: stats.cost.area_mm2,
+            }
+        })
+        .collect()
+}
+
+/// The values printed in Table II of the paper.
+#[must_use]
+pub fn paper_table2() -> Vec<Table2Row> {
+    vec![
+        Table2Row {
+            encoder: "Reed-Muller RM(1,3)".to_string(),
+            xor_gates: 8,
+            dffs: 7,
+            splitters: 26,
+            sfq_to_dc: 8,
+            jj_count: 305,
+            power_uw: 101.5,
+            area_mm2: 0.193,
+        },
+        Table2Row {
+            encoder: "Hamming(7,4)".to_string(),
+            xor_gates: 5,
+            dffs: 8,
+            splitters: 20,
+            sfq_to_dc: 7,
+            jj_count: 247,
+            power_uw: 81.7,
+            area_mm2: 0.158,
+        },
+        Table2Row {
+            encoder: "Hamming(8,4)".to_string(),
+            xor_gates: 6,
+            dffs: 8,
+            splitters: 23,
+            sfq_to_dc: 8,
+            jj_count: 278,
+            power_uw: 92.3,
+            area_mm2: 0.177,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computed_table2_matches_paper_exactly() {
+        let lib = CellLibrary::coldflux();
+        let computed = table2_rows(&lib);
+        let paper = paper_table2();
+        assert_eq!(computed.len(), paper.len());
+        for (ours, theirs) in computed.iter().zip(&paper) {
+            assert_eq!(ours.xor_gates, theirs.xor_gates, "{}", theirs.encoder);
+            assert_eq!(ours.dffs, theirs.dffs, "{}", theirs.encoder);
+            assert_eq!(ours.splitters, theirs.splitters, "{}", theirs.encoder);
+            assert_eq!(ours.sfq_to_dc, theirs.sfq_to_dc, "{}", theirs.encoder);
+            assert_eq!(ours.jj_count, theirs.jj_count, "{}", theirs.encoder);
+            assert!(
+                (ours.power_uw - theirs.power_uw).abs() < 0.05,
+                "{}: {} vs {}",
+                theirs.encoder,
+                ours.power_uw,
+                theirs.power_uw
+            );
+            assert!(
+                (ours.area_mm2 - theirs.area_mm2).abs() < 0.0005,
+                "{}: {} vs {}",
+                theirs.encoder,
+                ours.area_mm2,
+                theirs.area_mm2
+            );
+        }
+    }
+
+    #[test]
+    fn jj_count_ordering_matches_paper_discussion() {
+        // RM(1,3) has the most JJs, Hamming(7,4) the fewest.
+        let lib = CellLibrary::coldflux();
+        let rows = table2_rows(&lib);
+        let rm = &rows[0];
+        let h74 = &rows[1];
+        let h84 = &rows[2];
+        assert!(rm.jj_count > h84.jj_count);
+        assert!(h84.jj_count > h74.jj_count);
+    }
+
+    #[test]
+    fn format_mentions_all_quantities() {
+        let row = &paper_table2()[2];
+        let text = row.format();
+        assert!(text.contains("Hamming(8,4)"));
+        assert!(text.contains("278 JJ"));
+        assert!(text.contains("92.3"));
+    }
+}

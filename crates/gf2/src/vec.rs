@@ -1,0 +1,412 @@
+//! Word-packed bit vectors over GF(2).
+
+use crate::{limbs_for, LIMB_BITS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitXor, BitXorAssign};
+
+/// A fixed-length vector over GF(2), packed 64 bits per limb.
+///
+/// Addition over GF(2) is XOR; the scalar product of two vectors is the
+/// parity of their AND. Both are exposed through operator overloads and
+/// explicit methods.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    limbs: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of length `len`.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            limbs: vec![0; limbs_for(len)],
+        }
+    }
+
+    /// Creates an all-one vector of length `len`.
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Creates a vector from a slice of booleans.
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Creates a length-`len` vector from the low `len` bits of `word`.
+    ///
+    /// Bit `i` of `word` becomes element `i` of the vector.
+    ///
+    /// # Panics
+    /// Panics if `len > 64`.
+    #[must_use]
+    pub fn from_u64(len: usize, word: u64) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits");
+        let mut v = Self::zeros(len);
+        if len > 0 {
+            let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            if !v.limbs.is_empty() {
+                v.limbs[0] = word & mask;
+            }
+        }
+        v
+    }
+
+    /// Parses a vector from a string of `'0'`/`'1'` characters (index 0 first).
+    ///
+    /// Whitespace and underscores are ignored.
+    ///
+    /// # Panics
+    /// Panics if the string contains any other character.
+    #[must_use]
+    pub fn from_str01(s: &str) -> Self {
+        let bits: Vec<bool> = s
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '_')
+            .map(|c| match c {
+                '0' => false,
+                '1' => true,
+                other => panic!("invalid bit character {other:?}"),
+            })
+            .collect();
+        Self::from_bits(&bits)
+    }
+
+    /// Returns the length of the vector in bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has length zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        (self.limbs[i / LIMB_BITS] >> (i % LIMB_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        let limb = &mut self.limbs[i / LIMB_BITS];
+        let mask = 1u64 << (i % LIMB_BITS);
+        if value {
+            *limb |= mask;
+        } else {
+            *limb &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        self.limbs[i / LIMB_BITS] ^= 1u64 << (i % LIMB_BITS);
+    }
+
+    /// Returns the Hamming weight (number of ones).
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Returns the Hamming distance to `other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.limbs
+            .iter()
+            .zip(&other.limbs)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns the GF(2) inner product (parity of the AND) with `other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let acc: u64 = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .fold(0, |acc, (a, b)| acc ^ (a & b));
+        acc.count_ones() & 1 == 1
+    }
+
+    /// Returns `true` if all bits are zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Returns the vector as a `u64`, interpreting element `i` as bit `i`.
+    ///
+    /// # Panics
+    /// Panics if the length exceeds 64.
+    #[must_use]
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.len <= 64, "to_u64 supports at most 64 bits");
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Returns the bits as a `Vec<bool>`.
+    #[must_use]
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Returns a sub-vector covering `range.start..range.end`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or reversed.
+    #[must_use]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
+        assert!(range.start <= range.end && range.end <= self.len, "range out of bounds");
+        let mut out = BitVec::zeros(range.end - range.start);
+        for (j, i) in range.enumerate() {
+            out.set(j, self.get(i));
+        }
+        out
+    }
+
+    /// Concatenates `self` with `other`, returning a new vector.
+    #[must_use]
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.len + other.len);
+        for i in 0..self.len {
+            out.set(i, self.get(i));
+        }
+        for i in 0..other.len {
+            out.set(self.len + i, other.get(i));
+        }
+        out
+    }
+
+    /// Returns the indices of the set bits, in increasing order.
+    #[must_use]
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+
+    /// Iterates over the bits from index 0 upward.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// XORs `other` into `self` in place.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a ^= b;
+        }
+    }
+
+    /// Formats the vector as a `'0'`/`'1'` string, index 0 first.
+    #[must_use]
+    pub fn to_string01(&self) -> String {
+        (0..self.len)
+            .map(|i| if self.get(i) { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec({})", self.to_string01())
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_string01())
+    }
+}
+
+impl BitXor for &BitVec {
+    type Output = BitVec;
+    fn bitxor(self, rhs: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign(rhs);
+        out
+    }
+}
+
+impl BitXorAssign<&BitVec> for BitVec {
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        self.xor_assign(rhs);
+    }
+}
+
+impl BitAnd for &BitVec {
+    type Output = BitVec;
+    fn bitand(self, rhs: &BitVec) -> BitVec {
+        assert_eq!(self.len, rhs.len, "length mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *a &= b;
+        }
+        out
+    }
+}
+
+impl BitAndAssign<&BitVec> for BitVec {
+    fn bitand_assign(&mut self, rhs: &BitVec) {
+        assert_eq!(self.len, rhs.len, "length mismatch");
+        for (a, b) in self.limbs.iter_mut().zip(&rhs.limbs) {
+            *a &= b;
+        }
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bits(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(10);
+        assert_eq!(z.len(), 10);
+        assert_eq!(z.weight(), 0);
+        assert!(z.is_zero());
+        let o = BitVec::ones(10);
+        assert_eq!(o.weight(), 10);
+        assert!(!o.is_zero());
+    }
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut v = BitVec::zeros(70);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(69, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(69));
+        assert!(!v.get(1));
+        assert_eq!(v.weight(), 4);
+        v.flip(69);
+        assert!(!v.get(69));
+        assert_eq!(v.weight(), 3);
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        let v = BitVec::from_u64(8, 0b1011_0010);
+        assert_eq!(v.to_u64(), 0b1011_0010);
+        assert_eq!(v.get(1), true);
+        assert_eq!(v.get(0), false);
+        assert_eq!(v.weight(), 4);
+        // Bits beyond len are masked off.
+        let w = BitVec::from_u64(4, 0xFF);
+        assert_eq!(w.to_u64(), 0xF);
+    }
+
+    #[test]
+    fn from_str01_and_display() {
+        let v = BitVec::from_str01("0110 0110");
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.to_string01(), "01100110");
+        assert_eq!(format!("{v}"), "01100110");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bit character")]
+    fn from_str01_rejects_garbage() {
+        let _ = BitVec::from_str01("01x0");
+    }
+
+    #[test]
+    fn xor_and_dot() {
+        let a = BitVec::from_str01("1100");
+        let b = BitVec::from_str01("1010");
+        assert_eq!((&a ^ &b).to_string01(), "0110");
+        assert_eq!((&a & &b).to_string01(), "1000");
+        assert!(a.dot(&b)); // overlap weight 1 -> parity 1
+        let c = BitVec::from_str01("0011");
+        assert!(!a.dot(&c)); // no overlap
+    }
+
+    #[test]
+    fn hamming_distance_symmetric() {
+        let a = BitVec::from_str01("10110100");
+        let b = BitVec::from_str01("00111100");
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(b.hamming_distance(&a), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let a = BitVec::from_str01("1011");
+        let b = BitVec::from_str01("0110");
+        let c = a.concat(&b);
+        assert_eq!(c.to_string01(), "10110110");
+        assert_eq!(c.slice(0..4).to_string01(), "1011");
+        assert_eq!(c.slice(4..8).to_string01(), "0110");
+        assert_eq!(c.slice(2..6).to_string01(), "1101");
+    }
+
+    #[test]
+    fn support_lists_set_indices() {
+        let v = BitVec::from_str01("01011");
+        assert_eq!(v.support(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.to_string01(), "101");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(3);
+        let _ = v.get(3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Reference SFQ sub-circuits at the analog (JJ) level.
+//!
+//! These small circuits demonstrate the physical behaviour that the
+//! gate-level simulator abstracts: a DC-to-SFQ front end turning a current
+//! step into a single flux quantum, a Josephson transmission line propagating
+//! that quantum from junction to junction, and a splitter duplicating it.
+//! They use critically damped junctions on the SFQ5ee-like process of
+//! [`JunctionParams::critically_damped`] with the classical 70 % bias point.
+
+use crate::circuit::{Circuit, JunctionParams, NodeIndex};
+use crate::waveform::Waveform;
+
+/// Nominal junction critical current used by the reference cells (250 µA).
+pub const CELL_IC: f64 = 250e-6;
+/// Inter-stage inductance of the JTL (2 pH).
+pub const CELL_INDUCTANCE: f64 = 2e-12;
+/// Bias fraction (bias current / critical current).
+pub const BIAS_FRACTION: f64 = 0.7;
+/// Time over which bias currents are ramped to avoid spurious switching.
+pub const BIAS_RAMP: f64 = 20e-12;
+/// Time at which the input trigger pulse is applied.
+pub const TRIGGER_TIME: f64 = 35e-12;
+
+fn biased_junction(circuit: &mut Circuit, node: NodeIndex, ic: f64) -> usize {
+    let index = circuit.junction(node, 0, JunctionParams::critically_damped(ic));
+    circuit.current_source(
+        0,
+        node,
+        Waveform::Pulse {
+            low: 0.0,
+            high: BIAS_FRACTION * ic,
+            delay: 0.0,
+            rise: BIAS_RAMP,
+            width: 10.0,
+            fall: 1.0,
+        },
+    );
+    index
+}
+
+/// Builds a Josephson transmission line of `stages` biased junctions joined
+/// by series inductors, driven by a trigger pulse on the first node.
+///
+/// Returns the circuit and the junction indices of each stage (use
+/// [`crate::TransientResult::flux_quanta`] on them to follow the pulse).
+///
+/// # Panics
+/// Panics if `stages` is zero.
+#[must_use]
+pub fn jtl_chain(stages: usize) -> (Circuit, Vec<usize>) {
+    assert!(stages > 0, "a JTL needs at least one stage");
+    let mut circuit = Circuit::new();
+    let mut junctions = Vec::with_capacity(stages);
+    let mut previous: Option<NodeIndex> = None;
+    let mut first_node = 0;
+    for stage in 0..stages {
+        let node = circuit.node();
+        if stage == 0 {
+            first_node = node;
+        }
+        if let Some(prev) = previous {
+            circuit.inductor(prev, node, CELL_INDUCTANCE);
+        }
+        junctions.push(biased_junction(&mut circuit, node, CELL_IC));
+        previous = Some(node);
+    }
+    // Input trigger: a current pulse strong enough to switch the first
+    // junction once (2π phase slip), launching one flux quantum.
+    circuit.current_source(
+        0,
+        first_node,
+        Waveform::trigger(1.3 * CELL_IC, TRIGGER_TIME, 8e-12),
+    );
+    (circuit, junctions)
+}
+
+/// Builds an SFQ splitter at the analog level: an input JTL stage whose flux
+/// quantum is duplicated into two output branches.
+///
+/// Returns the circuit and the junction indices `(input, out_a, out_b)`.
+#[must_use]
+pub fn splitter() -> (Circuit, (usize, usize, usize)) {
+    let mut circuit = Circuit::new();
+    let input = circuit.node();
+    let out_a = circuit.node();
+    let out_b = circuit.node();
+    // Input junction is larger so it can drive two branches.
+    let j_in = biased_junction(&mut circuit, input, 1.4 * CELL_IC);
+    circuit.inductor(input, out_a, CELL_INDUCTANCE);
+    circuit.inductor(input, out_b, CELL_INDUCTANCE);
+    let j_a = biased_junction(&mut circuit, out_a, CELL_IC);
+    let j_b = biased_junction(&mut circuit, out_b, CELL_IC);
+    circuit.current_source(
+        0,
+        input,
+        Waveform::trigger(1.9 * CELL_IC, TRIGGER_TIME, 6e-12),
+    );
+    (circuit, (j_in, j_a, j_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Transient;
+    use crate::FLUX_QUANTUM;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(circuit: &Circuit) -> crate::solver::TransientResult {
+        Transient::new(5e-14, 80e-12).run(circuit)
+    }
+
+    #[test]
+    fn jtl_propagates_the_trigger_flux_to_every_stage() {
+        let (circuit, junctions) = jtl_chain(4);
+        let result = run(&circuit);
+        let first = result.flux_quanta(junctions[0]);
+        assert!(first >= 1 && first <= 2, "trigger should launch 1-2 flux quanta, got {first}");
+        for (stage, &j) in junctions.iter().enumerate() {
+            assert_eq!(
+                result.flux_quanta(j),
+                first,
+                "stage {stage} should pass the same number of SFQ pulses (phase {})",
+                result.final_phase(j)
+            );
+        }
+    }
+
+    #[test]
+    fn sfq_pulse_has_phi0_area_and_millivolt_scale_amplitude() {
+        let (circuit, junctions) = jtl_chain(3);
+        let result = run(&circuit);
+        // Node 2 is the middle JTL stage; each SFQ pulse crossing it
+        // integrates to one flux quantum and peaks in the hundreds of
+        // microvolts, a couple of ps wide — the numbers quoted in the
+        // introduction of the paper.
+        let quanta = result.flux_quanta(junctions[1]) as f64;
+        assert!(quanta >= 1.0);
+        let area = result.voltage_area(2);
+        assert!(
+            (area - quanta * FLUX_QUANTUM).abs() < 0.25 * quanta * FLUX_QUANTUM,
+            "pulse area {area:e} should be within 25% of {quanta} flux quanta"
+        );
+        let peak = result.peak_voltage(2);
+        assert!(peak > 1e-4 && peak < 2e-3, "peak {peak} V");
+    }
+
+    #[test]
+    fn unbiased_chain_does_not_fire_without_trigger() {
+        // Build a chain manually without the trigger source: nothing switches.
+        let mut circuit = Circuit::new();
+        let n1 = circuit.node();
+        let n2 = circuit.node();
+        circuit.inductor(n1, n2, CELL_INDUCTANCE);
+        let j1 = biased_junction(&mut circuit, n1, CELL_IC);
+        let j2 = biased_junction(&mut circuit, n2, CELL_IC);
+        let result = run(&circuit);
+        assert_eq!(result.flux_quanta(j1), 0);
+        assert_eq!(result.flux_quanta(j2), 0);
+    }
+
+    #[test]
+    fn splitter_duplicates_the_pulse_into_both_branches() {
+        let (circuit, (j_in, j_a, j_b)) = splitter();
+        let result = run(&circuit);
+        assert!(result.flux_quanta(j_in) >= 1, "input junction must switch");
+        let a = result.flux_quanta(j_a);
+        let b = result.flux_quanta(j_b);
+        assert!(a >= 1, "branch A receives the pulse");
+        assert_eq!(a, b, "both branches receive the same number of pulses");
+    }
+
+    #[test]
+    fn spread_can_break_a_marginal_chain() {
+        // With a large spread some samples fail to propagate the pulse —
+        // the PPV failure mechanism of the paper, observed at the analog level.
+        let (circuit, junctions) = jtl_chain(4);
+        let last = *junctions.last().unwrap();
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut failures = 0;
+        let trials = 25;
+        for _ in 0..trials {
+            let perturbed = circuit.with_spread(0.45, &mut rng);
+            let result = run(&perturbed);
+            if result.flux_quanta(last) != 1 {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures > 0,
+            "a ±45% spread should break pulse propagation at least once in {trials} trials"
+        );
+        // And the nominal circuit still works.
+        assert_eq!(run(&circuit).flux_quanta(last), 1);
+    }
+}
+

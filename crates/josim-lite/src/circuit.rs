@@ -1,0 +1,331 @@
+//! Analog circuit description: nodes, linear elements, Josephson junctions,
+//! sources, and the JoSIM-style parameter `spread`.
+
+use crate::waveform::Waveform;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Index of a circuit node. Node 0 is ground.
+pub type NodeIndex = usize;
+
+/// RCSJ parameters of a Josephson junction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JunctionParams {
+    /// Critical current in amperes.
+    pub critical_current: f64,
+    /// Shunt (normal-state) resistance in ohms.
+    pub resistance: f64,
+    /// Junction capacitance in farads.
+    pub capacitance: f64,
+}
+
+impl JunctionParams {
+    /// A critically damped (βc ≈ 1) junction of the given critical current on
+    /// the MIT LL SFQ5ee-like process: 70 fF/µm² specific capacitance at
+    /// 10 kA/cm² critical current density, with the shunt resistance chosen
+    /// for a Stewart–McCumber parameter of one.
+    #[must_use]
+    pub fn critically_damped(critical_current: f64) -> Self {
+        let area_um2 = critical_current / 100e-6; // 100 µA/µm² = 10 kA/cm²
+        let capacitance = 70e-15 * area_um2;
+        let resistance =
+            (crate::FLUX_QUANTUM / (2.0 * std::f64::consts::PI * critical_current * capacitance))
+                .sqrt();
+        JunctionParams {
+            critical_current,
+            resistance,
+            capacitance,
+        }
+    }
+
+    /// Stewart–McCumber parameter βc = 2π Ic R² C / Φ₀.
+    #[must_use]
+    pub fn beta_c(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.critical_current * self.resistance * self.resistance
+            * self.capacitance
+            / crate::FLUX_QUANTUM
+    }
+}
+
+/// One circuit element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Element {
+    /// Linear resistor between two nodes.
+    Resistor {
+        /// Positive terminal node.
+        a: NodeIndex,
+        /// Negative terminal node.
+        b: NodeIndex,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Linear inductor between two nodes.
+    Inductor {
+        /// Positive terminal node.
+        a: NodeIndex,
+        /// Negative terminal node.
+        b: NodeIndex,
+        /// Inductance in henries.
+        henries: f64,
+    },
+    /// Linear capacitor between two nodes.
+    Capacitor {
+        /// Positive terminal node.
+        a: NodeIndex,
+        /// Negative terminal node.
+        b: NodeIndex,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Josephson junction (RCSJ model) between two nodes.
+    Junction {
+        /// Positive terminal node.
+        a: NodeIndex,
+        /// Negative terminal node.
+        b: NodeIndex,
+        /// RCSJ parameters.
+        params: JunctionParams,
+    },
+    /// Independent current source pushing current from `a` to `b` (i.e. a
+    /// positive value raises the potential of `b`).
+    CurrentSource {
+        /// Source terminal the current leaves from.
+        a: NodeIndex,
+        /// Terminal the current flows into.
+        b: NodeIndex,
+        /// Source waveform.
+        waveform: Waveform,
+    },
+}
+
+/// An analog circuit: a set of elements over numbered nodes (0 = ground).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    /// Number of nodes, including ground.
+    num_nodes: usize,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    #[must_use]
+    pub fn new() -> Self {
+        Circuit {
+            num_nodes: 1,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Allocates and returns a fresh node index.
+    pub fn node(&mut self) -> NodeIndex {
+        let id = self.num_nodes;
+        self.num_nodes += 1;
+        id
+    }
+
+    /// The ground node (always index 0).
+    #[must_use]
+    pub fn ground(&self) -> NodeIndex {
+        0
+    }
+
+    /// Number of nodes, including ground.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The element list.
+    #[must_use]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    fn check_node(&self, n: NodeIndex) {
+        assert!(n < self.num_nodes, "node {n} was never allocated");
+    }
+
+    /// Adds a resistor.
+    pub fn resistor(&mut self, a: NodeIndex, b: NodeIndex, ohms: f64) {
+        self.check_node(a);
+        self.check_node(b);
+        assert!(ohms > 0.0, "resistance must be positive");
+        self.elements.push(Element::Resistor { a, b, ohms });
+    }
+
+    /// Adds an inductor.
+    pub fn inductor(&mut self, a: NodeIndex, b: NodeIndex, henries: f64) {
+        self.check_node(a);
+        self.check_node(b);
+        assert!(henries > 0.0, "inductance must be positive");
+        self.elements.push(Element::Inductor { a, b, henries });
+    }
+
+    /// Adds a capacitor.
+    pub fn capacitor(&mut self, a: NodeIndex, b: NodeIndex, farads: f64) {
+        self.check_node(a);
+        self.check_node(b);
+        assert!(farads > 0.0, "capacitance must be positive");
+        self.elements.push(Element::Capacitor { a, b, farads });
+    }
+
+    /// Adds a Josephson junction and returns its junction index (used to read
+    /// back phases from the transient result).
+    pub fn junction(&mut self, a: NodeIndex, b: NodeIndex, params: JunctionParams) -> usize {
+        self.check_node(a);
+        self.check_node(b);
+        assert!(params.critical_current > 0.0, "critical current must be positive");
+        let index = self
+            .elements
+            .iter()
+            .filter(|e| matches!(e, Element::Junction { .. }))
+            .count();
+        self.elements.push(Element::Junction { a, b, params });
+        index
+    }
+
+    /// Adds an independent current source from `a` to `b`.
+    pub fn current_source(&mut self, a: NodeIndex, b: NodeIndex, waveform: Waveform) {
+        self.check_node(a);
+        self.check_node(b);
+        self.elements.push(Element::CurrentSource { a, b, waveform });
+    }
+
+    /// Number of Josephson junctions in the circuit.
+    #[must_use]
+    pub fn junction_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Junction { .. }))
+            .count()
+    }
+
+    /// Applies a JoSIM-style `spread`: every R, L, C value and every junction
+    /// critical current is multiplied by an independent factor drawn
+    /// uniformly from `[1 − spread, 1 + spread]`. Source waveforms are left
+    /// untouched. Returns the perturbed copy.
+    #[must_use]
+    pub fn with_spread<R: Rng + ?Sized>(&self, spread: f64, rng: &mut R) -> Circuit {
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+        let factor = |rng: &mut R| -> f64 {
+            if spread == 0.0 {
+                1.0
+            } else {
+                1.0 + rng.random_range(-spread..=spread)
+            }
+        };
+        let elements = self
+            .elements
+            .iter()
+            .map(|e| match e {
+                Element::Resistor { a, b, ohms } => Element::Resistor {
+                    a: *a,
+                    b: *b,
+                    ohms: ohms * factor(rng),
+                },
+                Element::Inductor { a, b, henries } => Element::Inductor {
+                    a: *a,
+                    b: *b,
+                    henries: henries * factor(rng),
+                },
+                Element::Capacitor { a, b, farads } => Element::Capacitor {
+                    a: *a,
+                    b: *b,
+                    farads: farads * factor(rng),
+                },
+                Element::Junction { a, b, params } => Element::Junction {
+                    a: *a,
+                    b: *b,
+                    params: JunctionParams {
+                        critical_current: params.critical_current * factor(rng),
+                        resistance: params.resistance * factor(rng),
+                        capacitance: params.capacitance * factor(rng),
+                    },
+                },
+                Element::CurrentSource { a, b, waveform } => Element::CurrentSource {
+                    a: *a,
+                    b: *b,
+                    waveform: waveform.clone(),
+                },
+            })
+            .collect();
+        Circuit {
+            num_nodes: self.num_nodes,
+            elements,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_allocation_starts_after_ground() {
+        let mut c = Circuit::new();
+        assert_eq!(c.ground(), 0);
+        assert_eq!(c.node(), 1);
+        assert_eq!(c.node(), 2);
+        assert_eq!(c.num_nodes(), 3);
+    }
+
+    #[test]
+    fn junction_indices_count_up() {
+        let mut c = Circuit::new();
+        let n1 = c.node();
+        let n2 = c.node();
+        let j0 = c.junction(n1, c.ground(), JunctionParams::critically_damped(100e-6));
+        let j1 = c.junction(n2, c.ground(), JunctionParams::critically_damped(100e-6));
+        assert_eq!((j0, j1), (0, 1));
+        assert_eq!(c.junction_count(), 2);
+    }
+
+    #[test]
+    fn critically_damped_junction_has_beta_c_near_one() {
+        for ic in [50e-6, 100e-6, 250e-6] {
+            let p = JunctionParams::critically_damped(ic);
+            assert!((p.beta_c() - 1.0).abs() < 1e-9, "Ic={ic}");
+            assert!(p.resistance > 0.5 && p.resistance < 20.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never allocated")]
+    fn connecting_unallocated_node_panics() {
+        let mut c = Circuit::new();
+        c.resistor(0, 5, 1.0);
+    }
+
+    #[test]
+    fn spread_perturbs_values_within_bounds() {
+        let mut c = Circuit::new();
+        let n = c.node();
+        c.resistor(n, 0, 10.0);
+        c.inductor(n, 0, 2e-12);
+        c.junction(n, 0, JunctionParams::critically_damped(100e-6));
+        let mut rng = StdRng::seed_from_u64(3);
+        let perturbed = c.with_spread(0.2, &mut rng);
+        for (orig, new) in c.elements().iter().zip(perturbed.elements()) {
+            match (orig, new) {
+                (Element::Resistor { ohms: o, .. }, Element::Resistor { ohms: n, .. }) => {
+                    assert!((n / o - 1.0).abs() <= 0.2 + 1e-12);
+                }
+                (Element::Inductor { henries: o, .. }, Element::Inductor { henries: n, .. }) => {
+                    assert!((n / o - 1.0).abs() <= 0.2 + 1e-12);
+                }
+                (
+                    Element::Junction { params: o, .. },
+                    Element::Junction { params: n, .. },
+                ) => {
+                    assert!((n.critical_current / o.critical_current - 1.0).abs() <= 0.2 + 1e-12);
+                }
+                _ => {}
+            }
+        }
+        // Zero spread is the identity.
+        let same = c.with_spread(0.0, &mut rng);
+        assert_eq!(same, c);
+    }
+}

@@ -1,0 +1,52 @@
+//! `josim-lite` — a small superconductor transient circuit simulator.
+//!
+//! The paper simulates its encoder netlists with JoSIM, a SPICE-class
+//! superconductor circuit simulator, to obtain the waveforms of Fig. 3 and
+//! the PPV failure statistics of Fig. 5. JoSIM itself is C++ and depends on
+//! JJ-level cell layouts that are not part of this reproduction, so this
+//! crate provides the minimal analog substrate needed to justify the
+//! gate-level abstractions used elsewhere in the workspace:
+//!
+//! * the resistively-and-capacitively-shunted-junction (RCSJ) model of a
+//!   Josephson junction, the same device model JoSIM uses;
+//! * modified nodal analysis with trapezoidal integration for linear
+//!   elements (R, L, C) and fixed-point iteration for the junction
+//!   supercurrent;
+//! * current sources with DC / pulse / piecewise-linear / sinusoidal
+//!   waveforms plus Johnson–Nyquist noise sources for 4.2 K operation;
+//! * a JoSIM-style `spread` transform that perturbs every circuit parameter
+//!   by a bounded random deviation (the PPV mechanism of the paper);
+//! * reference sub-circuits — a Josephson transmission line and an SFQ
+//!   splitter — demonstrating single-flux-quantum pulse
+//!   generation and propagation (amplitude ≈ a few hundred microvolts, width
+//!   ≈ 2 ps, time integral ≈ Φ₀), which is the physical basis for the pulse
+//!   semantics assumed by the `sfq-sim` gate-level simulator.
+//!
+//! # Example: a propagating SFQ pulse
+//!
+//! ```
+//! use josim_lite::cells::jtl_chain;
+//! use josim_lite::solver::Transient;
+//!
+//! let (circuit, probes) = jtl_chain(4);
+//! let result = Transient::new(0.05e-12, 60e-12).run(&circuit);
+//! // The last junction of the chain switches by 2π: one flux quantum has
+//! // traversed the transmission line.
+//! let last = *probes.last().unwrap();
+//! assert!(result.final_phase(last) > 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod circuit;
+pub mod solver;
+pub mod waveform;
+
+pub use circuit::{Circuit, Element, JunctionParams, NodeIndex};
+pub use solver::{Transient, TransientResult};
+pub use waveform::Waveform;
+
+/// Magnetic flux quantum Φ₀ in webers.
+pub const FLUX_QUANTUM: f64 = 2.067_833_848e-15;

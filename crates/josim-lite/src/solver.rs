@@ -1,0 +1,461 @@
+//! Transient solver: modified nodal analysis with trapezoidal integration.
+//!
+//! Linear elements are replaced by their trapezoidal companion models
+//! (conductance + history current); the Josephson supercurrent
+//! `Ic·sin(φ)` is handled by fixed-point iteration within each time step,
+//! with the phase advanced by the trapezoidal rule
+//! `φₙ₊₁ = φₙ + (π·h/Φ₀)(vₙ + vₙ₊₁)` — the same discretization JoSIM uses.
+//! The nodal conductance matrix is constant for a fixed step size, so it is
+//! factorized once (dense LU with partial pivoting) and only the right-hand
+//! side is rebuilt inside the loop.
+
+use crate::circuit::{Circuit, Element};
+use crate::FLUX_QUANTUM;
+use serde::{Deserialize, Serialize};
+
+/// Transient-analysis configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transient {
+    /// Time step in seconds (0.05–0.25 ps is typical for SFQ circuits).
+    pub step: f64,
+    /// Stop time in seconds.
+    pub stop: f64,
+    /// Maximum fixed-point iterations per time step.
+    pub max_iterations: usize,
+    /// Convergence tolerance on node voltages, in volts.
+    pub tolerance: f64,
+}
+
+impl Transient {
+    /// Creates a transient analysis with default iteration settings.
+    #[must_use]
+    pub fn new(step: f64, stop: f64) -> Self {
+        Transient {
+            step,
+            stop,
+            max_iterations: 12,
+            tolerance: 1e-9,
+        }
+    }
+
+    /// Runs the analysis on a circuit.
+    ///
+    /// # Panics
+    /// Panics if the step or stop time is not positive.
+    #[must_use]
+    pub fn run(&self, circuit: &Circuit) -> TransientResult {
+        assert!(self.step > 0.0 && self.stop > 0.0, "step and stop must be positive");
+        let h = self.step;
+        let n = circuit.num_nodes() - 1; // unknown node voltages (ground excluded)
+        let steps = (self.stop / h).ceil() as usize;
+
+        // --- Build the constant conductance matrix. -------------------------
+        let mut g = vec![vec![0.0f64; n]; n];
+        let stamp = |g: &mut Vec<Vec<f64>>, a: usize, b: usize, conductance: f64| {
+            if a > 0 {
+                g[a - 1][a - 1] += conductance;
+            }
+            if b > 0 {
+                g[b - 1][b - 1] += conductance;
+            }
+            if a > 0 && b > 0 {
+                g[a - 1][b - 1] -= conductance;
+                g[b - 1][a - 1] -= conductance;
+            }
+        };
+        // Per-element companion state.
+        struct InductorState {
+            a: usize,
+            b: usize,
+            g: f64,
+            current: f64,
+        }
+        struct CapacitorState {
+            a: usize,
+            b: usize,
+            g: f64,
+            current: f64,
+        }
+        struct JunctionState {
+            a: usize,
+            b: usize,
+            ic: f64,
+            g_cap: f64,
+            cap_current: f64,
+            phase: f64,
+        }
+        let mut inductors = Vec::new();
+        let mut capacitors = Vec::new();
+        let mut junctions = Vec::new();
+        let mut sources = Vec::new();
+
+        for element in circuit.elements() {
+            match element {
+                Element::Resistor { a, b, ohms } => stamp(&mut g, *a, *b, 1.0 / ohms),
+                Element::Inductor { a, b, henries } => {
+                    let gl = h / (2.0 * henries);
+                    stamp(&mut g, *a, *b, gl);
+                    inductors.push(InductorState {
+                        a: *a,
+                        b: *b,
+                        g: gl,
+                        current: 0.0,
+                    });
+                }
+                Element::Capacitor { a, b, farads } => {
+                    let gc = 2.0 * farads / h;
+                    stamp(&mut g, *a, *b, gc);
+                    capacitors.push(CapacitorState {
+                        a: *a,
+                        b: *b,
+                        g: gc,
+                        current: 0.0,
+                    });
+                }
+                Element::Junction { a, b, params } => {
+                    let g_shunt = 1.0 / params.resistance;
+                    let g_cap = 2.0 * params.capacitance / h;
+                    stamp(&mut g, *a, *b, g_shunt + g_cap);
+                    junctions.push(JunctionState {
+                        a: *a,
+                        b: *b,
+                        ic: params.critical_current,
+                        g_cap,
+                        cap_current: 0.0,
+                        phase: 0.0,
+                    });
+                }
+                Element::CurrentSource { a, b, waveform } => {
+                    sources.push((*a, *b, waveform.clone()));
+                }
+            }
+        }
+
+        let lu = LuFactors::factorize(g).expect("singular conductance matrix: every node needs a DC path to ground");
+
+        // --- Time stepping. --------------------------------------------------
+        let mut voltages = vec![0.0f64; circuit.num_nodes()];
+        let mut time = Vec::with_capacity(steps + 1);
+        let mut node_traces: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); circuit.num_nodes()];
+        let mut phase_traces: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); junctions.len()];
+
+        let record = |time: &mut Vec<f64>,
+                      node_traces: &mut Vec<Vec<f64>>,
+                      phase_traces: &mut Vec<Vec<f64>>,
+                      t: f64,
+                      voltages: &[f64],
+                      junctions: &[JunctionState]| {
+            time.push(t);
+            for (i, trace) in node_traces.iter_mut().enumerate() {
+                trace.push(voltages[i]);
+            }
+            for (j, trace) in phase_traces.iter_mut().enumerate() {
+                trace.push(junctions[j].phase);
+            }
+        };
+        record(&mut time, &mut node_traces, &mut phase_traces, 0.0, &voltages, &junctions);
+
+        let phase_factor = std::f64::consts::PI * h / FLUX_QUANTUM;
+
+        for step_index in 1..=steps {
+            let t = step_index as f64 * h;
+            let previous = voltages.clone();
+            let mut guess = previous.clone();
+
+            for _iteration in 0..self.max_iterations {
+                // Assemble the right-hand side.
+                let mut rhs = vec![0.0f64; n];
+                let add_current = |rhs: &mut Vec<f64>, from: usize, to: usize, amps: f64| {
+                    // Current flows from `from` into `to`.
+                    if to > 0 {
+                        rhs[to - 1] += amps;
+                    }
+                    if from > 0 {
+                        rhs[from - 1] -= amps;
+                    }
+                };
+                for (a, b, waveform) in &sources {
+                    add_current(&mut rhs, *a, *b, waveform.at(t));
+                }
+                for ind in &inductors {
+                    let v_prev = previous[ind.a] - previous[ind.b];
+                    let hist = ind.current + ind.g * v_prev;
+                    // The history current keeps flowing from a to b.
+                    add_current(&mut rhs, ind.b, ind.a, -hist);
+                }
+                for cap in &capacitors {
+                    let v_prev = previous[cap.a] - previous[cap.b];
+                    let hist = cap.g * v_prev + cap.current;
+                    add_current(&mut rhs, cap.b, cap.a, hist);
+                }
+                for junction in &junctions {
+                    let v_prev = previous[junction.a] - previous[junction.b];
+                    let v_guess = guess[junction.a] - guess[junction.b];
+                    let phase_next = junction.phase + phase_factor * (v_prev + v_guess);
+                    let super_current = junction.ic * phase_next.sin();
+                    // Capacitive history current.
+                    let cap_hist = junction.g_cap * v_prev + junction.cap_current;
+                    add_current(&mut rhs, junction.b, junction.a, cap_hist - super_current);
+                }
+
+                let solution = lu.solve(&rhs);
+                let mut delta = 0.0f64;
+                for (i, value) in solution.iter().enumerate() {
+                    delta = delta.max((value - guess[i + 1]).abs());
+                    guess[i + 1] = *value;
+                }
+                if delta < self.tolerance {
+                    break;
+                }
+            }
+
+            // Commit the step: update companion states.
+            voltages = guess;
+            for ind in &mut inductors {
+                let v_prev = previous[ind.a] - previous[ind.b];
+                let v_new = voltages[ind.a] - voltages[ind.b];
+                ind.current += ind.g * (v_prev + v_new);
+            }
+            for cap in &mut capacitors {
+                let v_prev = previous[cap.a] - previous[cap.b];
+                let v_new = voltages[cap.a] - voltages[cap.b];
+                cap.current = cap.g * (v_new - v_prev) - cap.current;
+            }
+            for junction in &mut junctions {
+                let v_prev = previous[junction.a] - previous[junction.b];
+                let v_new = voltages[junction.a] - voltages[junction.b];
+                junction.phase += phase_factor * (v_prev + v_new);
+                junction.cap_current = junction.g_cap * (v_new - v_prev) - junction.cap_current;
+            }
+            record(&mut time, &mut node_traces, &mut phase_traces, t, &voltages, &junctions);
+        }
+
+        TransientResult {
+            time,
+            node_voltages: node_traces,
+            junction_phases: phase_traces,
+        }
+    }
+}
+
+/// Result of a transient analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientResult {
+    /// Time points in seconds.
+    pub time: Vec<f64>,
+    /// `node_voltages[node][sample]` in volts (index 0 is ground, always 0).
+    pub node_voltages: Vec<Vec<f64>>,
+    /// `junction_phases[junction][sample]` in radians, in junction-creation
+    /// order.
+    pub junction_phases: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// Voltage trace of a node.
+    #[must_use]
+    pub fn voltage(&self, node: usize) -> &[f64] {
+        &self.node_voltages[node]
+    }
+
+    /// Phase trace of a junction.
+    #[must_use]
+    pub fn phase(&self, junction: usize) -> &[f64] {
+        &self.junction_phases[junction]
+    }
+
+    /// Final phase of a junction (radians).
+    #[must_use]
+    pub fn final_phase(&self, junction: usize) -> f64 {
+        *self.junction_phases[junction].last().unwrap_or(&0.0)
+    }
+
+    /// Number of 2π phase slips (SFQ pulses emitted) of a junction.
+    #[must_use]
+    pub fn flux_quanta(&self, junction: usize) -> usize {
+        (self.final_phase(junction) / (2.0 * std::f64::consts::PI)).round().max(0.0) as usize
+    }
+
+    /// Peak voltage of a node, in volts.
+    #[must_use]
+    pub fn peak_voltage(&self, node: usize) -> f64 {
+        self.node_voltages[node]
+            .iter()
+            .fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Time integral of a node voltage (webers) — an SFQ pulse integrates to
+    /// one flux quantum Φ₀.
+    #[must_use]
+    pub fn voltage_area(&self, node: usize) -> f64 {
+        let v = &self.node_voltages[node];
+        let mut area = 0.0;
+        for i in 1..v.len() {
+            let dt = self.time[i] - self.time[i - 1];
+            area += 0.5 * (v[i] + v[i - 1]) * dt;
+        }
+        area
+    }
+}
+
+/// Dense LU factorization with partial pivoting.
+struct LuFactors {
+    n: usize,
+    lu: Vec<Vec<f64>>,
+    pivots: Vec<usize>,
+}
+
+impl LuFactors {
+    fn factorize(mut a: Vec<Vec<f64>>) -> Option<Self> {
+        let n = a.len();
+        let mut pivots = vec![0usize; n];
+        for k in 0..n {
+            // Partial pivot.
+            let mut max_row = k;
+            let mut max_val = a[k][k].abs();
+            for (i, row) in a.iter().enumerate().skip(k + 1) {
+                if row[k].abs() > max_val {
+                    max_val = row[k].abs();
+                    max_row = i;
+                }
+            }
+            if max_val < 1e-18 {
+                return None;
+            }
+            a.swap(k, max_row);
+            pivots[k] = max_row;
+            for i in k + 1..n {
+                let factor = a[i][k] / a[k][k];
+                a[i][k] = factor;
+                for j in k + 1..n {
+                    a[i][j] -= factor * a[k][j];
+                }
+            }
+        }
+        Some(LuFactors { n, lu: a, pivots })
+    }
+
+    fn solve(&self, rhs: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut x = rhs.to_vec();
+        // Apply row permutations and forward-substitute.
+        for k in 0..n {
+            x.swap(k, self.pivots[k]);
+            for i in k + 1..n {
+                let factor = self.lu[i][k];
+                x[i] -= factor * x[k];
+            }
+        }
+        // Back-substitution.
+        for k in (0..n).rev() {
+            for j in k + 1..n {
+                x[k] -= self.lu[k][j] * x[j];
+            }
+            x[k] /= self.lu[k][k];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::JunctionParams;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_discharge_matches_analytic_solution() {
+        // A 1 mA step into R=1 ohm || C=1 pF: v(t) = R*I*(1 - exp(-t/RC)).
+        let mut c = Circuit::new();
+        let node = c.node();
+        c.resistor(node, 0, 1.0);
+        c.capacitor(node, 0, 1e-12);
+        c.current_source(0, node, Waveform::Dc { amps: 1e-3 });
+        let result = Transient::new(1e-14, 5e-12).run(&c);
+        let tau = 1e-12;
+        for (i, &t) in result.time.iter().enumerate() {
+            let expected = 1e-3 * (1.0 - (-t / tau).exp());
+            let got = result.node_voltages[node][i];
+            assert!((got - expected).abs() < 3e-5, "t={t:e}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn rl_current_ramp() {
+        // A DC current source into L || R: the inductor eventually carries all
+        // the current, so the node voltage decays to zero.
+        let mut c = Circuit::new();
+        let node = c.node();
+        c.resistor(node, 0, 2.0);
+        c.inductor(node, 0, 10e-12);
+        c.current_source(0, node, Waveform::Dc { amps: 1e-3 });
+        let result = Transient::new(1e-14, 40e-12).run(&c);
+        let first = result.node_voltages[node][1];
+        let last = *result.node_voltages[node].last().unwrap();
+        assert!(first > 1e-3, "initially the resistor carries the current");
+        assert!(last.abs() < 1e-4, "inductor shorts the source at DC: {last}");
+    }
+
+    #[test]
+    fn underbiased_junction_stays_superconducting() {
+        // 70% bias, ramped up adiabatically over 30 ps: the junction phase
+        // settles below pi/2 and no sustained voltage develops (zero-voltage
+        // state, no phase slips).
+        let mut c = Circuit::new();
+        let node = c.node();
+        let params = JunctionParams::critically_damped(100e-6);
+        c.junction(node, 0, params);
+        c.current_source(
+            0,
+            node,
+            Waveform::Pulse {
+                low: 0.0,
+                high: 70e-6,
+                delay: 0.0,
+                rise: 30e-12,
+                width: 1.0,
+                fall: 1.0,
+            },
+        );
+        let result = Transient::new(5e-14, 100e-12).run(&c);
+        assert!(result.final_phase(0) < std::f64::consts::FRAC_PI_2);
+        assert_eq!(result.flux_quanta(0), 0);
+        assert!(result.peak_voltage(node) < 5e-5, "peak {}", result.peak_voltage(node));
+    }
+
+    #[test]
+    fn overbiased_junction_switches_and_produces_flux_quanta() {
+        // Driving a junction above Ic makes it enter the voltage state and
+        // generate a train of SFQ pulses (phase slips of 2 pi).
+        let mut c = Circuit::new();
+        let node = c.node();
+        let params = JunctionParams::critically_damped(100e-6);
+        c.junction(node, 0, params);
+        c.current_source(0, node, Waveform::Dc { amps: 150e-6 });
+        let result = Transient::new(2e-14, 200e-12).run(&c);
+        assert!(result.flux_quanta(0) >= 2, "got {}", result.flux_quanta(0));
+        assert!(result.peak_voltage(node) > 5e-5);
+    }
+
+    #[test]
+    fn lu_solver_solves_small_system() {
+        let a = vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ];
+        let lu = LuFactors::factorize(a).unwrap();
+        let x = lu.solve(&[1.0, 2.0, 3.0]);
+        // Verify A x = b.
+        let b0 = 4.0 * x[0] + x[1];
+        let b1 = x[0] + 3.0 * x[1] + x[2];
+        let b2 = x[1] + 2.0 * x[2];
+        assert!((b0 - 1.0).abs() < 1e-12);
+        assert!((b1 - 2.0).abs() < 1e-12);
+        assert!((b2 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        assert!(LuFactors::factorize(vec![vec![1.0, 1.0], vec![1.0, 1.0]]).is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Source waveforms for independent current sources.
+
+use serde::{Deserialize, Serialize};
+
+/// Time-dependent current waveform of an independent source, in amperes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Constant (bias) current.
+    Dc {
+        /// Current in amperes.
+        amps: f64,
+    },
+    /// Trapezoidal pulse.
+    Pulse {
+        /// Baseline current in amperes.
+        low: f64,
+        /// Plateau current in amperes.
+        high: f64,
+        /// Pulse start time in seconds.
+        delay: f64,
+        /// Rise time in seconds.
+        rise: f64,
+        /// Plateau duration in seconds.
+        width: f64,
+        /// Fall time in seconds.
+        fall: f64,
+    },
+    /// Sine wave `offset + amplitude · sin(2π f (t − delay))`, zero before `delay`.
+    Sin {
+        /// DC offset in amperes.
+        offset: f64,
+        /// Amplitude in amperes.
+        amplitude: f64,
+        /// Frequency in hertz.
+        frequency: f64,
+        /// Start time in seconds.
+        delay: f64,
+    },
+    /// Piecewise-linear waveform given as `(time, current)` points.
+    Pwl {
+        /// Sorted list of `(time_s, amps)` breakpoints.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+impl Waveform {
+    /// Evaluates the waveform at time `t` (seconds).
+    #[must_use]
+    pub fn at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc { amps } => *amps,
+            Waveform::Pulse {
+                low,
+                high,
+                delay,
+                rise,
+                width,
+                fall,
+            } => {
+                let t = t - delay;
+                if t <= 0.0 {
+                    *low
+                } else if t < *rise {
+                    low + (high - low) * t / rise
+                } else if t < rise + width {
+                    *high
+                } else if t < rise + width + fall {
+                    high - (high - low) * (t - rise - width) / fall
+                } else {
+                    *low
+                }
+            }
+            Waveform::Sin {
+                offset,
+                amplitude,
+                frequency,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset
+                        + amplitude * (2.0 * std::f64::consts::PI * frequency * (t - delay)).sin()
+                }
+            }
+            Waveform::Pwl { points } => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, i0) = pair[0];
+                    let (t1, i1) = pair[1];
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return i1;
+                        }
+                        return i0 + (i1 - i0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().map(|&(_, i)| i).unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// A triangular SFQ-like trigger pulse of the given amplitude and width
+    /// centred at `center` seconds.
+    #[must_use]
+    pub fn trigger(amplitude: f64, center: f64, width: f64) -> Self {
+        Waveform::Pulse {
+            low: 0.0,
+            high: amplitude,
+            delay: center - width / 2.0,
+            rise: width / 2.0,
+            width: 0.0,
+            fall: width / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc { amps: 1e-4 };
+        assert_eq!(w.at(0.0), 1e-4);
+        assert_eq!(w.at(1.0), 1e-4);
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            width: 2.0,
+            fall: 1.0,
+        };
+        assert_eq!(w.at(0.5), 0.0);
+        assert!((w.at(1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.at(2.5), 1.0);
+        assert_eq!(w.at(3.9), 1.0);
+        assert!((w.at(4.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.at(6.0), 0.0);
+    }
+
+    #[test]
+    fn sin_starts_after_delay() {
+        let w = Waveform::Sin {
+            offset: 0.0,
+            amplitude: 1.0,
+            frequency: 1.0,
+            delay: 1.0,
+        };
+        assert_eq!(w.at(0.5), 0.0);
+        assert!((w.at(1.25) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pwl_interpolates() {
+        let w = Waveform::Pwl {
+            points: vec![(0.0, 0.0), (1.0, 2.0), (3.0, 0.0)],
+        };
+        assert_eq!(w.at(-1.0), 0.0);
+        assert!((w.at(0.5) - 1.0).abs() < 1e-12);
+        assert!((w.at(2.0) - 1.0).abs() < 1e-12);
+        assert_eq!(w.at(5.0), 0.0);
+    }
+
+    #[test]
+    fn trigger_peaks_at_center() {
+        let w = Waveform::trigger(6e-4, 10e-12, 4e-12);
+        assert!((w.at(10e-12) - 6e-4).abs() < 1e-9);
+        assert!(w.at(7.9e-12) < 1e-9);
+        assert!(w.at(12.1e-12) < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Operating-margin specifications for the process-parameter-variation (PPV)
+//! fault model.
+//!
+//! SFQ circuits are designed to tolerate circuit-parameter deviations of
+//! ±20–30 % of nominal (references [12], [13] of the paper). A cell operates
+//! correctly as long as every one of its parameters (junction critical
+//! currents, inductances, bias resistances) stays inside its critical margin;
+//! when a sampled deviation exceeds the margin the cell malfunctions — it
+//! drops its output pulse or, more rarely, generates a spurious one.
+//!
+//! The per-parameter margins stored here are what couples the *physical size*
+//! of an encoder (more JJs → more parameters that can individually fall out
+//! of margin) to its *message error rate*, which is exactly the trade-off the
+//! paper's Fig. 5 demonstrates.
+
+use serde::{Deserialize, Serialize};
+
+/// Classes of circuit parameters that process variations perturb.
+///
+/// These mirror the parameter categories JoSIM's `spread` function perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParameterClass {
+    /// Josephson-junction critical current.
+    CriticalCurrent,
+    /// Wiring / storage inductance.
+    Inductance,
+    /// Bias and shunt resistance.
+    Resistance,
+}
+
+impl ParameterClass {
+    /// All parameter classes.
+    pub const ALL: [ParameterClass; 3] = [
+        ParameterClass::CriticalCurrent,
+        ParameterClass::Inductance,
+        ParameterClass::Resistance,
+    ];
+}
+
+/// Critical-margin envelope of one standard cell.
+///
+/// Each field is the maximum tolerated *relative* deviation (e.g. `0.26`
+/// means the cell still works with parameters off by ±26 %). The values for
+/// the ColdFlux cells are in the 25–40 % range, consistent with the ±20–30 %
+/// design guideline cited by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarginSpec {
+    /// Tolerated relative deviation of junction critical currents.
+    pub critical_current: f64,
+    /// Tolerated relative deviation of inductances.
+    pub inductance: f64,
+    /// Tolerated relative deviation of resistances.
+    pub resistance: f64,
+    /// Probability that an out-of-margin excursion produces a *spurious*
+    /// pulse rather than a dropped pulse (most SFQ failures are dropped
+    /// pulses; spurious switching is rarer).
+    pub spurious_fraction: f64,
+}
+
+impl MarginSpec {
+    /// A margin spec with the same tolerance for every parameter class and
+    /// the default 20 % spurious-pulse fraction.
+    #[must_use]
+    pub fn uniform(margin: f64) -> Self {
+        MarginSpec {
+            critical_current: margin,
+            inductance: margin * 1.15,
+            resistance: margin * 1.30,
+            spurious_fraction: 0.2,
+        }
+    }
+
+    /// Margin for a given parameter class.
+    #[must_use]
+    pub fn for_class(&self, class: ParameterClass) -> f64 {
+        match class {
+            ParameterClass::CriticalCurrent => self.critical_current,
+            ParameterClass::Inductance => self.inductance,
+            ParameterClass::Resistance => self.resistance,
+        }
+    }
+
+    /// Returns a copy with every margin scaled by `factor` (ablation studies
+    /// use this to model more or less robust cell designs).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        MarginSpec {
+            critical_current: self.critical_current * factor,
+            inductance: self.inductance * factor,
+            resistance: self.resistance * factor,
+            spurious_fraction: self.spurious_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_margins_are_ordered() {
+        let m = MarginSpec::uniform(0.3);
+        assert!((m.critical_current - 0.3).abs() < 1e-12);
+        assert!(m.inductance > m.critical_current);
+        assert!(m.resistance > m.inductance);
+    }
+
+    #[test]
+    fn for_class_selects_field() {
+        let m = MarginSpec::uniform(0.25);
+        assert_eq!(m.for_class(ParameterClass::CriticalCurrent), m.critical_current);
+        assert_eq!(m.for_class(ParameterClass::Inductance), m.inductance);
+        assert_eq!(m.for_class(ParameterClass::Resistance), m.resistance);
+    }
+
+    #[test]
+    fn scaled_multiplies_margins_not_spurious_fraction() {
+        let m = MarginSpec::uniform(0.2).scaled(2.0);
+        assert!((m.critical_current - 0.4).abs() < 1e-12);
+        assert!((m.spurious_fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_classes_listed() {
+        assert_eq!(ParameterClass::ALL.len(), 3);
+    }
+}

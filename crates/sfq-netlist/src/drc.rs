@@ -1,0 +1,250 @@
+//! Design-rule checks for SFQ netlists.
+//!
+//! The checks encode the two SFQ-specific constraints from Section III of the
+//! paper — every logic gate is clocked and every output has a fan-out of one
+//! — plus the structural sanity conditions any netlist must satisfy before
+//! simulation (no floating inputs, no multiply-driven ports, balanced output
+//! paths).
+
+use crate::{Netlist, NodeId, NodeKind, PortRef};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single design-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DrcViolation {
+    /// An input port of a cell or primary output has no driver.
+    UnconnectedInput {
+        /// Node with the floating input.
+        node: NodeId,
+        /// Name of the node.
+        name: String,
+        /// Port index that is unconnected.
+        port: usize,
+    },
+    /// An output port drives more than one sink — illegal in SFQ logic, which
+    /// has fan-out one; a splitter must be inserted instead.
+    FanoutViolation {
+        /// Driving port.
+        from: PortRef,
+        /// Name of the driving node.
+        name: String,
+        /// Number of sinks attached.
+        sinks: usize,
+    },
+    /// An output port of a cell drives nothing (a wasted cell, usually a
+    /// synthesis bug).
+    DanglingOutput {
+        /// The unused port.
+        from: PortRef,
+        /// Name of the node.
+        name: String,
+    },
+    /// A clocked cell whose clock port is not driven and that is not
+    /// registered as a clock sink awaiting clock-tree synthesis.
+    MissingClock {
+        /// The unclocked clocked-cell.
+        node: NodeId,
+        /// Name of the node.
+        name: String,
+    },
+    /// Primary outputs have different logic depths; codeword bits would
+    /// arrive on different clock cycles (the situation DFF path balancing
+    /// must fix).
+    UnbalancedOutputs {
+        /// Depth of each primary output, keyed by output name.
+        depths: BTreeMap<String, usize>,
+    },
+}
+
+/// Runs all design-rule checks and returns every violation found.
+#[must_use]
+pub fn check(netlist: &Netlist) -> Vec<DrcViolation> {
+    let mut violations = Vec::new();
+    check_unconnected_inputs(netlist, &mut violations);
+    check_fanout(netlist, &mut violations);
+    check_clocks(netlist, &mut violations);
+    check_balance(netlist, &mut violations);
+    violations
+}
+
+/// Returns `true` if the netlist passes every design-rule check.
+#[must_use]
+pub fn is_clean(netlist: &Netlist) -> bool {
+    check(netlist).is_empty()
+}
+
+fn check_unconnected_inputs(netlist: &Netlist, out: &mut Vec<DrcViolation>) {
+    for node in netlist.nodes() {
+        for port in 0..node.kind.input_ports() {
+            if netlist.driver_of(node.id, port).is_none() {
+                // A clocked cell's clock port may legitimately be undriven if
+                // the cell is registered as a clock sink (clock tree not yet
+                // synthesized); that case is reported by check_clocks instead.
+                if node.kind.clock_port() == Some(port) {
+                    continue;
+                }
+                out.push(DrcViolation::UnconnectedInput {
+                    node: node.id,
+                    name: node.name.clone(),
+                    port,
+                });
+            }
+        }
+    }
+}
+
+fn check_fanout(netlist: &Netlist, out: &mut Vec<DrcViolation>) {
+    for node in netlist.nodes() {
+        for port in 0..node.kind.output_ports() {
+            let from = PortRef {
+                node: node.id,
+                port,
+            };
+            let sinks = netlist.sinks_of(from).len();
+            if sinks > 1 {
+                out.push(DrcViolation::FanoutViolation {
+                    from,
+                    name: node.name.clone(),
+                    sinks,
+                });
+            } else if sinks == 0 && matches!(node.kind, NodeKind::Cell(_)) {
+                out.push(DrcViolation::DanglingOutput {
+                    from,
+                    name: node.name.clone(),
+                });
+            }
+        }
+    }
+}
+
+fn check_clocks(netlist: &Netlist, out: &mut Vec<DrcViolation>) {
+    for node in netlist.nodes() {
+        if let Some(clock_port) = node.kind.clock_port() {
+            let driven = netlist.driver_of(node.id, clock_port).is_some();
+            let pending = netlist.clock_sinks().contains(&node.id);
+            if !driven && !pending {
+                out.push(DrcViolation::MissingClock {
+                    node: node.id,
+                    name: node.name.clone(),
+                });
+            }
+        }
+    }
+}
+
+fn check_balance(netlist: &Netlist, out: &mut Vec<DrcViolation>) {
+    let depths = netlist.output_depths();
+    if depths.is_empty() {
+        return;
+    }
+    let first = depths[0];
+    if depths.iter().any(|&d| d != first) {
+        let map = netlist
+            .outputs()
+            .iter()
+            .zip(&depths)
+            .map(|(&id, &d)| (netlist.node(id).name.clone(), d))
+            .collect();
+        out.push(DrcViolation::UnbalancedOutputs { depths: map });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::CellKind;
+
+    #[test]
+    fn clean_passthrough_netlist() {
+        let mut nl = Netlist::new("ok");
+        let a = nl.add_input("a");
+        let clk = nl.add_clock("clk");
+        let dff = nl.add_cell(CellKind::Dff, "d0");
+        let out = nl.add_output("o");
+        nl.connect(PortRef::of(a), dff, 0);
+        nl.connect(PortRef::of(clk), dff, 1); // clock port of a DFF is port 1
+        nl.connect(PortRef::of(dff), out, 0);
+        assert!(is_clean(&nl), "{:?}", check(&nl));
+    }
+
+    #[test]
+    fn floating_data_input_is_reported() {
+        let mut nl = Netlist::new("float");
+        let _a = nl.add_input("a");
+        let clk = nl.add_clock("clk");
+        let xor = nl.add_cell(CellKind::Xor, "x0");
+        let out = nl.add_output("o");
+        nl.connect(PortRef::of(clk), xor, 2);
+        nl.connect(PortRef::of(xor), out, 0);
+        let violations = check(&nl);
+        let unconnected = violations
+            .iter()
+            .filter(|v| matches!(v, DrcViolation::UnconnectedInput { .. }))
+            .count();
+        assert_eq!(unconnected, 2, "{violations:?}");
+    }
+
+    #[test]
+    fn fanout_violation_is_reported() {
+        let mut nl = Netlist::new("fanout");
+        let a = nl.add_input("a");
+        let o1 = nl.add_output("o1");
+        let o2 = nl.add_output("o2");
+        nl.connect(PortRef::of(a), o1, 0);
+        nl.connect(PortRef::of(a), o2, 0);
+        let violations = check(&nl);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, DrcViolation::FanoutViolation { sinks: 2, .. })));
+    }
+
+    #[test]
+    fn missing_clock_is_reported_unless_pending_sink() {
+        let mut nl = Netlist::new("clk");
+        let a = nl.add_input("a");
+        let dff = nl.add_cell(CellKind::Dff, "d0");
+        let out = nl.add_output("o");
+        nl.connect(PortRef::of(a), dff, 0);
+        nl.connect(PortRef::of(dff), out, 0);
+        assert!(check(&nl)
+            .iter()
+            .any(|v| matches!(v, DrcViolation::MissingClock { .. })));
+        // Registering as a clock sink silences the violation (the clock tree
+        // is synthesized later).
+        nl.add_clock_sink(dff);
+        assert!(!check(&nl)
+            .iter()
+            .any(|v| matches!(v, DrcViolation::MissingClock { .. })));
+    }
+
+    #[test]
+    fn dangling_cell_output_is_reported() {
+        let mut nl = Netlist::new("dangle");
+        let a = nl.add_input("a");
+        let dff = nl.add_cell(CellKind::Dff, "d0");
+        nl.add_clock_sink(dff);
+        nl.connect(PortRef::of(a), dff, 0);
+        assert!(check(&nl)
+            .iter()
+            .any(|v| matches!(v, DrcViolation::DanglingOutput { .. })));
+    }
+
+    #[test]
+    fn unbalanced_outputs_are_reported() {
+        let mut nl = Netlist::new("unbalanced");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let clk = nl.add_clock("clk");
+        let dff = nl.add_cell(CellKind::Dff, "d0");
+        let o1 = nl.add_output("o1");
+        let o2 = nl.add_output("o2");
+        nl.connect(PortRef::of(a), dff, 0);
+        nl.connect(PortRef::of(clk), dff, 1);
+        nl.connect(PortRef::of(dff), o1, 0);
+        nl.connect(PortRef::of(b), o2, 0);
+        assert!(check(&nl)
+            .iter()
+            .any(|v| matches!(v, DrcViolation::UnbalancedOutputs { .. })));
+    }
+}

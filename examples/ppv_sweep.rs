@@ -1,0 +1,60 @@
+//! Fig. 5 reproduction: the Monte-Carlo evaluation of all encoders under
+//! process parameter variations.
+//!
+//! Run with `cargo run --release --example ppv_sweep [chips] [messages]`
+//! (defaults: 1000 chips x 100 messages, the paper's setup).
+
+use sfq_ecc::cells::CellLibrary;
+use sfq_ecc::link::montecarlo::paper_zero_error_probabilities;
+use sfq_ecc::link::{Fig5Experiment};
+
+fn main() {
+    let chips: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let messages: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+
+    let library = CellLibrary::coldflux();
+    let experiment = Fig5Experiment {
+        chips,
+        messages_per_chip: messages,
+        ..Fig5Experiment::paper_setup()
+    };
+
+    println!(
+        "Fig. 5 Monte-Carlo: {} chips x {} messages, spread ±{:.0}%, margin scale {:.3}",
+        experiment.chips,
+        experiment.messages_per_chip,
+        experiment.ppv.spread * 100.0,
+        experiment.ppv.margin_scale
+    );
+    println!();
+
+    let result = experiment.run_all(&library);
+    println!("{}", result.to_table());
+
+    println!("probability of zero erroneous messages out of {messages}:");
+    let paper = paper_zero_error_probabilities();
+    for (kind, measured) in result.zero_error_summary() {
+        let reference = paper
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, p)| *p)
+            .unwrap_or(f64::NAN);
+        println!(
+            "  {:<22} measured {:>6.1}%   (paper: {:>5.1}%)",
+            format!("{kind:?}"),
+            measured * 100.0,
+            reference * 100.0
+        );
+    }
+    println!();
+    println!("mean erroneous messages per chip:");
+    for curve in &result.curves {
+        println!("  {:<22} {:.2}", curve.name, curve.mean_errors());
+    }
+}

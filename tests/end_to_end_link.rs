@@ -1,0 +1,142 @@
+//! End-to-end link tests: encoder circuit + PPV faults + cable + decoder.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfq_ecc::cells::CellLibrary;
+use sfq_ecc::encoders::{EncoderDesign, EncoderKind};
+use sfq_ecc::gf2::BitVec;
+use sfq_ecc::link::{ChannelConfig, CryoLink, ErrorCounting, Fig5Experiment, LinkOutcome};
+use sfq_ecc::sim::PpvModel;
+
+/// With no process variations and an ideal channel, every design delivers
+/// every message of an exhaustive sweep.
+#[test]
+fn fault_free_link_is_error_free_for_all_designs_and_messages() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for kind in EncoderKind::ALL {
+        let design = EncoderDesign::build(kind);
+        let link = CryoLink::ideal(&design);
+        for m in 0u64..16 {
+            let msg = BitVec::from_u64(4, m);
+            let result = link.transmit(&msg, &mut rng);
+            assert_eq!(result.outcome, LinkOutcome::Correct, "{} {m:04b}", design.name());
+        }
+    }
+}
+
+/// A moderately noisy channel: the coded links must deliver at least as many
+/// messages correctly as the uncoded link, and Hamming(8,4) must flag rather
+/// than silently deliver a substantial share of its failures.
+#[test]
+fn coding_gain_on_a_noisy_channel() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let channel = ChannelConfig::with_snr_db(11.0);
+    let messages: Vec<BitVec> = (0..400).map(|i| BitVec::from_u64(4, i % 16)).collect();
+
+    let run = |kind: EncoderKind, rng: &mut StdRng| {
+        let design = EncoderDesign::build(kind);
+        let link = CryoLink::new(
+            &design,
+            sfq_ecc::sim::FaultMap::healthy(design.netlist()),
+            channel,
+        );
+        link.transmit_batch(&messages, rng)
+    };
+
+    let (uncoded_ok, _, uncoded_silent) = run(EncoderKind::None, &mut rng);
+    let (h84_ok, h84_flagged, h84_silent) = run(EncoderKind::Hamming84, &mut rng);
+
+    assert!(
+        h84_ok > uncoded_ok,
+        "Hamming(8,4) should deliver more messages than uncoded ({h84_ok} vs {uncoded_ok})"
+    );
+    assert!(
+        h84_silent < uncoded_silent,
+        "Hamming(8,4) should have fewer silent errors ({h84_silent} vs {uncoded_silent})"
+    );
+    // The error flag is doing real work on this channel.
+    assert!(h84_flagged > 0);
+}
+
+/// A reduced-size Fig. 5 run must reproduce the headline qualitative results
+/// of the paper: every encoder beats the uncoded link, and the extended
+/// Hamming(8,4) code is the best of the three encoders.
+#[test]
+fn reduced_fig5_preserves_paper_ordering() {
+    let library = CellLibrary::coldflux();
+    let experiment = Fig5Experiment {
+        chips: 400,
+        messages_per_chip: 60,
+        threads: 4,
+        ..Fig5Experiment::paper_setup()
+    };
+    let result = experiment.run_all(&library);
+    let p = |kind: EncoderKind| result.curve(kind).unwrap().zero_error_probability();
+
+    let none = p(EncoderKind::None);
+    let h74 = p(EncoderKind::Hamming74);
+    let h84 = p(EncoderKind::Hamming84);
+    let rm = p(EncoderKind::Rm13);
+
+    assert!(h84 > none, "Hamming(8,4) {h84} must beat no-encoder {none}");
+    assert!(h74 > none, "Hamming(7,4) {h74} must beat no-encoder {none}");
+    assert!(rm > none, "RM(1,3) {rm} must beat no-encoder {none}");
+    assert!(
+        h84 >= h74 && h84 >= rm,
+        "Hamming(8,4) must be the best encoder (h84={h84}, h74={h74}, rm={rm})"
+    );
+}
+
+/// Counting flagged messages as erroneous can only lower the zero-error
+/// probability, and the CDF is monotone non-decreasing in N.
+#[test]
+fn fig5_cdf_is_monotone_and_counting_policy_behaves() {
+    let library = CellLibrary::coldflux();
+    let base = Fig5Experiment {
+        chips: 150,
+        messages_per_chip: 40,
+        threads: 4,
+        ..Fig5Experiment::paper_setup()
+    };
+    let design = EncoderDesign::build(EncoderKind::Hamming84);
+    let silent = base.run_design(&design, &library);
+    let any = Fig5Experiment {
+        counting: ErrorCounting::AnyWrong,
+        ..base
+    }
+    .run_design(&design, &library);
+
+    assert!(any.zero_error_probability() <= silent.zero_error_probability() + 1e-12);
+    let mut last = 0.0;
+    for n in 0..=base.messages_per_chip {
+        let value = silent.cdf(n);
+        assert!(value + 1e-12 >= last, "CDF must be monotone at N={n}");
+        last = value;
+    }
+    assert!((silent.cdf(base.messages_per_chip) - 1.0).abs() < 1e-12);
+}
+
+/// Chips sampled at a tighter spread produce no more faults than chips
+/// sampled at the paper's ±20 %, for the same seed.
+#[test]
+fn ppv_fault_count_scales_with_spread() {
+    let library = CellLibrary::coldflux();
+    let design = EncoderDesign::build(EncoderKind::Rm13);
+    let count_faults = |spread: f64| -> usize {
+        let model = PpvModel::paper_defaults().with_spread(spread);
+        let mut rng = StdRng::seed_from_u64(1234);
+        (0..200)
+            .map(|_| {
+                model
+                    .sample_chip(design.netlist(), &library, &mut rng)
+                    .faults
+                    .faulty_count()
+            })
+            .sum()
+    };
+    let tight = count_faults(0.10);
+    let paper = count_faults(0.20);
+    let loose = count_faults(0.30);
+    assert!(tight <= paper, "{tight} > {paper}");
+    assert!(paper <= loose, "{paper} > {loose}");
+}

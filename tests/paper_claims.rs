@@ -1,0 +1,140 @@
+//! Direct checks of the quantitative claims printed in the paper's text,
+//! tables, and figure captions.
+
+use sfq_ecc::cells::{CellKind, CellLibrary};
+use sfq_ecc::ecc::analysis::{table1_row, CodeAnalysis, DecodingPolicy};
+use sfq_ecc::ecc::{BlockCode, Hamming74, Hamming84, Rm13, ShortenedHamming3832};
+use sfq_ecc::encoders::{paper_table2, table2_rows, EncoderDesign, EncoderKind};
+use sfq_ecc::gf2::BitVec;
+
+/// Section I: "[the (38,32) code] can detect 2-bit and correct 1-bit errors
+/// using a circuit consisting of 84 XOR gates and 135 DFFs" — we verify the
+/// code parameters (the circuit itself belongs to reference [14]).
+#[test]
+fn prior_art_3832_code_parameters() {
+    let code = ShortenedHamming3832::new();
+    assert_eq!(code.n(), 38);
+    assert_eq!(code.k(), 32);
+    assert_eq!(code.parity_check().rows(), 6, "six parity bits");
+    assert_eq!(code.min_distance(), 3);
+}
+
+/// Section II, Eq. (1): the generator matrix of Hamming(8,4).
+#[test]
+fn equation_1_generator_matrix() {
+    let expected = [
+        "11100001", // row for m1
+        "10011001", // row for m2
+        "01010101", // row for m3
+        "11010010", // row for m4
+    ];
+    let code = Hamming84::new();
+    for (i, row) in expected.iter().enumerate() {
+        assert_eq!(code.generator().row(i).to_string01(), *row, "row {i}");
+    }
+}
+
+/// Section II-A: extending Hamming(7,4) raises d_min from 3 to 4, "enabling
+/// reliable detection of all 2- and 3-bit errors, while preserving
+/// single-error correction" (detection-only mode).
+#[test]
+fn extended_hamming_detects_all_two_and_three_bit_errors() {
+    let code = Hamming84::new();
+    let analysis = CodeAnalysis::exhaustive(&code, DecodingPolicy::DetectOnly, 3);
+    assert_eq!(analysis.per_weight[2].undetected, 0);
+    assert_eq!(analysis.per_weight[3].undetected, 0);
+    let hw = CodeAnalysis::exhaustive(&code, DecodingPolicy::HardwareDecoder, 1);
+    assert_eq!(hw.per_weight[1].corrected, hw.per_weight[1].total);
+}
+
+/// Section II-C: "[Hamming(7,4)] can correctly identify 28 out of the 35
+/// possible 3-bit error patterns, an 80 % detection rate."
+#[test]
+fn hamming74_three_bit_detection_rate_is_eighty_percent() {
+    let row = table1_row(&Hamming74::new());
+    assert!((row.weight3_detection_rate - 0.80).abs() < 1e-9);
+}
+
+/// Table I: minimum distances and the worst-case single-error correction of
+/// all three codes; RM(1,3)'s best-case 2-bit correction.
+#[test]
+fn table1_capabilities() {
+    let h74 = table1_row(&Hamming74::new());
+    let h84 = table1_row(&Hamming84::new());
+    let rm = table1_row(&Rm13::new());
+    assert_eq!((h74.dmin, h84.dmin, rm.dmin), (3, 4, 4));
+    assert_eq!((h74.worst_corrected, h84.worst_corrected, rm.worst_corrected), (1, 1, 1));
+    assert_eq!(h74.worst_detected, 1, "Hamming(7,4) worst case: miscorrects 2-bit errors");
+    assert_eq!(rm.best_corrected, 2, "RM(1,3) best case corrects some 2-bit patterns");
+    assert_eq!(h84.best_corrected, 1);
+}
+
+/// Section III: the Hamming(8,4) encoder has logic depth two and needs two
+/// DFFs on each of the four systematic outputs; message `1011` produces
+/// codeword `01100110` (Fig. 3).
+#[test]
+fn section3_hamming84_circuit_claims() {
+    let design = EncoderDesign::build(EncoderKind::Hamming84);
+    assert_eq!(design.latency(), 2);
+    assert_eq!(design.netlist().count_cells(CellKind::Dff), 8);
+    let cw = design.encode_gate_level(&BitVec::from_str01("1011"));
+    assert_eq!(cw.to_string01(), "01100110");
+}
+
+/// Section III: "in addition to, e.g., 10 SFQ splitters in the Hamming(8,4)
+/// code encoder (Fig. 2), 13 more splitters are needed to form a clock
+/// distribution network" — 23 splitters in total.
+#[test]
+fn hamming84_splitter_budget() {
+    let design = EncoderDesign::build(EncoderKind::Hamming84);
+    let total = design.netlist().count_cells(CellKind::Splitter);
+    assert_eq!(total, 23);
+    // 13 of them belong to the clock tree (14 clocked cells).
+    let clocked = design.netlist().count_cells(CellKind::Xor) + design.netlist().count_cells(CellKind::Dff);
+    assert_eq!(clocked, 14);
+    assert_eq!(total - (clocked - 1), 10, "10 data splitters");
+}
+
+/// Table II: standard-cell counts, JJ counts, power, and area of the three
+/// encoders.
+#[test]
+fn table2_is_reproduced_exactly() {
+    let lib = CellLibrary::coldflux();
+    let computed = table2_rows(&lib);
+    for (ours, theirs) in computed.iter().zip(paper_table2()) {
+        assert_eq!(ours.jj_count, theirs.jj_count, "{}", theirs.encoder);
+        assert!((ours.power_uw - theirs.power_uw).abs() < 0.05, "{}", theirs.encoder);
+        assert!((ours.area_mm2 - theirs.area_mm2).abs() < 0.0005, "{}", theirs.encoder);
+        assert_eq!(
+            (ours.xor_gates, ours.dffs, ours.splitters, ours.sfq_to_dc),
+            (theirs.xor_gates, theirs.dffs, theirs.splitters, theirs.sfq_to_dc),
+            "{}",
+            theirs.encoder
+        );
+    }
+}
+
+/// Section IV: "RM(1,3) code encoder has a larger number of JJs as compared
+/// to the Hamming(8,4) code encoder", and Hamming(7,4) has the fewest JJs of
+/// the three — the complexity-versus-size trade-off.
+#[test]
+fn section4_jj_count_ordering() {
+    let lib = CellLibrary::coldflux();
+    let jj = |kind: EncoderKind| EncoderDesign::build(kind).stats(&lib).cost.jj_count;
+    let rm = jj(EncoderKind::Rm13);
+    let h84 = jj(EncoderKind::Hamming84);
+    let h74 = jj(EncoderKind::Hamming74);
+    assert!(rm > h84 && h84 > h74);
+    assert_eq!((rm, h84, h74), (305, 278, 247));
+}
+
+/// The RM(1,3) and Hamming(8,4) codes have identical error-correcting power
+/// as codes (same weight distribution); the paper's Fig. 5 difference between
+/// them is therefore a *circuit-size* effect, not a coding-theory one.
+#[test]
+fn rm13_and_hamming84_have_identical_weight_distributions() {
+    use sfq_ecc::ecc::weight::WeightDistribution;
+    let a = WeightDistribution::of_code(&Rm13::new());
+    let b = WeightDistribution::of_code(&Hamming84::new());
+    assert_eq!(a.counts, b.counts);
+}

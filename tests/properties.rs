@@ -1,0 +1,150 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the workspace.
+
+use proptest::prelude::*;
+use sfq_ecc::ecc::{BlockCode, HardDecoder, Hamming74, Hamming84, ReedMuller, Rm13};
+use sfq_ecc::encoders::{EncoderDesign, EncoderKind};
+use sfq_ecc::gf2::{BitMat, BitVec};
+use sfq_ecc::netlist::synth;
+
+fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), len).prop_map(|bits| BitVec::from_bits(&bits))
+}
+
+proptest! {
+    /// XOR on BitVec is associative, commutative, and self-inverse.
+    #[test]
+    fn bitvec_xor_group_laws(a in bitvec_strategy(16), b in bitvec_strategy(16), c in bitvec_strategy(16)) {
+        prop_assert_eq!(&(&a ^ &b) ^ &c, &a ^ &(&b ^ &c));
+        prop_assert_eq!(&a ^ &b, &b ^ &a);
+        prop_assert!((&a ^ &a).is_zero());
+    }
+
+    /// Hamming distance is a metric (identity, symmetry, triangle inequality)
+    /// and equals the weight of the XOR.
+    #[test]
+    fn hamming_distance_is_a_metric(a in bitvec_strategy(12), b in bitvec_strategy(12), c in bitvec_strategy(12)) {
+        prop_assert_eq!(a.hamming_distance(&a), 0);
+        prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+        prop_assert_eq!(a.hamming_distance(&b), (&a ^ &b).weight());
+        prop_assert!(a.hamming_distance(&c) <= a.hamming_distance(&b) + b.hamming_distance(&c));
+    }
+
+    /// Round trip between u64 and BitVec representations.
+    #[test]
+    fn bitvec_u64_roundtrip(value in 0u64..=u64::MAX, len in 1usize..=64) {
+        let masked = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+        let v = BitVec::from_u64(len, masked);
+        prop_assert_eq!(v.to_u64(), masked);
+        prop_assert_eq!(v.len(), len);
+    }
+
+    /// RREF of any small random matrix is idempotent and preserves the rank.
+    #[test]
+    fn rref_is_idempotent(rows in 1usize..6, cols in 1usize..8, seed in any::<u64>()) {
+        let mut bits = Vec::new();
+        let mut state = seed;
+        for _ in 0..rows {
+            let mut row = Vec::new();
+            for _ in 0..cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                row.push(state >> 63 == 1);
+            }
+            bits.push(BitVec::from_bits(&row));
+        }
+        let m = BitMat::from_rows(bits);
+        let (r1, pivots) = m.rref();
+        let (r2, pivots2) = r1.rref();
+        prop_assert_eq!(&r1, &r2);
+        prop_assert_eq!(pivots.len(), m.rank());
+        prop_assert_eq!(pivots, pivots2);
+    }
+
+    /// Encoding is linear: E(a ⊕ b) = E(a) ⊕ E(b) for every code in the paper.
+    #[test]
+    fn encoding_is_linear(a in 0u64..16, b in 0u64..16) {
+        let va = BitVec::from_u64(4, a);
+        let vb = BitVec::from_u64(4, b);
+        let sum = &va ^ &vb;
+        let h74 = Hamming74::new();
+        let h84 = Hamming84::new();
+        let rm = Rm13::new();
+        prop_assert_eq!(h74.encode(&sum), &h74.encode(&va) ^ &h74.encode(&vb));
+        prop_assert_eq!(h84.encode(&sum), &h84.encode(&va) ^ &h84.encode(&vb));
+        prop_assert_eq!(rm.encode(&sum), &rm.encode(&va) ^ &rm.encode(&vb));
+    }
+
+    /// Every codeword of every paper code has zero syndrome, and every
+    /// single-bit corruption is corrected back to the transmitted message.
+    #[test]
+    fn single_error_correction_property(message in 0u64..16, position in 0usize..8) {
+        let msg = BitVec::from_u64(4, message);
+        let h84 = Hamming84::new();
+        let cw = h84.encode(&msg);
+        prop_assert!(h84.is_codeword(&cw));
+        let mut corrupted = cw.clone();
+        corrupted.flip(position % 8);
+        let decoded = h84.decode(&corrupted);
+        prop_assert!(decoded.message_is(&msg));
+
+        let h74 = Hamming74::new();
+        let cw = h74.encode(&msg);
+        let mut corrupted = cw.clone();
+        corrupted.flip(position % 7);
+        prop_assert!(h74.decode(&corrupted).message_is(&msg));
+
+        let rm = Rm13::new();
+        let cw = rm.encode(&msg);
+        let mut corrupted = cw.clone();
+        corrupted.flip(position % 8);
+        prop_assert!(rm.decode(&corrupted).message_is(&msg));
+    }
+
+    /// The gate-level circuits agree with the reference encoders on random
+    /// messages (beyond the exhaustive 4-bit check, this guards the
+    /// stimulus/trace plumbing).
+    #[test]
+    fn gate_level_encoding_matches_reference(message in 0u64..16) {
+        let msg = BitVec::from_u64(4, message);
+        for kind in [EncoderKind::Hamming74, EncoderKind::Hamming84, EncoderKind::Rm13, EncoderKind::None] {
+            let design = EncoderDesign::build(kind);
+            prop_assert_eq!(design.encode_gate_level(&msg), design.encode_reference(&msg));
+        }
+    }
+
+    /// Generic synthesis of any first-order Reed-Muller code yields a DRC-clean
+    /// netlist whose gate-level behaviour matches the generator matrix.
+    #[test]
+    fn generic_synthesis_is_correct_for_rm1m(m in 2usize..=4, message in any::<u64>()) {
+        let code = ReedMuller::new(1, m);
+        let netlist = synth::synthesize_linear_encoder(
+            "rm_generic",
+            code.generator(),
+            synth::SynthesisOptions::default(),
+        );
+        prop_assert!(sfq_ecc::netlist::drc::is_clean(&netlist));
+        let sim = sfq_ecc::sim::GateLevelSim::new(&netlist);
+        let latency = netlist.logic_depth();
+        let msg = BitVec::from_u64(code.k(), message & ((1 << code.k()) - 1));
+        let mut stim = sfq_ecc::sim::Stimulus::new(&netlist);
+        stim.apply_word(&msg, 0);
+        let word = sim.run(&stim, latency + 1).dc_word_at(latency);
+        prop_assert_eq!(word, code.encode(&msg));
+    }
+
+    /// The splitter-insertion pass always produces exactly `loads` usable
+    /// ports and `loads - 1` splitters.
+    #[test]
+    fn fanout_invariants(loads in 1usize..12) {
+        let mut nl = sfq_ecc::netlist::Netlist::new("fanout_prop");
+        let input = nl.add_input("x");
+        let ports = synth::fanout(&mut nl, sfq_ecc::netlist::PortRef::of(input), loads, "x");
+        prop_assert_eq!(ports.len(), loads);
+        prop_assert_eq!(nl.count_cells(sfq_ecc::cells::CellKind::Splitter), loads - 1);
+        // All ports are distinct.
+        let mut unique = ports.clone();
+        unique.sort_by_key(|p| (p.node.0, p.port));
+        unique.dedup();
+        prop_assert_eq!(unique.len(), loads);
+    }
+}
