@@ -1,0 +1,568 @@
+//! # sfq-batch — bit-sliced batch codec engine
+//!
+//! Scalar encode/decode of the paper's short block codes spends its time in
+//! per-message loops over 4–8 bits: one `BitVec` allocation and one
+//! matrix-vector product per message. For the workloads this workspace cares
+//! about — exhaustive Table I sweeps and Fig. 5 Monte-Carlo runs over
+//! thousands of chips × hundreds of messages — the same operations can be
+//! performed on 64 messages at once by storing the batch *transposed*
+//! ([`gf2::BitSlice64`]): one `u64`-limb lane per bit position, message `i`
+//! at bit `i % 64` of limb `i / 64`. Encoding a lane is then a handful of
+//! XORs; the whole batch path touches no per-message state at all. The same
+//! word-level parallelism powers the massively parallel syndrome processing
+//! units of superconducting QEC decoders (QECOOL, NEO-QEC), applied here to
+//! classical link codes.
+//!
+//! ## How decoding becomes branch-free
+//!
+//! [`BatchCodec`] is built from any scalar [`BlockCode`] + [`HardDecoder`]
+//! whose hard decisions are **coset-invariant**: the correction applied to a
+//! received word depends only on its syndrome. This holds for every decoder
+//! in the `ecc` crate's `decode` path — syndrome decoders trivially, and the
+//! RM(1,3) fast-Hadamard decoder because it *detects* spectral ties instead
+//! of resolving them (the tie-break of `decode_best_effort` is not
+//! coset-invariant and is deliberately not offered in batch form).
+//!
+//! Construction interrogates the scalar decoder once per syndrome value
+//! (2^(n−k) representative words) and records either "flip this error
+//! pattern" or "raise the error flag". Batch decoding then computes the
+//! syndrome lanes and, for each syndrome value `s`, forms the match mask
+//! `∧_t (s_t ? syn_t : ¬syn_t)` — the 64-message-wide indicator of "this
+//! message has syndrome `s`" — and XORs the tabled error pattern into the
+//! matching positions. Bit-exactness with the scalar path is enforced by the
+//! workspace's exhaustive equivalence tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ecc::{
+    generator_right_inverse, BatchDecode, BatchDecoded, BatchEncode, BlockCode, DecodeOutcome,
+    Hamming74, Hamming84, HardDecoder, Repetition, Rm13, Uncoded,
+};
+use gf2::{BitMat, BitSlice64, BitVec};
+
+/// Largest supported redundancy `n - k`: the syndrome-action table has
+/// `2^(n-k)` entries, so this caps it at one million.
+pub const MAX_REDUNDANCY: usize = 20;
+
+/// What the scalar decoder does for one syndrome value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SyndromeAction {
+    /// Error pattern to XOR into the received word (bit `p` = codeword
+    /// position `p`). Zero for the zero syndrome.
+    flip: u64,
+    /// `true` when the decoder raises the error flag instead of correcting.
+    detected: bool,
+}
+
+/// A bit-sliced batch encoder/decoder for one short block code.
+///
+/// Precomputes, from the scalar code:
+///
+/// * the generator's column supports (for lane encoding),
+/// * the parity-check rows (for lane syndromes),
+/// * the per-syndrome decoder action table (for lane decoding),
+/// * the pivot/transform pair of [`generator_right_inverse`] (for lane
+///   message extraction).
+///
+/// All masks are single `u64`s, so the code must satisfy `n ≤ 64`, `k ≤ 64`,
+/// and `n - k ≤` [`MAX_REDUNDANCY`] — comfortably true for every code in
+/// this workspace.
+#[derive(Debug, Clone)]
+pub struct BatchCodec {
+    name: String,
+    n: usize,
+    k: usize,
+    /// `encode_masks[j]`: support of generator column `j` over message bits.
+    encode_masks: Vec<u64>,
+    /// `syndrome_masks[t]`: support of parity-check row `t` over codeword bits.
+    syndrome_masks: Vec<u64>,
+    /// Indexed by syndrome value (bit `t` = syndrome lane `t`).
+    actions: Vec<SyndromeAction>,
+    /// `extract_masks[j]`: support over codeword bits whose parity is message
+    /// bit `j` (from the generator's right inverse).
+    extract_masks: Vec<u64>,
+}
+
+impl BatchCodec {
+    /// Builds the batch engine for a scalar code + hard decoder.
+    ///
+    /// # Panics
+    /// Panics if the code exceeds the `n ≤ 64` / `n - k ≤ 20` limits, or if
+    /// the parity-check matrix does not have full row rank.
+    #[must_use]
+    pub fn new<C: BlockCode + HardDecoder>(code: &C) -> Self {
+        let (n, k) = (code.n(), code.k());
+        assert!(n <= 64, "batch codec supports n <= 64 (got {n})");
+        assert!(k <= n, "k must not exceed n");
+        let redundancy = n - k;
+        assert!(
+            redundancy <= MAX_REDUNDANCY,
+            "batch codec supports n - k <= {MAX_REDUNDANCY} (got {redundancy})"
+        );
+
+        let g = code.generator();
+        let encode_masks: Vec<u64> = (0..n).map(|j| column_mask(g, j)).collect();
+
+        let h = code.parity_check();
+        let syndrome_masks: Vec<u64> = (0..redundancy).map(|t| row_mask(h, t)).collect();
+
+        let actions = build_syndrome_actions(code);
+
+        let (pivots, transform) = generator_right_inverse(g);
+        let extract_masks: Vec<u64> = (0..k)
+            .map(|j| {
+                pivots
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| transform.get(i, j))
+                    .fold(0u64, |mask, (_, &p)| mask | (1u64 << p))
+            })
+            .collect();
+
+        BatchCodec {
+            name: format!("batch[{}]", code.name()),
+            n,
+            k,
+            encode_masks,
+            syndrome_masks,
+            actions,
+            extract_masks,
+        }
+    }
+
+    /// Batch engine for the Hamming(7,4) code.
+    #[must_use]
+    pub fn hamming74() -> Self {
+        Self::new(&Hamming74::new())
+    }
+
+    /// Batch engine for the extended Hamming(8,4) code.
+    #[must_use]
+    pub fn hamming84() -> Self {
+        Self::new(&Hamming84::new())
+    }
+
+    /// Batch engine for the RM(1,3) code (tie-detecting decoder).
+    #[must_use]
+    pub fn rm13() -> Self {
+        Self::new(&Rm13::new())
+    }
+
+    /// Batch engine for a repetition code.
+    #[must_use]
+    pub fn repetition(k: usize, factor: usize) -> Self {
+        Self::new(&Repetition::new(k, factor))
+    }
+
+    /// Batch engine for uncoded transmission.
+    #[must_use]
+    pub fn uncoded(k: usize) -> Self {
+        Self::new(&Uncoded::new(k))
+    }
+
+    /// Human-readable name, derived from the scalar code's.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// XORs, for each batch position whose syndrome matches, the tabled error
+    /// pattern into `flips`, and accumulates the flag/correction masks.
+    fn apply_syndrome_table(
+        &self,
+        syndromes: &BitSlice64,
+        flips: &mut BitSlice64,
+        flagged: &mut [u64],
+        corrected: &mut [u64],
+    ) {
+        let redundancy = self.syndrome_masks.len();
+        let words = syndromes.words();
+        let tail = syndromes.tail_mask();
+        let mut lanes = vec![0u64; redundancy];
+        for w in 0..words {
+            let valid = if w + 1 == words { tail } else { u64::MAX };
+            for (t, lane) in lanes.iter_mut().enumerate() {
+                *lane = syndromes.lane(t)[w];
+            }
+            for (s, action) in self.actions.iter().enumerate() {
+                if action.flip == 0 && !action.detected {
+                    continue; // zero syndrome: nothing to do
+                }
+                let mut mask = valid;
+                for (t, &lane) in lanes.iter().enumerate() {
+                    mask &= if (s >> t) & 1 == 1 { lane } else { !lane };
+                    if mask == 0 {
+                        break;
+                    }
+                }
+                if mask == 0 {
+                    continue;
+                }
+                if action.detected {
+                    flagged[w] |= mask;
+                } else {
+                    corrected[w] |= mask;
+                    let mut flip = action.flip;
+                    while flip != 0 {
+                        let p = flip.trailing_zeros() as usize;
+                        flips.lane_mut(p)[w] |= mask;
+                        flip &= flip - 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl BatchEncode for BatchCodec {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn encode_batch(&self, messages: &BitSlice64) -> BitSlice64 {
+        assert_eq!(messages.bits(), self.k, "message lanes must equal k");
+        let mut out = BitSlice64::zeros(self.n, messages.batch());
+        for (j, &mask) in self.encode_masks.iter().enumerate() {
+            let mut m = mask;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                out.xor_lane_from(j, messages, i);
+                m &= m - 1;
+            }
+        }
+        out
+    }
+}
+
+impl BatchDecode for BatchCodec {
+    fn syndrome_batch(&self, received: &BitSlice64) -> BitSlice64 {
+        assert_eq!(received.bits(), self.n, "received lanes must equal n");
+        let mut out = BitSlice64::zeros(self.syndrome_masks.len(), received.batch());
+        for (t, &mask) in self.syndrome_masks.iter().enumerate() {
+            let mut m = mask;
+            while m != 0 {
+                let p = m.trailing_zeros() as usize;
+                out.xor_lane_from(t, received, p);
+                m &= m - 1;
+            }
+        }
+        out
+    }
+
+    fn decode_batch(&self, received: &BitSlice64) -> BatchDecoded {
+        assert_eq!(received.bits(), self.n, "received lanes must equal n");
+        let words = received.words();
+        let syndromes = self.syndrome_batch(received);
+
+        let mut flips = BitSlice64::zeros(self.n, received.batch());
+        let mut flagged = vec![0u64; words];
+        let mut corrected = vec![0u64; words];
+        self.apply_syndrome_table(&syndromes, &mut flips, &mut flagged, &mut corrected);
+
+        // Corrected codewords: received ^ flips (flips are zero at flagged
+        // positions, so flagged words pass through unchanged).
+        let mut codewords = received.clone();
+        for p in 0..self.n {
+            codewords.xor_lane_from(p, &flips, p);
+        }
+
+        // Message lanes: parity of the extraction support over the corrected
+        // codeword lanes, masked out at flagged positions.
+        let mut messages = BitSlice64::zeros(self.k, received.batch());
+        for (j, &mask) in self.extract_masks.iter().enumerate() {
+            let mut m = mask;
+            while m != 0 {
+                let p = m.trailing_zeros() as usize;
+                messages.xor_lane_from(j, &codewords, p);
+                m &= m - 1;
+            }
+            let lane = messages.lane_mut(j);
+            for (l, &f) in lane.iter_mut().zip(flagged.iter()) {
+                *l &= !f;
+            }
+        }
+
+        BatchDecoded {
+            messages,
+            codewords,
+            flagged,
+            corrected,
+        }
+    }
+}
+
+/// Support of generator column `j` as a mask over message-bit indices.
+fn column_mask(g: &BitMat, j: usize) -> u64 {
+    (0..g.rows()).fold(0u64, |mask, i| {
+        if g.get(i, j) {
+            mask | (1u64 << i)
+        } else {
+            mask
+        }
+    })
+}
+
+/// Support of parity-check row `t` as a mask over codeword positions.
+fn row_mask(h: &BitMat, t: usize) -> u64 {
+    (0..h.cols()).fold(0u64, |mask, p| {
+        if h.get(t, p) {
+            mask | (1u64 << p)
+        } else {
+            mask
+        }
+    })
+}
+
+/// Interrogates the scalar decoder once per syndrome value and tabulates its
+/// action.
+///
+/// For each syndrome `s`, a representative received word with that syndrome
+/// is constructed from the row-reduced parity-check matrix: row-reducing
+/// `[H | I_{n-k}]` gives `[R | T]` with `R = T·H` and pivot columns `p_i`;
+/// the word `r = Σ_i (T·s)_i · e_{p_i}` satisfies `H·r = s`. The decoder's
+/// response to `r` — flip pattern or error flag — is recorded as the action
+/// for every word in that coset.
+fn build_syndrome_actions<C: BlockCode + HardDecoder>(code: &C) -> Vec<SyndromeAction> {
+    let n = code.n();
+    let redundancy = n - code.k();
+    let table_len = 1usize << redundancy;
+    if redundancy == 0 {
+        // No parity: every word is a codeword, nothing to correct or detect.
+        return vec![SyndromeAction {
+            flip: 0,
+            detected: false,
+        }];
+    }
+
+    let h = code.parity_check();
+    let augmented = h.hconcat(&BitMat::identity(redundancy));
+    let (reduced, pivots) = augmented.rref();
+    assert_eq!(pivots.len(), redundancy, "H must have full row rank");
+    assert!(
+        pivots.iter().all(|&p| p < n),
+        "H pivots must be data columns"
+    );
+
+    (0..table_len as u64)
+        .map(|s| {
+            let syndrome = BitVec::from_u64(redundancy, s);
+            // a = T · s, then r = Σ a_i e_{p_i}.
+            let mut representative = BitVec::zeros(n);
+            for (i, &p) in pivots.iter().enumerate() {
+                let t_row: BitVec = (0..redundancy).map(|t| reduced.get(i, n + t)).collect();
+                if t_row.dot(&syndrome) {
+                    representative.set(p, true);
+                }
+            }
+            debug_assert_eq!(code.syndrome(&representative), syndrome);
+
+            let decoded = code.decode(&representative);
+            match decoded.outcome {
+                DecodeOutcome::DetectedUncorrectable => SyndromeAction {
+                    flip: 0,
+                    detected: true,
+                },
+                _ => {
+                    let codeword = decoded
+                        .codeword
+                        .expect("non-detected decode must produce a codeword");
+                    let flip = (&representative ^ &codeword).to_u64();
+                    SyndromeAction {
+                        flip,
+                        detected: false,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_messages(k: usize, batch: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..batch)
+            .map(|_| BitVec::from_u64(k, rng.random_range(0..(1u64 << k))))
+            .collect()
+    }
+
+    #[test]
+    fn encode_batch_matches_scalar_for_all_paper_codes() {
+        type ScalarEncode = Box<dyn Fn(&BitVec) -> BitVec>;
+        let cases: Vec<(BatchCodec, ScalarEncode)> = vec![
+            (BatchCodec::hamming74(), {
+                let c = Hamming74::new();
+                Box::new(move |m| c.encode(m))
+            }),
+            (BatchCodec::hamming84(), {
+                let c = Hamming84::new();
+                Box::new(move |m| c.encode(m))
+            }),
+            (BatchCodec::rm13(), {
+                let c = Rm13::new();
+                Box::new(move |m| c.encode(m))
+            }),
+            (BatchCodec::repetition(4, 2), {
+                let c = Repetition::new(4, 2);
+                Box::new(move |m| c.encode(m))
+            }),
+            (BatchCodec::uncoded(4), {
+                let c = Uncoded::new(4);
+                Box::new(move |m| c.encode(m))
+            }),
+        ];
+        for (codec, scalar) in cases {
+            let messages = random_messages(codec.k(), 130, 7);
+            let batch = BitSlice64::pack(&messages);
+            let encoded = codec.encode_batch(&batch).unpack();
+            for (m, cw) in messages.iter().zip(&encoded) {
+                assert_eq!(cw, &scalar(m), "{}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn syndrome_batch_matches_scalar() {
+        let code = Hamming84::new();
+        let codec = BatchCodec::hamming84();
+        let mut rng = StdRng::seed_from_u64(11);
+        let words: Vec<BitVec> = (0..100)
+            .map(|_| BitVec::from_u64(8, rng.random_range(0..256)))
+            .collect();
+        let batch = BitSlice64::pack(&words);
+        let syndromes = codec.syndrome_batch(&batch);
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(syndromes.extract(i), code.syndrome(w), "word {i}");
+        }
+    }
+
+    #[test]
+    fn decode_batch_roundtrips_clean_codewords() {
+        let codec = BatchCodec::hamming84();
+        let messages = random_messages(4, 96, 3);
+        let batch = BitSlice64::pack(&messages);
+        let decoded = codec.decode_batch(&codec.encode_batch(&batch));
+        assert_eq!(decoded.flagged_count(), 0);
+        assert_eq!(decoded.corrected_count(), 0);
+        assert_eq!(decoded.messages.unpack(), messages);
+    }
+
+    #[test]
+    fn decode_batch_corrects_single_errors_and_flags_doubles() {
+        let codec = BatchCodec::hamming84();
+        let messages = random_messages(4, 64, 9);
+        let clean = codec.encode_batch(&BitSlice64::pack(&messages));
+        // Message i gets a 1-bit error at position i % 8; messages 5 and 6
+        // additionally get a second error (-> double, must be flagged).
+        let mut received = clean.clone();
+        for i in 0..64 {
+            received.set(i, i % 8, !received.get(i, i % 8));
+        }
+        for &i in &[5usize, 6] {
+            let pos = (i + 1) % 8;
+            received.set(i, pos, !received.get(i, pos));
+        }
+        let decoded = codec.decode_batch(&received);
+        for (i, message) in messages.iter().enumerate() {
+            if i == 5 || i == 6 {
+                assert!(decoded.is_flagged(i), "message {i} must be flagged");
+            } else {
+                assert!(!decoded.is_flagged(i));
+                assert!(decoded.is_corrected(i));
+                assert_eq!(decoded.messages.extract(i), *message, "message {i}");
+            }
+        }
+        assert_eq!(decoded.flagged_count(), 2);
+    }
+
+    #[test]
+    fn uncoded_codec_passes_everything_through() {
+        let codec = BatchCodec::uncoded(4);
+        let messages = random_messages(4, 70, 21);
+        let batch = BitSlice64::pack(&messages);
+        let encoded = codec.encode_batch(&batch);
+        assert_eq!(encoded.unpack(), messages);
+        let decoded = codec.decode_batch(&encoded);
+        assert_eq!(decoded.flagged_count(), 0);
+        assert_eq!(decoded.messages.unpack(), messages);
+    }
+
+    #[test]
+    fn repetition_decode_matches_majority_vote() {
+        let scalar = Repetition::new(2, 3);
+        let codec = BatchCodec::repetition(2, 3);
+        // All 64 possible received words of the (6,2) code.
+        let words: Vec<BitVec> = (0u64..64).map(|w| BitVec::from_u64(6, w)).collect();
+        let decoded = codec.decode_batch(&BitSlice64::pack(&words));
+        for (i, w) in words.iter().enumerate() {
+            let reference = scalar.decode(w);
+            match reference.outcome {
+                DecodeOutcome::DetectedUncorrectable => assert!(decoded.is_flagged(i)),
+                _ => {
+                    assert!(!decoded.is_flagged(i));
+                    assert_eq!(Some(decoded.messages.extract(i)), reference.message);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_last_limb_batches_are_handled() {
+        let codec = BatchCodec::hamming74();
+        for batch_size in [1usize, 63, 65, 127] {
+            let messages = random_messages(4, batch_size, batch_size as u64);
+            let clean = codec.encode_batch(&BitSlice64::pack(&messages));
+            let mut received = clean.clone();
+            if batch_size > 2 {
+                received.set(batch_size - 1, 3, !received.get(batch_size - 1, 3));
+            }
+            let decoded = codec.decode_batch(&received);
+            assert_eq!(decoded.messages.unpack().len(), batch_size);
+            for (i, m) in messages.iter().enumerate() {
+                assert_eq!(
+                    decoded.messages.extract(i),
+                    *m,
+                    "batch {batch_size} msg {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_reports_code_parameters() {
+        let codec = BatchCodec::hamming84();
+        assert_eq!((codec.n(), codec.k()), (8, 4));
+        assert!(codec.name().contains("Hamming(8,4)"));
+    }
+
+    #[test]
+    fn shortened_hamming_3832_works_in_batch_form() {
+        // Exercises the 6-bit-redundancy table and 38-bit lanes.
+        let scalar = ecc::ShortenedHamming3832::new();
+        let codec = BatchCodec::new(&scalar);
+        let mut rng = StdRng::seed_from_u64(5);
+        let messages: Vec<BitVec> = (0..64)
+            .map(|_| BitVec::from_u64(32, rng.random::<u64>() & 0xFFFF_FFFF))
+            .collect();
+        let clean = codec.encode_batch(&BitSlice64::pack(&messages));
+        let mut received = clean.clone();
+        for i in 0..64 {
+            let pos = rng.random_range(0..38usize);
+            received.set(i, pos, !received.get(i, pos));
+        }
+        let decoded = codec.decode_batch(&received);
+        for (i, m) in messages.iter().enumerate() {
+            assert!(!decoded.is_flagged(i));
+            assert_eq!(decoded.messages.extract(i), *m, "msg {i}");
+        }
+    }
+}

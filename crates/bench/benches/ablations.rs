@@ -8,7 +8,7 @@
 
 use bench::banner;
 use criterion::{criterion_group, criterion_main, Criterion};
-use cryolink::ablation::{counting_comparison, channel_noise_sweep, spread_sweep};
+use cryolink::ablation::{channel_noise_sweep, counting_comparison, spread_sweep};
 use cryolink::Fig5Experiment;
 use encoders::EncoderKind;
 use sfq_cells::CellLibrary;

@@ -23,7 +23,10 @@ fn print_fig3() {
     let config = WaveformConfig::fig3();
     let mut rng = StdRng::seed_from_u64(42);
     let set = render_waveforms(&design, &message, &config, &mut rng);
-    println!("codeword: {codeword} (appears after {} clock cycles)", design.latency());
+    println!(
+        "codeword: {codeword} (appears after {} clock cycles)",
+        design.latency()
+    );
     println!("{}", set.to_ascii(72));
     for name in ["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8"] {
         let series = set.series_named(name).unwrap();

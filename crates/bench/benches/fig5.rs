@@ -7,7 +7,7 @@
 use bench::banner;
 use criterion::{criterion_group, criterion_main, Criterion};
 use cryolink::montecarlo::paper_zero_error_probabilities;
-use cryolink::{CryoLink, ChannelConfig, Fig5Experiment};
+use cryolink::{ChannelConfig, CryoLink, Fig5Experiment};
 use encoders::{EncoderDesign, EncoderKind};
 use gf2::BitVec;
 use rand::rngs::StdRng;

@@ -13,7 +13,13 @@ fn print_table1() {
     banner("Table I: number of detected and corrected errors");
     println!(
         "{:<14} {:>4} | {:>12} {:>13} | {:>11} {:>12} | {:>16}",
-        "code", "dmin", "worst detect", "worst correct", "best detect", "best correct", "weight-3 caught"
+        "code",
+        "dmin",
+        "worst detect",
+        "worst correct",
+        "best detect",
+        "best correct",
+        "weight-3 caught"
     );
     let rows = vec![
         table1_row(&Hamming74::new()),
@@ -37,7 +43,12 @@ fn print_table1() {
     for row in paper_table1() {
         println!(
             "{:<14} {:>4} | {:>12} {:>13} | {:>11} {:>12}",
-            row.code, row.dmin, row.worst_detected, row.worst_corrected, row.best_detected, row.best_corrected
+            row.code,
+            row.dmin,
+            row.worst_detected,
+            row.worst_corrected,
+            row.best_detected,
+            row.best_corrected
         );
     }
 }

@@ -61,7 +61,11 @@ pub fn spread_sweep(
                 ppv: base.ppv.with_spread(spread),
                 ..*base
             };
-            run_point(&experiment, format!("spread=±{:.0}%", spread * 100.0), library)
+            run_point(
+                &experiment,
+                format!("spread=±{:.0}%", spread * 100.0),
+                library,
+            )
         })
         .collect()
 }
@@ -177,7 +181,8 @@ mod tests {
     #[test]
     fn design_sensitivity_returns_one_point_per_spread() {
         let lib = CellLibrary::coldflux();
-        let sens = design_spread_sensitivity(&tiny_base(), EncoderKind::Hamming84, &[0.0, 0.2], &lib);
+        let sens =
+            design_spread_sensitivity(&tiny_base(), EncoderKind::Hamming84, &[0.0, 0.2], &lib);
         assert_eq!(sens.len(), 2);
         assert!((sens[0].1 - 1.0).abs() < 1e-12);
     }

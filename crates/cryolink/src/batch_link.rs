@@ -1,0 +1,403 @@
+//! High-throughput batch link driver.
+//!
+//! [`BatchLink`] runs the Fig. 5 Monte-Carlo inner loop — encode, corrupt,
+//! decode, classify — through the bit-sliced batch codec of the `sfq-batch`
+//! crate instead of the scalar gate-level path. One fabricated chip's fault
+//! map is condensed into a per-output-channel flip probability (see
+//! [`BatchLink::new`]), errors are injected 64 messages per `u64` limb, and
+//! outcomes are counted with popcounts. On the paper's 8-bit codes this is
+//! orders of magnitude faster per message than pulse-level simulation, which
+//! is what makes million-chip sweeps tractable.
+//!
+//! ## Relation to the scalar path
+//!
+//! The *codec* (encode/syndrome/decode) is bit-exact with the scalar `ecc`
+//! decoders by construction. The *channel/fault model* is an approximation:
+//! instead of replaying pulses through the faulty netlist, each output
+//! channel `j` flips independently with the probability that some faulty cell
+//! in its fan-in cone malfunctions (XOR-composed, since an odd number of
+//! upstream malfunctions flips the bit), composed with the cable's crossover
+//! probability. The scalar [`crate::CryoLink`] remains the reference oracle;
+//! `montecarlo::Fig5Experiment::run_design_batched` uses this driver and the
+//! workspace tests check it tracks the scalar statistics.
+//!
+//! One deliberate policy difference: the batch decoder uses the
+//! tie-*detecting* RM(1,3) decoder (coset-invariant), while the scalar link
+//! resolves ties best-effort. RM(1,3) batch runs therefore flag some words
+//! the scalar link would have guessed at.
+
+use crate::channel::ChannelConfig;
+use ecc::{BatchDecode, BatchEncode};
+use encoders::EncoderDesign;
+use gf2::BitSlice64;
+use rand::Rng;
+use sfq_batch::BatchCodec;
+use sfq_netlist::{Netlist, NodeId};
+use sfq_sim::FaultMap;
+
+/// Outcome counts of one transmitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchLinkStats {
+    /// Messages delivered correctly.
+    pub correct: usize,
+    /// Messages flagged by the decoder's error flag.
+    pub flagged: usize,
+    /// Messages silently delivered wrong.
+    pub silent: usize,
+}
+
+impl BatchLinkStats {
+    /// Total messages in the batch.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.correct + self.flagged + self.silent
+    }
+
+    /// Erroneous messages under the given counting policy (mirrors
+    /// [`crate::montecarlo::ErrorCounting`]).
+    #[must_use]
+    pub fn erroneous(&self, silent_only: bool) -> usize {
+        if silent_only {
+            self.silent
+        } else {
+            self.silent + self.flagged
+        }
+    }
+}
+
+/// One encoder chip driven through the bit-sliced batch path.
+pub struct BatchLink<'a> {
+    design: &'a EncoderDesign,
+    codec: BatchCodec,
+    flip_probs: Vec<f64>,
+}
+
+impl<'a> BatchLink<'a> {
+    /// Builds a batch link for a design and one sampled chip.
+    ///
+    /// Every output channel's flip probability is derived from the chip's
+    /// fault map: walk the output's transitive fan-in cone (data *and* clock
+    /// ports), take each faulty cell's per-activation malfunction probability
+    /// `q` at effective flip rate `q/2` (a dropped or spurious pulse corrupts
+    /// the channel for one of the two nominal bit values), and XOR-compose —
+    /// an odd number of upstream malfunctions flips the bit:
+    /// `p ⊕ q = p(1-q) + q(1-p)`. The cable's crossover probability is
+    /// composed in the same way.
+    #[must_use]
+    pub fn new(design: &'a EncoderDesign, faults: &FaultMap, channel: ChannelConfig) -> Self {
+        Self::with_codec(design, batch_codec_for(design), faults, channel)
+    }
+
+    /// Like [`BatchLink::new`] but reuses an already-built codec — the codec
+    /// depends only on the design, so Monte-Carlo loops build it once and
+    /// clone it per chip instead of re-deriving the syndrome tables.
+    #[must_use]
+    pub fn with_codec(
+        design: &'a EncoderDesign,
+        codec: BatchCodec,
+        faults: &FaultMap,
+        channel: ChannelConfig,
+    ) -> Self {
+        let crossover = channel.crossover_probability();
+        let netlist = design.netlist();
+        let flip_probs = netlist
+            .outputs()
+            .iter()
+            .map(|&out| {
+                let cone = fanin_cone(netlist, out);
+                let mut p = 0.0f64;
+                for id in cone {
+                    let fault = faults.get(id);
+                    if fault.is_faulty() {
+                        p = xor_compose(p, 0.5 * fault.activation_failure_prob);
+                    }
+                }
+                xor_compose(p, crossover)
+            })
+            .collect();
+        BatchLink {
+            design,
+            codec,
+            flip_probs,
+        }
+    }
+
+    /// A batch link over a fault-free chip and an ideal channel.
+    #[must_use]
+    pub fn ideal(design: &'a EncoderDesign) -> Self {
+        Self::new(
+            design,
+            &FaultMap::healthy(design.netlist()),
+            ChannelConfig::ideal(),
+        )
+    }
+
+    /// The design this link carries.
+    #[must_use]
+    pub fn design(&self) -> &EncoderDesign {
+        self.design
+    }
+
+    /// The bit-sliced codec in use.
+    #[must_use]
+    pub fn codec(&self) -> &BatchCodec {
+        &self.codec
+    }
+
+    /// Per-output-channel flip probabilities of this chip + cable.
+    #[must_use]
+    pub fn flip_probabilities(&self) -> &[f64] {
+        &self.flip_probs
+    }
+
+    /// Draws a uniform batch of `batch` random `k`-bit messages.
+    ///
+    /// Uniform messages have independent uniform bits, so the transposed
+    /// lanes are simply random limbs (tail-masked).
+    #[must_use]
+    pub fn random_messages<R: Rng + ?Sized>(&self, batch: usize, rng: &mut R) -> BitSlice64 {
+        let mut messages = BitSlice64::zeros(self.codec.k(), batch);
+        let tail = messages.tail_mask();
+        let words = messages.words();
+        for bit in 0..self.codec.k() {
+            let lane = messages.lane_mut(bit);
+            for (w, limb) in lane.iter_mut().enumerate() {
+                let mask = if w + 1 == words { tail } else { u64::MAX };
+                *limb = rng.random::<u64>() & mask;
+            }
+        }
+        messages
+    }
+
+    /// Transmits a batch of messages end to end and classifies every outcome.
+    pub fn transmit_batch<R: Rng + ?Sized>(
+        &self,
+        messages: &BitSlice64,
+        rng: &mut R,
+    ) -> BatchLinkStats {
+        let mut received = self.codec.encode_batch(messages);
+        let words = received.words();
+        let tail = received.tail_mask();
+
+        // Batched error injection: one Bernoulli limb per (position, word).
+        for (bit, &p) in self.flip_probs.iter().enumerate() {
+            if p <= 0.0 {
+                continue;
+            }
+            let lane = received.lane_mut(bit);
+            for (w, limb) in lane.iter_mut().enumerate() {
+                let mask = if w + 1 == words { tail } else { u64::MAX };
+                *limb ^= bernoulli_limb(rng, p) & mask;
+            }
+        }
+
+        let decoded = self.codec.decode_batch(&received);
+
+        // wrong = any message lane differs (flagged lanes are zeroed in the
+        // decode result, so restrict to unflagged positions).
+        let mut stats = BatchLinkStats::default();
+        for w in 0..words {
+            let valid = if w + 1 == words { tail } else { u64::MAX };
+            let flagged = decoded.flagged[w] & valid;
+            let mut wrong = 0u64;
+            for bit in 0..self.codec.k() {
+                wrong |= decoded.messages.lane(bit)[w] ^ messages.lane(bit)[w];
+            }
+            let silent = wrong & !flagged & valid;
+            stats.flagged += flagged.count_ones() as usize;
+            stats.silent += silent.count_ones() as usize;
+            stats.correct += (valid & !flagged & !silent).count_ones() as usize;
+        }
+        stats
+    }
+}
+
+/// The batch codec matching a design's reference code.
+#[must_use]
+pub fn batch_codec_for(design: &EncoderDesign) -> BatchCodec {
+    use encoders::EncoderKind;
+    match design.kind() {
+        EncoderKind::None => BatchCodec::uncoded(design.k()),
+        EncoderKind::Hamming74 => BatchCodec::hamming74(),
+        EncoderKind::Hamming84 => BatchCodec::hamming84(),
+        EncoderKind::Rm13 => BatchCodec::rm13(),
+    }
+}
+
+/// Transitive fan-in cone of `node`: every node reachable backwards through
+/// data and clock ports.
+fn fanin_cone(netlist: &Netlist, node: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; netlist.nodes().len()];
+    let mut stack = vec![node];
+    let mut cone = Vec::new();
+    while let Some(id) = stack.pop() {
+        if seen[id.0] {
+            continue;
+        }
+        seen[id.0] = true;
+        cone.push(id);
+        let ports = netlist.node(id).kind.input_ports();
+        for port in 0..ports {
+            if let Some(driver) = netlist.driver_of(id, port) {
+                stack.push(driver.node);
+            }
+        }
+    }
+    cone
+}
+
+/// XOR-composition of independent flip probabilities:
+/// `P(odd number of flips)` for two sources.
+fn xor_compose(p: f64, q: f64) -> f64 {
+    p * (1.0 - q) + q * (1.0 - p)
+}
+
+/// One limb of independent Bernoulli(`p`) bits, using the bitwise method:
+/// processing the binary expansion of `p` from LSB to MSB, OR-ing a fresh
+/// random limb for a 1-bit and AND-ing for a 0-bit yields exactly the prefix
+/// probability at 24-bit precision.
+fn bernoulli_limb<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    const DEPTH: u32 = 24;
+    let scaled = (p.clamp(0.0, 1.0) * f64::from(1u32 << DEPTH)).round() as u32;
+    if scaled == 0 {
+        return 0;
+    }
+    if scaled >= 1 << DEPTH {
+        return u64::MAX;
+    }
+    let mut acc = 0u64;
+    for i in 0..DEPTH {
+        let r = rng.random::<u64>();
+        if (scaled >> i) & 1 == 1 {
+            acc |= r;
+        } else {
+            acc &= r;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encoders::EncoderKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_batch_link_delivers_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in EncoderKind::ALL {
+            let design = EncoderDesign::build(kind);
+            let link = BatchLink::ideal(&design);
+            let messages = link.random_messages(500, &mut rng);
+            let stats = link.transmit_batch(&messages, &mut rng);
+            assert_eq!(stats.total(), 500);
+            assert_eq!(stats.correct, 500, "{}", design.name());
+        }
+    }
+
+    #[test]
+    fn flip_probabilities_track_channel_noise() {
+        let design = EncoderDesign::build(EncoderKind::Hamming84);
+        let clean = BatchLink::new(
+            &design,
+            &FaultMap::healthy(design.netlist()),
+            ChannelConfig::ideal(),
+        );
+        let noisy = BatchLink::new(
+            &design,
+            &FaultMap::healthy(design.netlist()),
+            ChannelConfig::with_snr_db(8.0),
+        );
+        assert_eq!(clean.flip_probabilities().len(), 8);
+        for (&c, &n) in clean
+            .flip_probabilities()
+            .iter()
+            .zip(noisy.flip_probabilities())
+        {
+            assert!(c < 1e-9, "ideal channel must be almost noiseless");
+            assert!(n > 1e-3, "noisy channel must flip bits");
+        }
+    }
+
+    #[test]
+    fn bernoulli_limb_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &p in &[0.01f64, 0.1, 0.5, 0.9] {
+            let mut ones = 0usize;
+            let limbs = 2000;
+            for _ in 0..limbs {
+                ones += bernoulli_limb(&mut rng, p).count_ones() as usize;
+            }
+            let measured = ones as f64 / (limbs * 64) as f64;
+            assert!((measured - p).abs() < 0.01, "p={p} measured={measured}");
+        }
+    }
+
+    #[test]
+    fn noisy_channel_produces_flags_and_errors() {
+        let design = EncoderDesign::build(EncoderKind::Hamming84);
+        let link = BatchLink::new(
+            &design,
+            &FaultMap::healthy(design.netlist()),
+            ChannelConfig::with_snr_db(9.0),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let messages = link.random_messages(20_000, &mut rng);
+        let stats = link.transmit_batch(&messages, &mut rng);
+        assert_eq!(stats.total(), 20_000);
+        assert!(stats.flagged > 0, "double errors must raise the flag");
+        assert!(stats.correct > stats.silent, "most messages should survive");
+    }
+
+    #[test]
+    fn batch_stats_match_scalar_link_statistically() {
+        // Same fault-free noisy channel, scalar vs batch: silent-error rates
+        // must agree within Monte-Carlo tolerance (the codec is bit-exact;
+        // only the noise realizations differ).
+        use crate::link::{CryoLink, LinkOutcome};
+        use gf2::BitVec;
+
+        let design = EncoderDesign::build(EncoderKind::Hamming74);
+        let channel = ChannelConfig::with_snr_db(10.0);
+        let trials = 60_000usize;
+
+        let link = CryoLink::new(&design, FaultMap::healthy(design.netlist()), channel);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut scalar_wrong = 0usize;
+        for i in 0..trials {
+            let msg = BitVec::from_u64(4, (i % 16) as u64);
+            if link.transmit(&msg, &mut rng).outcome == LinkOutcome::SilentError {
+                scalar_wrong += 1;
+            }
+        }
+
+        let batch_link = BatchLink::new(&design, &FaultMap::healthy(design.netlist()), channel);
+        let messages = batch_link.random_messages(trials, &mut rng);
+        let stats = batch_link.transmit_batch(&messages, &mut rng);
+
+        let scalar_rate = scalar_wrong as f64 / trials as f64;
+        let batch_rate = stats.silent as f64 / trials as f64;
+        assert!(
+            (scalar_rate - batch_rate).abs() < 0.005 + scalar_rate * 0.5,
+            "scalar {scalar_rate} vs batch {batch_rate}"
+        );
+    }
+
+    #[test]
+    fn counting_policies_partition_the_batch() {
+        let design = EncoderDesign::build(EncoderKind::Hamming84);
+        let link = BatchLink::new(
+            &design,
+            &FaultMap::healthy(design.netlist()),
+            ChannelConfig::with_snr_db(8.0),
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let messages = link.random_messages(5000, &mut rng);
+        let stats = link.transmit_batch(&messages, &mut rng);
+        assert_eq!(stats.erroneous(false), stats.silent + stats.flagged);
+        assert_eq!(stats.erroneous(true), stats.silent);
+        assert_eq!(stats.total(), 5000);
+    }
+}

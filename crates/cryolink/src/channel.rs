@@ -79,7 +79,8 @@ pub fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x_abs);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erfc_abs = poly * (-x_abs * x_abs).exp();
     if sign_negative {
         2.0 - erfc_abs
@@ -120,7 +121,11 @@ impl CryoCable {
     /// # Panics
     /// Panics if the word length differs from the channel count.
     pub fn transport<R: Rng + ?Sized>(&self, word: &BitVec, rng: &mut R) -> BitVec {
-        assert_eq!(word.len(), self.channels, "word width must match channel count");
+        assert_eq!(
+            word.len(),
+            self.channels,
+            "word width must match channel count"
+        );
         let signal = self.config.high_level_mv * self.config.attenuation;
         (0..word.len())
             .map(|i| {
@@ -136,8 +141,16 @@ impl CryoCable {
     ///
     /// # Panics
     /// Panics if the word length differs from the channel count.
-    pub fn transport_soft<R: Rng + ?Sized>(&self, word: &BitVec, rng: &mut R) -> (BitVec, Vec<f64>) {
-        assert_eq!(word.len(), self.channels, "word width must match channel count");
+    pub fn transport_soft<R: Rng + ?Sized>(
+        &self,
+        word: &BitVec,
+        rng: &mut R,
+    ) -> (BitVec, Vec<f64>) {
+        assert_eq!(
+            word.len(),
+            self.channels,
+            "word width must match channel count"
+        );
         let signal = self.config.high_level_mv * self.config.attenuation;
         let sigma = self.config.noise_rms_mv.max(1e-12);
         let mut hard = BitVec::zeros(word.len());

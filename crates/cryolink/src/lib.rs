@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod batch_link;
 pub mod calibrate;
 pub mod channel;
 pub mod link;
 pub mod montecarlo;
 pub mod waveform;
 
+pub use batch_link::{BatchLink, BatchLinkStats};
 pub use channel::{ChannelConfig, CryoCable};
 pub use link::{CryoLink, LinkOutcome, TransmissionResult};
 pub use montecarlo::{ErrorCounting, Fig5Curve, Fig5Experiment, Fig5Result};

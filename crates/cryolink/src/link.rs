@@ -97,9 +97,7 @@ impl<'a> CryoLink<'a> {
     /// # Panics
     /// Panics if the message is not 4 bits.
     pub fn transmit<R: Rng + ?Sized>(&self, message: &BitVec, rng: &mut R) -> TransmissionResult {
-        let transmitted = self
-            .design
-            .transmit_with_faults(message, &self.faults, rng);
+        let transmitted = self.design.transmit_with_faults(message, &self.faults, rng);
         let received = self.cable.transport(&transmitted, rng);
         let decoded = self.design.decode(&received);
         let outcome = match decoded.outcome {
@@ -161,7 +159,12 @@ mod tests {
             for m in 0u64..16 {
                 let msg = BitVec::from_u64(4, m);
                 let result = link.transmit(&msg, &mut rng);
-                assert_eq!(result.outcome, LinkOutcome::Correct, "{} m={m:04b}", design.name());
+                assert_eq!(
+                    result.outcome,
+                    LinkOutcome::Correct,
+                    "{} m={m:04b}",
+                    design.name()
+                );
                 assert_eq!(result.decoded, Some(msg));
             }
         }
@@ -170,7 +173,11 @@ mod tests {
     #[test]
     fn single_output_driver_fault_is_corrected_by_coded_designs() {
         let mut rng = StdRng::seed_from_u64(2);
-        for kind in [EncoderKind::Hamming74, EncoderKind::Hamming84, EncoderKind::Rm13] {
+        for kind in [
+            EncoderKind::Hamming74,
+            EncoderKind::Hamming84,
+            EncoderKind::Rm13,
+        ] {
             let design = EncoderDesign::build(kind);
             // Hard-fail the c1 output driver (drop its pulses): a single
             // codeword bit is stuck, which every code corrects.
@@ -191,7 +198,12 @@ mod tests {
                     correct += 1;
                 }
             }
-            assert_eq!(correct, 16, "{} should correct a stuck output channel", design.name());
+            assert_eq!(
+                correct,
+                16,
+                "{} should correct a stuck output channel",
+                design.name()
+            );
         }
     }
 

@@ -89,6 +89,57 @@ impl Fig5Experiment {
         )
     }
 
+    /// Runs the experiment for one design through the bit-sliced batch path
+    /// ([`crate::BatchLink`]).
+    ///
+    /// Chip sampling is identical to [`Fig5Experiment::run_design`] (same
+    /// per-chip seeds, same PPV model); the per-message inner loop uses the
+    /// batch codec with per-channel flip probabilities derived from each
+    /// chip's fault map instead of pulse-level simulation. This trades the
+    /// exact gate-level error correlations for orders-of-magnitude higher
+    /// message throughput; the scalar path remains the reference oracle.
+    #[must_use]
+    pub fn run_design_batched(&self, design: &EncoderDesign, library: &CellLibrary) -> Fig5Curve {
+        // The codec depends only on the design; build it once and clone the
+        // precomputed tables per chip instead of re-deriving them.
+        let codec = crate::batch_link::batch_codec_for(design);
+        let errors_per_chip = parallel_chip_map(self.chips, self.threads, &|chip_index| {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(chip_index));
+            let chip = self.ppv.sample_chip(design.netlist(), library, &mut rng);
+            let link = crate::batch_link::BatchLink::with_codec(
+                design,
+                codec.clone(),
+                &chip.faults,
+                self.channel,
+            );
+            let messages = link.random_messages(self.messages_per_chip, &mut rng);
+            let stats = link.transmit_batch(&messages, &mut rng);
+            stats.erroneous(self.counting == ErrorCounting::SilentOnly)
+        });
+        Fig5Curve::from_error_counts(
+            design.kind(),
+            design.name().to_string(),
+            self.messages_per_chip,
+            errors_per_chip,
+        )
+    }
+
+    /// Runs the batched experiment for all four designs of the paper.
+    #[must_use]
+    pub fn run_all_batched(&self, library: &CellLibrary) -> Fig5Result {
+        let curves = EncoderKind::ALL
+            .iter()
+            .map(|&kind| {
+                let design = EncoderDesign::build(kind);
+                self.run_design_batched(&design, library)
+            })
+            .collect();
+        Fig5Result {
+            experiment: *self,
+            curves,
+        }
+    }
+
     /// Runs the experiment for all four designs of the paper (three encoders
     /// plus the uncoded baseline), in the paper's ordering.
     #[must_use]
@@ -107,30 +158,9 @@ impl Fig5Experiment {
     }
 
     fn simulate_chips(&self, design: &EncoderDesign, library: &CellLibrary) -> Vec<usize> {
-        let chips = self.chips;
-        let threads = self.threads.max(1).min(chips.max(1));
-        if threads <= 1 || chips == 0 {
-            return (0..chips)
-                .map(|chip| self.simulate_one_chip(design, library, chip as u64))
-                .collect();
-        }
-        let mut results = vec![0usize; chips];
-        let chunk = chips.div_ceil(threads);
-        crossbeam::scope(|scope| {
-            for (t, slice) in results.chunks_mut(chunk).enumerate() {
-                let design_ref = &*design;
-                let library_ref = &*library;
-                let this = *self;
-                scope.spawn(move |_| {
-                    for (i, slot) in slice.iter_mut().enumerate() {
-                        let chip = t * chunk + i;
-                        *slot = this.simulate_one_chip(design_ref, library_ref, chip as u64);
-                    }
-                });
-            }
+        parallel_chip_map(self.chips, self.threads, &|chip| {
+            self.simulate_one_chip(design, library, chip)
         })
-        .expect("Monte-Carlo worker thread panicked");
-        results
     }
 
     /// Simulates one chip: samples its fault map, sends
@@ -159,6 +189,37 @@ impl Fig5Experiment {
         }
         erroneous
     }
+}
+
+/// Maps chip indices `0..chips` through `per_chip` with the experiment's
+/// chunked worker-thread layout. Per-chip results are deterministic
+/// regardless of `threads` because each chip derives its own RNG from its
+/// index.
+fn parallel_chip_map(
+    chips: usize,
+    threads: usize,
+    per_chip: &(dyn Fn(u64) -> usize + Sync),
+) -> Vec<usize> {
+    let threads = threads.max(1).min(chips.max(1));
+    let mut results = vec![0usize; chips];
+    if threads <= 1 || chips == 0 {
+        for (chip, slot) in results.iter_mut().enumerate() {
+            *slot = per_chip(chip as u64);
+        }
+        return results;
+    }
+    let chunk = chips.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (t, slice) in results.chunks_mut(chunk).enumerate() {
+            scope.spawn(move |_| {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = per_chip((t * chunk + i) as u64);
+                }
+            });
+        }
+    })
+    .expect("Monte-Carlo worker thread panicked");
+    results
 }
 
 /// The Fig. 5 curve of one encoder: the distribution of erroneous messages
@@ -368,10 +429,77 @@ mod tests {
     }
 
     #[test]
+    fn zero_spread_batched_chips_are_error_free() {
+        let lib = CellLibrary::coldflux();
+        let experiment = Fig5Experiment {
+            chips: 10,
+            messages_per_chip: 50,
+            ppv: PpvModel::paper_defaults().with_spread(0.0),
+            threads: 1,
+            ..Fig5Experiment::paper_setup()
+        };
+        let result = experiment.run_all_batched(&lib);
+        for curve in &result.curves {
+            assert!(
+                (curve.zero_error_probability() - 1.0).abs() < 1e-12,
+                "{} had errors at zero spread (batched)",
+                curve.name
+            );
+        }
+    }
+
+    #[test]
+    fn batched_experiment_is_reproducible_and_thread_invariant() {
+        let lib = CellLibrary::coldflux();
+        let serial = Fig5Experiment {
+            chips: 24,
+            messages_per_chip: 30,
+            threads: 1,
+            ..Fig5Experiment::paper_setup()
+        };
+        let parallel = Fig5Experiment {
+            threads: 4,
+            ..serial
+        };
+        let design = EncoderDesign::build(EncoderKind::Hamming84);
+        let a = serial.run_design_batched(&design, &lib);
+        let b = parallel.run_design_batched(&design, &lib);
+        assert_eq!(a.errors_per_chip, b.errors_per_chip);
+    }
+
+    #[test]
+    fn batched_path_tracks_scalar_statistics() {
+        // The batch driver replaces pulse-level simulation with per-channel
+        // flip probabilities, so per-chip counts differ — but the aggregate
+        // zero-error probability must stay close and preserve the headline
+        // ordering (coded designs beat uncoded).
+        let lib = CellLibrary::coldflux();
+        let experiment = Fig5Experiment {
+            chips: 150,
+            messages_per_chip: 60,
+            threads: 4,
+            ..Fig5Experiment::paper_setup()
+        };
+        let design = EncoderDesign::build(EncoderKind::Hamming84);
+        let scalar = experiment
+            .run_design(&design, &lib)
+            .zero_error_probability();
+        let batched = experiment
+            .run_design_batched(&design, &lib)
+            .zero_error_probability();
+        assert!(
+            (scalar - batched).abs() < 0.10,
+            "scalar {scalar} vs batched {batched}"
+        );
+    }
+
+    #[test]
     fn paper_reference_lists_all_designs() {
         let reference = paper_zero_error_probabilities();
         assert_eq!(reference.len(), 4);
-        assert!(reference.iter().any(|(k, p)| *k == EncoderKind::Hamming84 && (*p - 0.927).abs() < 1e-9));
+        assert!(reference
+            .iter()
+            .any(|(k, p)| *k == EncoderKind::Hamming84 && (*p - 0.927).abs() < 1e-9));
     }
 
     #[test]

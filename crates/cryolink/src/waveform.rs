@@ -138,7 +138,13 @@ impl WaveformSet {
 }
 
 /// Adds a Gaussian-shaped SFQ pulse centred at `center_ps` to a sample buffer.
-fn add_pulse(samples: &mut [f64], sample_ps: f64, center_ps: f64, amplitude_uv: f64, width_ps: f64) {
+fn add_pulse(
+    samples: &mut [f64],
+    sample_ps: f64,
+    center_ps: f64,
+    amplitude_uv: f64,
+    width_ps: f64,
+) {
     let sigma = width_ps / 2.355; // FWHM -> sigma
     let start = ((center_ps - 5.0 * sigma) / sample_ps).floor().max(0.0) as usize;
     let end = (((center_ps + 5.0 * sigma) / sample_ps).ceil() as usize).min(samples.len());
@@ -304,7 +310,10 @@ mod tests {
         // c1 is 0 in the codeword: it must carry no strong pulse at readout
         // time. (Intermediate cycles may show the cancelled early pulse.)
         let c5 = set.series_named("c5").unwrap();
-        assert!(c5.peak_uv() < cfg.output_amplitude_uv * 0.6, "c5 is 0 in the codeword");
+        assert!(
+            c5.peak_uv() < cfg.output_amplitude_uv * 0.6,
+            "c5 is 0 in the codeword"
+        );
     }
 
     #[test]

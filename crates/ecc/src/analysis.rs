@@ -433,7 +433,10 @@ mod tests {
         let code = Rm13::new();
         let ml = CodeAnalysis::exhaustive(&code, DecodingPolicy::MaximumLikelihood, 2);
         let w2 = &ml.per_weight[2];
-        assert!(w2.corrected > 0, "ML tie-breaking corrects some 2-bit patterns");
+        assert!(
+            w2.corrected > 0,
+            "ML tie-breaking corrects some 2-bit patterns"
+        );
         assert!(w2.miscorrected > 0, "but not all of them");
         assert_eq!(ml.best_case_corrected(), 2);
     }
@@ -473,7 +476,10 @@ mod tests {
         assert_eq!(rm.dmin, 4);
         assert_eq!(rm.worst_corrected, 1);
         assert_eq!(rm.best_detected, 4);
-        assert_eq!(rm.best_corrected, 2, "RM(1,3) best case corrects 2-bit patterns");
+        assert_eq!(
+            rm.best_corrected, 2,
+            "RM(1,3) best case corrects 2-bit patterns"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl Hamming74 {
             debug_assert!(syndrome_table[s].is_none(), "duplicate syndrome");
             syndrome_table[s] = Some(pos);
         }
-        Hamming74 { g, h, syndrome_table }
+        Hamming74 {
+            g,
+            h,
+            syndrome_table,
+        }
     }
 
     /// Extracts the message from a codeword using the systematic positions
@@ -253,6 +257,10 @@ pub struct HammingCode {
     g: BitMat,
     h: BitMat,
     name: String,
+    /// Cached `(pivots, transform)` of [`crate::generator_right_inverse`]:
+    /// the decoder calls `message_of` per received word, so the Gaussian
+    /// elimination is done once at construction.
+    extractor: (Vec<usize>, BitMat),
 }
 
 impl HammingCode {
@@ -262,7 +270,10 @@ impl HammingCode {
     /// Panics if `r < 2` or `r > 10`.
     #[must_use]
     pub fn new(r: usize) -> Self {
-        assert!((2..=10).contains(&r), "Hamming code redundancy must be in 2..=10");
+        assert!(
+            (2..=10).contains(&r),
+            "Hamming code redundancy must be in 2..=10"
+        );
         let n = (1usize << r) - 1;
         // H columns are the numbers 1..=n in binary.
         let mut h = BitMat::zeros(r, n);
@@ -277,11 +288,13 @@ impl HammingCode {
         let g = h.null_space();
         validate_code_matrices(&g, &h);
         let k = n - r;
+        let extractor = crate::generator_right_inverse(&g);
         HammingCode {
             r,
             g,
             h,
             name: format!("Hamming({n},{k})"),
+            extractor,
         }
     }
 
@@ -307,6 +320,19 @@ impl BlockCode for HammingCode {
     }
     fn parity_check(&self) -> &BitMat {
         &self.h
+    }
+    fn message_of(&self, codeword: &BitVec) -> Option<BitVec> {
+        if !self.is_codeword(codeword) {
+            return None;
+        }
+        let (pivots, transform) = &self.extractor;
+        let mut message = BitVec::zeros(self.k());
+        for (i, &p) in pivots.iter().enumerate() {
+            if codeword.get(p) {
+                message.xor_assign(transform.row(i));
+            }
+        }
+        Some(message)
     }
 }
 
@@ -355,12 +381,7 @@ impl ShortenedHamming3832 {
         let keep_cols: Vec<usize> = (0..32).chain(57..63).collect();
         let rows: Vec<BitVec> = keep_rows
             .iter()
-            .map(|&r| {
-                keep_cols
-                    .iter()
-                    .map(|&c| sys.get(r, c))
-                    .collect::<BitVec>()
-            })
+            .map(|&r| keep_cols.iter().map(|&c| sys.get(r, c)).collect::<BitVec>())
             .collect();
         let g = BitMat::from_rows(rows);
         let h = g.null_space();

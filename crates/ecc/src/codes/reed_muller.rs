@@ -38,7 +38,7 @@ impl ReedMuller {
     /// Panics if `r > m` or `m` is 0 or larger than 16.
     #[must_use]
     pub fn new(r: usize, m: usize) -> Self {
-        assert!(m >= 1 && m <= 16, "m must be in 1..=16");
+        assert!((1..=16).contains(&m), "m must be in 1..=16");
         assert!(r <= m, "order r must not exceed m");
         let n = 1usize << m;
         let monomials = Self::monomials_up_to_degree(r, m);
@@ -84,7 +84,7 @@ impl ReedMuller {
                         break;
                     }
                     i -= 1;
-                    if subset[i] + 1 <= m - (degree - i) {
+                    if subset[i] < m - (degree - i) {
                         subset[i] += 1;
                         for j in i + 1..degree {
                             subset[j] = subset[j - 1] + 1;
@@ -213,7 +213,10 @@ impl HardDecoder for ReedMuller {
     /// # Panics
     /// Panics if the order is not 1 (higher orders only support encoding).
     fn decode(&self, received: &BitVec) -> Decoded {
-        assert_eq!(self.r, 1, "hard decoding is implemented for first-order RM codes");
+        assert_eq!(
+            self.r, 1,
+            "hard decoding is implemented for first-order RM codes"
+        );
         assert_eq!(received.len(), self.n(), "received word length mismatch");
         let values: Vec<f64> = received
             .iter()
@@ -236,7 +239,10 @@ impl HardDecoder for ReedMuller {
     /// decoder corrects some 2-bit error patterns, the property Table I of the
     /// paper attributes to RM(1,3).
     fn decode_best_effort(&self, received: &BitVec) -> Decoded {
-        assert_eq!(self.r, 1, "hard decoding is implemented for first-order RM codes");
+        assert_eq!(
+            self.r, 1,
+            "hard decoding is implemented for first-order RM codes"
+        );
         assert_eq!(received.len(), self.n(), "received word length mismatch");
         let values: Vec<f64> = received
             .iter()
@@ -258,7 +264,10 @@ impl SoftDecoder for ReedMuller {
     /// # Panics
     /// Panics if the order is not 1.
     fn decode_soft(&self, llrs: &[f64]) -> Decoded {
-        assert_eq!(self.r, 1, "soft decoding is implemented for first-order RM codes");
+        assert_eq!(
+            self.r, 1,
+            "soft decoding is implemented for first-order RM codes"
+        );
         assert_eq!(llrs.len(), self.n(), "LLR length mismatch");
         let (message, codeword, unique) = rm1_fht_decode(self, llrs);
         if !unique {
@@ -471,10 +480,7 @@ mod tests {
         let cw = code.encode(&msg);
         // Two bits received with very low confidence but wrong sign, the rest
         // strongly correct: soft decoding recovers the message.
-        let mut llrs: Vec<f64> = cw
-            .iter()
-            .map(|bit| if bit { -4.0 } else { 4.0 })
-            .collect();
+        let mut llrs: Vec<f64> = cw.iter().map(|bit| if bit { -4.0 } else { 4.0 }).collect();
         llrs[0] = -0.1 * llrs[0].signum();
         llrs[3] = -0.1 * llrs[3].signum();
         let d = code.decode_soft(&llrs);

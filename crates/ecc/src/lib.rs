@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batch;
 pub mod codes;
 pub mod decoder;
 pub mod weight;
 
 pub use analysis::{CodeAnalysis, DecodingPolicy, ErrorPatternStats};
+pub use batch::{BatchDecode, BatchDecoded, BatchEncode};
 pub use codes::hamming::{Hamming74, Hamming84, HammingCode, ShortenedHamming3832};
 pub use codes::reed_muller::{ReedMuller, Rm13};
 pub use codes::repetition::Repetition;
@@ -98,7 +100,10 @@ pub trait BlockCode {
     /// enumeration of the 2^k − 1 nonzero codewords.
     fn min_distance(&self) -> usize {
         let k = self.k();
-        assert!(k <= 24, "exhaustive min-distance only supported for k <= 24");
+        assert!(
+            k <= 24,
+            "exhaustive min-distance only supported for k <= 24"
+        );
         (1u64..(1 << k))
             .map(|m| self.encode(&BitVec::from_u64(k, m)).weight())
             .min()
@@ -122,27 +127,25 @@ pub trait BlockCode {
 
     /// Recovers the message from a *codeword* (not an arbitrary word).
     ///
-    /// The default implementation solves the linear system using the
-    /// generator matrix; systematic codes override this with direct bit
-    /// extraction.
+    /// The default implementation solves `m · G = c` by Gaussian elimination
+    /// — `O(k·n)` bit-row operations, valid for any `k` — via
+    /// [`generator_right_inverse`]; systematic codes override this with
+    /// direct bit extraction.
     ///
     /// Returns `None` if `codeword` is not in the code.
     fn message_of(&self, codeword: &BitVec) -> Option<BitVec> {
         if !self.is_codeword(codeword) {
             return None;
         }
+        let (pivots, transform) = generator_right_inverse(self.generator());
         let k = self.k();
-        // Brute force over messages is acceptable for the short codes used here.
-        if k <= 20 {
-            for m in 0u64..(1 << k) {
-                let msg = BitVec::from_u64(k, m);
-                if &self.encode(&msg) == codeword {
-                    return Some(msg);
-                }
+        let mut message = BitVec::zeros(k);
+        for (i, &p) in pivots.iter().enumerate() {
+            if codeword.get(p) {
+                message.xor_assign(transform.row(i));
             }
-            return None;
         }
-        unimplemented!("message_of default implementation requires k <= 20")
+        Some(message)
     }
 
     /// Code rate `k / n`.
@@ -183,6 +186,40 @@ pub trait SoftDecoder: BlockCode {
     /// # Panics
     /// Panics if `llrs.len() != self.n()`.
     fn decode_soft(&self, llrs: &[f64]) -> Decoded;
+}
+
+/// Solves the encoding map for inversion: returns `(pivots, transform)` such
+/// that for any codeword `c`, the message is recovered as
+/// `m = Σ_{i : c[pivots[i]] = 1} transform.row(i)`.
+///
+/// Derivation: row-reducing the augmented matrix `[G | I_k]` yields
+/// `[R | T]` with `R = T · G` in reduced row-echelon form. Because `G` has
+/// full row rank `k`, all `k` pivots land in the first `n` columns. `R`'s
+/// rows are a basis of the code with `R[i][pivots[j]] = δ_ij`, so any
+/// codeword satisfies `c = Σ_i c[pivots[i]] · R.row(i)` and therefore
+/// `m = Σ_i c[pivots[i]] · T.row(i)`.
+///
+/// This is also the construction behind the batch codec's message-extraction
+/// lanes (`sfq-batch`).
+///
+/// # Panics
+/// Panics if `g` does not have full row rank.
+#[must_use]
+pub fn generator_right_inverse(g: &BitMat) -> (Vec<usize>, BitMat) {
+    let (k, n) = (g.rows(), g.cols());
+    let augmented = g.hconcat(&BitMat::identity(k));
+    let (reduced, pivots) = augmented.rref();
+    assert_eq!(pivots.len(), k, "generator matrix must have full row rank");
+    assert!(
+        pivots.iter().all(|&p| p < n),
+        "generator matrix must have full row rank within its own columns"
+    );
+    let transform = BitMat::from_rows(
+        (0..k)
+            .map(|i| (0..k).map(|j| reduced.get(i, n + j)).collect())
+            .collect(),
+    );
+    (pivots, transform)
 }
 
 /// Validates that `g` and `h` describe the same code: `G · Hᵀ = 0` and the
@@ -258,5 +295,64 @@ mod tests {
     fn validate_code_matrices_accepts_consistent_codes() {
         let h84 = Hamming84::new();
         validate_code_matrices(h84.generator(), h84.parity_check());
+    }
+
+    #[test]
+    fn generator_right_inverse_recovers_messages() {
+        for g in [
+            Hamming84::new().generator().clone(),
+            Hamming74::new().generator().clone(),
+            Rm13::new().generator().clone(),
+        ] {
+            let (pivots, transform) = generator_right_inverse(&g);
+            assert_eq!(pivots.len(), g.rows());
+            for m in 0u64..(1 << g.rows()) {
+                let msg = BitVec::from_u64(g.rows(), m);
+                let cw = g.left_mul_vec(&msg);
+                let mut recovered = BitVec::zeros(g.rows());
+                for (i, &p) in pivots.iter().enumerate() {
+                    if cw.get(p) {
+                        recovered.xor_assign(transform.row(i));
+                    }
+                }
+                assert_eq!(recovered, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn default_message_of_handles_k_32_without_brute_force() {
+        // A wrapper that hides the systematic override of the (38,32) code so
+        // the trait's default Gaussian-elimination path is exercised at a
+        // dimension (2^32 messages) the old brute-force search could never
+        // enumerate.
+        struct Opaque(crate::ShortenedHamming3832);
+        impl BlockCode for Opaque {
+            fn name(&self) -> &str {
+                "opaque(38,32)"
+            }
+            fn n(&self) -> usize {
+                self.0.n()
+            }
+            fn k(&self) -> usize {
+                self.0.k()
+            }
+            fn generator(&self) -> &BitMat {
+                self.0.generator()
+            }
+            fn parity_check(&self) -> &BitMat {
+                self.0.parity_check()
+            }
+        }
+        let code = Opaque(crate::ShortenedHamming3832::new());
+        for value in [0u64, 1, 0xDEAD_BEEF, 0xFFFF_FFFF, 0x1357_9BDF] {
+            let msg = BitVec::from_u64(32, value);
+            let cw = code.0.encode(&msg);
+            assert_eq!(code.message_of(&cw), Some(msg));
+        }
+        // Non-codewords still return None.
+        let mut bad = code.0.encode(&BitVec::from_u64(32, 42));
+        bad.flip(0);
+        assert_eq!(code.message_of(&bad), None);
     }
 }

@@ -96,8 +96,8 @@ pub fn krawtchouk(n: usize, j: usize, w: usize) -> f64 {
         if j - i > n - w {
             continue;
         }
-        let term = binomial(w as u64, i as u64) as f64
-            * binomial((n - w) as u64, (j - i) as u64) as f64;
+        let term =
+            binomial(w as u64, i as u64) as f64 * binomial((n - w) as u64, (j - i) as u64) as f64;
         if i % 2 == 0 {
             acc += term;
         } else {
@@ -114,7 +114,9 @@ pub fn krawtchouk(n: usize, j: usize, w: usize) -> f64 {
 pub fn bounded_distance_block_error(n: usize, t: usize, p: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     (t + 1..=n)
-        .map(|w| binomial(n as u64, w as u64) as f64 * p.powi(w as i32) * (1.0 - p).powi((n - w) as i32))
+        .map(|w| {
+            binomial(n as u64, w as u64) as f64 * p.powi(w as i32) * (1.0 - p).powi((n - w) as i32)
+        })
         .sum()
 }
 

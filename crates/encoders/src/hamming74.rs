@@ -61,7 +61,11 @@ mod tests {
         let nl = build_netlist();
         assert_eq!(nl.count_cells(CellKind::Xor), 5, "5 XOR gates");
         assert_eq!(nl.count_cells(CellKind::Dff), 8, "8 DFFs");
-        assert_eq!(nl.count_cells(CellKind::Splitter), 20, "8 data + 12 clock splitters");
+        assert_eq!(
+            nl.count_cells(CellKind::Splitter),
+            20,
+            "8 data + 12 clock splitters"
+        );
         assert_eq!(nl.count_cells(CellKind::SfqToDc), 7, "7 output drivers");
     }
 

@@ -96,7 +96,11 @@ mod tests {
         let nl = build_netlist();
         assert_eq!(nl.count_cells(CellKind::Xor), 6, "6 XOR gates");
         assert_eq!(nl.count_cells(CellKind::Dff), 8, "8 DFFs");
-        assert_eq!(nl.count_cells(CellKind::Splitter), 23, "10 data + 13 clock splitters");
+        assert_eq!(
+            nl.count_cells(CellKind::Splitter),
+            23,
+            "10 data + 13 clock splitters"
+        );
         assert_eq!(nl.count_cells(CellKind::SfqToDc), 8, "8 output drivers");
     }
 
@@ -118,7 +122,11 @@ mod tests {
         let nl = build_netlist();
         assert_eq!(nl.inputs().len(), 4);
         assert_eq!(nl.outputs().len(), 8);
-        let names: Vec<_> = nl.outputs().iter().map(|&o| nl.node(o).name.clone()).collect();
+        let names: Vec<_> = nl
+            .outputs()
+            .iter()
+            .map(|&o| nl.node(o).name.clone())
+            .collect();
         assert_eq!(names, vec!["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8"]);
     }
 }

@@ -40,7 +40,7 @@ pub mod table2;
 
 pub use table2::{paper_table2, table2_rows, Table2Row};
 
-use ecc::{BlockCode, Decoded, HardDecoder, Hamming74, Hamming84, Rm13, Uncoded};
+use ecc::{BlockCode, Decoded, Hamming74, Hamming84, HardDecoder, Rm13, Uncoded};
 use gf2::BitVec;
 use serde::{Deserialize, Serialize};
 use sfq_cells::CellLibrary;
@@ -237,7 +237,11 @@ impl EncoderDesign {
     /// (used by the Fig. 3 waveform reproduction).
     #[must_use]
     pub fn simulate(&self, message: &BitVec) -> Trace {
-        assert_eq!(message.len(), 4, "the paper's interface carries 4-bit messages");
+        assert_eq!(
+            message.len(),
+            4,
+            "the paper's interface carries 4-bit messages"
+        );
         let mut stim = Stimulus::new(&self.netlist);
         stim.apply_word(message, 0);
         self.sim.run(&stim, self.latency + 1)
@@ -252,7 +256,11 @@ impl EncoderDesign {
         faults: &FaultMap,
         rng: &mut R,
     ) -> BitVec {
-        assert_eq!(message.len(), 4, "the paper's interface carries 4-bit messages");
+        assert_eq!(
+            message.len(),
+            4,
+            "the paper's interface carries 4-bit messages"
+        );
         let mut stim = Stimulus::new(&self.netlist);
         stim.apply_word(message, 0);
         let trace = self
@@ -271,12 +279,7 @@ mod tests {
     fn all_designs_build_and_pass_drc() {
         for design in EncoderDesign::build_all() {
             let violations = drc::check(design.netlist());
-            assert!(
-                violations.is_empty(),
-                "{}: {:?}",
-                design.name(),
-                violations
-            );
+            assert!(violations.is_empty(), "{}: {:?}", design.name(), violations);
         }
     }
 
@@ -302,7 +305,11 @@ mod tests {
         let enc = EncoderDesign::build(EncoderKind::Hamming84);
         let cw = enc.encode_gate_level(&BitVec::from_str01("1011"));
         assert_eq!(cw.to_string01(), "01100110");
-        assert_eq!(enc.latency(), 2, "codeword is produced after two clock cycles");
+        assert_eq!(
+            enc.latency(),
+            2,
+            "codeword is produced after two clock cycles"
+        );
     }
 
     #[test]
@@ -319,7 +326,11 @@ mod tests {
 
     #[test]
     fn coded_designs_correct_single_channel_errors() {
-        for kind in [EncoderKind::Hamming74, EncoderKind::Hamming84, EncoderKind::Rm13] {
+        for kind in [
+            EncoderKind::Hamming74,
+            EncoderKind::Hamming84,
+            EncoderKind::Rm13,
+        ] {
             let design = EncoderDesign::build(kind);
             for m in 0u64..16 {
                 let msg = BitVec::from_u64(4, m);

@@ -92,7 +92,11 @@ mod tests {
         let nl = build_netlist();
         assert_eq!(nl.count_cells(CellKind::Xor), 8, "8 XOR gates");
         assert_eq!(nl.count_cells(CellKind::Dff), 7, "7 DFFs");
-        assert_eq!(nl.count_cells(CellKind::Splitter), 26, "12 data + 14 clock splitters");
+        assert_eq!(
+            nl.count_cells(CellKind::Splitter),
+            26,
+            "12 data + 14 clock splitters"
+        );
         assert_eq!(nl.count_cells(CellKind::SfqToDc), 8, "8 output drivers");
     }
 
@@ -100,7 +104,11 @@ mod tests {
     fn logic_depth_is_two_and_outputs_balanced() {
         let nl = build_netlist();
         assert_eq!(nl.logic_depth(), 2);
-        assert!(nl.output_depths().iter().all(|&d| d == 2), "{:?}", nl.output_depths());
+        assert!(
+            nl.output_depths().iter().all(|&d| d == 2),
+            "{:?}",
+            nl.output_depths()
+        );
     }
 
     #[test]
@@ -115,6 +123,8 @@ mod tests {
         // identifies: RM(1,3) is the largest of the three encoders.
         let rm = build_netlist();
         let h84 = crate::hamming84::build_netlist();
-        assert!(rm.cell_histogram().values().sum::<u64>() > h84.cell_histogram().values().sum::<u64>());
+        assert!(
+            rm.cell_histogram().values().sum::<u64>() > h84.cell_histogram().values().sum::<u64>()
+        );
     }
 }

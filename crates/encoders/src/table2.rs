@@ -52,23 +52,27 @@ impl Table2Row {
 /// Rows are ordered as in the paper: RM(1,3), Hamming(7,4), Hamming(8,4).
 #[must_use]
 pub fn table2_rows(library: &CellLibrary) -> Vec<Table2Row> {
-    [EncoderKind::Rm13, EncoderKind::Hamming74, EncoderKind::Hamming84]
-        .iter()
-        .map(|&kind| {
-            let design = EncoderDesign::build(kind);
-            let stats = design.stats(library);
-            Table2Row {
-                encoder: design.name().to_string(),
-                xor_gates: stats.histogram.count(CellKind::Xor),
-                dffs: stats.histogram.count(CellKind::Dff),
-                splitters: stats.histogram.count(CellKind::Splitter),
-                sfq_to_dc: stats.histogram.count(CellKind::SfqToDc),
-                jj_count: stats.cost.jj_count,
-                power_uw: stats.cost.static_power_uw,
-                area_mm2: stats.cost.area_mm2,
-            }
-        })
-        .collect()
+    [
+        EncoderKind::Rm13,
+        EncoderKind::Hamming74,
+        EncoderKind::Hamming84,
+    ]
+    .iter()
+    .map(|&kind| {
+        let design = EncoderDesign::build(kind);
+        let stats = design.stats(library);
+        Table2Row {
+            encoder: design.name().to_string(),
+            xor_gates: stats.histogram.count(CellKind::Xor),
+            dffs: stats.histogram.count(CellKind::Dff),
+            splitters: stats.histogram.count(CellKind::Splitter),
+            sfq_to_dc: stats.histogram.count(CellKind::SfqToDc),
+            jj_count: stats.cost.jj_count,
+            power_uw: stats.cost.static_power_uw,
+            area_mm2: stats.cost.area_mm2,
+        }
+    })
+    .collect()
 }
 
 /// The values printed in Table II of the paper.

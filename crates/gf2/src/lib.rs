@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod mat;
+pub mod slice;
 pub mod vec;
 
 pub use mat::BitMat;
+pub use slice::BitSlice64;
 pub use vec::BitVec;
 
 /// Number of bits stored per limb.
@@ -65,10 +67,7 @@ pub fn binomial(n: u64, k: u64) -> u64 {
     let k = k.min(n - k);
     let mut acc: u64 = 1;
     for i in 0..k {
-        acc = acc
-            .checked_mul(n - i)
-            .expect("binomial overflow")
-            / (i + 1);
+        acc = acc.checked_mul(n - i).expect("binomial overflow") / (i + 1);
     }
     acc
 }

@@ -453,7 +453,11 @@ mod tests {
         assert_eq!(perm.len(), 7);
         for i in 0..4 {
             for j in 0..4 {
-                assert_eq!(sys.get(i, j), i == j, "identity prefix violated at ({i},{j})");
+                assert_eq!(
+                    sys.get(i, j),
+                    i == j,
+                    "identity prefix violated at ({i},{j})"
+                );
             }
         }
     }

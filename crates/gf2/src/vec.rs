@@ -57,7 +57,11 @@ impl BitVec {
         assert!(len <= 64, "from_u64 supports at most 64 bits");
         let mut v = Self::zeros(len);
         if len > 0 {
-            let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            let mask = if len == 64 {
+                u64::MAX
+            } else {
+                (1u64 << len) - 1
+            };
             if !v.limbs.is_empty() {
                 v.limbs[0] = word & mask;
             }
@@ -104,7 +108,11 @@ impl BitVec {
     #[inline]
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of range for length {}",
+            self.len
+        );
         (self.limbs[i / LIMB_BITS] >> (i % LIMB_BITS)) & 1 == 1
     }
 
@@ -114,7 +122,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of range for length {}",
+            self.len
+        );
         let limb = &mut self.limbs[i / LIMB_BITS];
         let mask = 1u64 << (i % LIMB_BITS);
         if value {
@@ -130,7 +142,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of range for length {}",
+            self.len
+        );
         self.limbs[i / LIMB_BITS] ^= 1u64 << (i % LIMB_BITS);
     }
 
@@ -197,7 +213,10 @@ impl BitVec {
     /// Panics if the range is out of bounds or reversed.
     #[must_use]
     pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
-        assert!(range.start <= range.end && range.end <= self.len, "range out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "range out of bounds"
+        );
         let mut out = BitVec::zeros(range.end - range.start);
         for (j, i) in range.enumerate() {
             out.set(j, self.get(i));
@@ -338,8 +357,8 @@ mod tests {
     fn from_u64_roundtrip() {
         let v = BitVec::from_u64(8, 0b1011_0010);
         assert_eq!(v.to_u64(), 0b1011_0010);
-        assert_eq!(v.get(1), true);
-        assert_eq!(v.get(0), false);
+        assert!(v.get(1));
+        assert!(!v.get(0));
         assert_eq!(v.weight(), 4);
         // Bits beyond len are masked off.
         let w = BitVec::from_u64(4, 0xFF);

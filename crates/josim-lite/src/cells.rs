@@ -115,7 +115,10 @@ mod tests {
         let (circuit, junctions) = jtl_chain(4);
         let result = run(&circuit);
         let first = result.flux_quanta(junctions[0]);
-        assert!(first >= 1 && first <= 2, "trigger should launch 1-2 flux quanta, got {first}");
+        assert!(
+            (1..=2).contains(&first),
+            "trigger should launch 1-2 flux quanta, got {first}"
+        );
         for (stage, &j) in junctions.iter().enumerate() {
             assert_eq!(
                 result.flux_quanta(j),
@@ -194,4 +197,3 @@ mod tests {
         assert_eq!(run(&circuit).flux_quanta(last), 1);
     }
 }
-

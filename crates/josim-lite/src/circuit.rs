@@ -28,9 +28,9 @@ impl JunctionParams {
     pub fn critically_damped(critical_current: f64) -> Self {
         let area_um2 = critical_current / 100e-6; // 100 µA/µm² = 10 kA/cm²
         let capacitance = 70e-15 * area_um2;
-        let resistance =
-            (crate::FLUX_QUANTUM / (2.0 * std::f64::consts::PI * critical_current * capacitance))
-                .sqrt();
+        let resistance = (crate::FLUX_QUANTUM
+            / (2.0 * std::f64::consts::PI * critical_current * capacitance))
+            .sqrt();
         JunctionParams {
             critical_current,
             resistance,
@@ -41,7 +41,10 @@ impl JunctionParams {
     /// Stewart–McCumber parameter βc = 2π Ic R² C / Φ₀.
     #[must_use]
     pub fn beta_c(&self) -> f64 {
-        2.0 * std::f64::consts::PI * self.critical_current * self.resistance * self.resistance
+        2.0 * std::f64::consts::PI
+            * self.critical_current
+            * self.resistance
+            * self.resistance
             * self.capacitance
             / crate::FLUX_QUANTUM
     }
@@ -174,7 +177,10 @@ impl Circuit {
     pub fn junction(&mut self, a: NodeIndex, b: NodeIndex, params: JunctionParams) -> usize {
         self.check_node(a);
         self.check_node(b);
-        assert!(params.critical_current > 0.0, "critical current must be positive");
+        assert!(
+            params.critical_current > 0.0,
+            "critical current must be positive"
+        );
         let index = self
             .elements
             .iter()
@@ -188,7 +194,8 @@ impl Circuit {
     pub fn current_source(&mut self, a: NodeIndex, b: NodeIndex, waveform: Waveform) {
         self.check_node(a);
         self.check_node(b);
-        self.elements.push(Element::CurrentSource { a, b, waveform });
+        self.elements
+            .push(Element::CurrentSource { a, b, waveform });
     }
 
     /// Number of Josephson junctions in the circuit.
@@ -315,10 +322,7 @@ mod tests {
                 (Element::Inductor { henries: o, .. }, Element::Inductor { henries: n, .. }) => {
                     assert!((n / o - 1.0).abs() <= 0.2 + 1e-12);
                 }
-                (
-                    Element::Junction { params: o, .. },
-                    Element::Junction { params: n, .. },
-                ) => {
+                (Element::Junction { params: o, .. }, Element::Junction { params: n, .. }) => {
                     assert!((n.critical_current / o.critical_current - 1.0).abs() <= 0.2 + 1e-12);
                 }
                 _ => {}

@@ -44,7 +44,10 @@ impl Transient {
     /// Panics if the step or stop time is not positive.
     #[must_use]
     pub fn run(&self, circuit: &Circuit) -> TransientResult {
-        assert!(self.step > 0.0 && self.stop > 0.0, "step and stop must be positive");
+        assert!(
+            self.step > 0.0 && self.stop > 0.0,
+            "step and stop must be positive"
+        );
         let h = self.step;
         let n = circuit.num_nodes() - 1; // unknown node voltages (ground excluded)
         let steps = (self.stop / h).ceil() as usize;
@@ -131,12 +134,14 @@ impl Transient {
             }
         }
 
-        let lu = LuFactors::factorize(g).expect("singular conductance matrix: every node needs a DC path to ground");
+        let lu = LuFactors::factorize(g)
+            .expect("singular conductance matrix: every node needs a DC path to ground");
 
         // --- Time stepping. --------------------------------------------------
         let mut voltages = vec![0.0f64; circuit.num_nodes()];
         let mut time = Vec::with_capacity(steps + 1);
-        let mut node_traces: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); circuit.num_nodes()];
+        let mut node_traces: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(steps + 1); circuit.num_nodes()];
         let mut phase_traces: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); junctions.len()];
 
         let record = |time: &mut Vec<f64>,
@@ -153,7 +158,14 @@ impl Transient {
                 trace.push(junctions[j].phase);
             }
         };
-        record(&mut time, &mut node_traces, &mut phase_traces, 0.0, &voltages, &junctions);
+        record(
+            &mut time,
+            &mut node_traces,
+            &mut phase_traces,
+            0.0,
+            &voltages,
+            &junctions,
+        );
 
         let phase_factor = std::f64::consts::PI * h / FLUX_QUANTUM;
 
@@ -227,7 +239,14 @@ impl Transient {
                 junction.phase += phase_factor * (v_prev + v_new);
                 junction.cap_current = junction.g_cap * (v_new - v_prev) - junction.cap_current;
             }
-            record(&mut time, &mut node_traces, &mut phase_traces, t, &voltages, &junctions);
+            record(
+                &mut time,
+                &mut node_traces,
+                &mut phase_traces,
+                t,
+                &voltages,
+                &junctions,
+            );
         }
 
         TransientResult {
@@ -272,7 +291,9 @@ impl TransientResult {
     /// Number of 2π phase slips (SFQ pulses emitted) of a junction.
     #[must_use]
     pub fn flux_quanta(&self, junction: usize) -> usize {
-        (self.final_phase(junction) / (2.0 * std::f64::consts::PI)).round().max(0.0) as usize
+        (self.final_phase(junction) / (2.0 * std::f64::consts::PI))
+            .round()
+            .max(0.0) as usize
     }
 
     /// Peak voltage of a node, in volts.
@@ -326,8 +347,11 @@ impl LuFactors {
             for i in k + 1..n {
                 let factor = a[i][k] / a[k][k];
                 a[i][k] = factor;
-                for j in k + 1..n {
-                    a[i][j] -= factor * a[k][j];
+                let (pivot_rows, rest) = a.split_at_mut(k + 1);
+                let pivot_row = &pivot_rows[k];
+                let row = &mut rest[i - k - 1];
+                for (x, &pk) in row[k + 1..n].iter_mut().zip(&pivot_row[k + 1..n]) {
+                    *x -= factor * pk;
                 }
             }
         }
@@ -375,7 +399,10 @@ mod tests {
         for (i, &t) in result.time.iter().enumerate() {
             let expected = 1e-3 * (1.0 - (-t / tau).exp());
             let got = result.node_voltages[node][i];
-            assert!((got - expected).abs() < 3e-5, "t={t:e}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 3e-5,
+                "t={t:e}: {got} vs {expected}"
+            );
         }
     }
 
@@ -392,7 +419,10 @@ mod tests {
         let first = result.node_voltages[node][1];
         let last = *result.node_voltages[node].last().unwrap();
         assert!(first > 1e-3, "initially the resistor carries the current");
-        assert!(last.abs() < 1e-4, "inductor shorts the source at DC: {last}");
+        assert!(
+            last.abs() < 1e-4,
+            "inductor shorts the source at DC: {last}"
+        );
     }
 
     #[test]
@@ -419,7 +449,11 @@ mod tests {
         let result = Transient::new(5e-14, 100e-12).run(&c);
         assert!(result.final_phase(0) < std::f64::consts::FRAC_PI_2);
         assert_eq!(result.flux_quanta(0), 0);
-        assert!(result.peak_voltage(node) < 5e-5, "peak {}", result.peak_voltage(node));
+        assert!(
+            result.peak_voltage(node) < 5e-5,
+            "peak {}",
+            result.peak_voltage(node)
+        );
     }
 
     #[test]

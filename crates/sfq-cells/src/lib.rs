@@ -196,8 +196,7 @@ impl CellLibrary {
     /// Panics if any [`CellKind`] is missing.
     #[must_use]
     pub fn new(name: impl Into<String>, process: Process, cells: Vec<CellParams>) -> Self {
-        let map: BTreeMap<CellKind, CellParams> =
-            cells.into_iter().map(|c| (c.kind, c)).collect();
+        let map: BTreeMap<CellKind, CellParams> = cells.into_iter().map(|c| (c.kind, c)).collect();
         for kind in CellKind::ALL {
             assert!(map.contains_key(&kind), "library is missing cell {kind}");
         }
@@ -241,7 +240,7 @@ impl CellLibrary {
                 bias_current_ua: 510.0,
                 switching_energy_aj: 0.4,
                 timing: TimingParams::combinational(3.0),
-                margins: MarginSpec::uniform(0.36),
+                margins: MarginSpec::uniform(0.48),
             },
             CellParams {
                 kind: CellKind::Merger,
@@ -271,7 +270,7 @@ impl CellLibrary {
                 bias_current_ua: 1380.0,
                 switching_energy_aj: 1.1,
                 timing: TimingParams::clocked(6.5, 3.5, 1.5),
-                margins: MarginSpec::uniform(0.26),
+                margins: MarginSpec::uniform(0.31),
             },
             CellParams {
                 kind: CellKind::And,
@@ -396,7 +395,11 @@ mod tests {
     fn hamming84_cost_matches_table2() {
         let cost = table2_cost(6, 8, 23, 8);
         assert_eq!(cost.jj_count, 278);
-        assert!((cost.static_power_uw - 92.3).abs() < 1e-9, "{}", cost.static_power_uw);
+        assert!(
+            (cost.static_power_uw - 92.3).abs() < 1e-9,
+            "{}",
+            cost.static_power_uw
+        );
         assert!((cost.area_mm2 - 0.177).abs() < 1e-12, "{}", cost.area_mm2);
     }
 

@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn for_class_selects_field() {
         let m = MarginSpec::uniform(0.25);
-        assert_eq!(m.for_class(ParameterClass::CriticalCurrent), m.critical_current);
+        assert_eq!(
+            m.for_class(ParameterClass::CriticalCurrent),
+            m.critical_current
+        );
         assert_eq!(m.for_class(ParameterClass::Inductance), m.inductance);
         assert_eq!(m.for_class(ParameterClass::Resistance), m.resistance);
     }

@@ -71,8 +71,7 @@ impl Process {
     /// thermally induced switching is rare.
     #[must_use]
     pub fn thermal_fluctuation_gamma(&self, ic_ua: f64) -> f64 {
-        2.0 * std::f64::consts::PI * BOLTZMANN * self.temperature_k
-            / (FLUX_QUANTUM * ic_ua * 1e-6)
+        2.0 * std::f64::consts::PI * BOLTZMANN * self.temperature_k / (FLUX_QUANTUM * ic_ua * 1e-6)
     }
 }
 

@@ -14,7 +14,8 @@
 //! | [`sim`] | `sfq-sim` | pulse-level simulator and the PPV fault model |
 //! | [`analog`] | `josim-lite` | RCSJ/MNA transient simulator (the JoSIM stand-in) |
 //! | [`encoders`] | `encoders` | the paper's three encoder circuits + baselines + Table II |
-//! | [`link`] | `cryolink` | the Fig. 1 data link and the Fig. 5 Monte-Carlo experiments |
+//! | [`batch`] | `sfq-batch` | bit-sliced batch codec engine (64 codewords per `u64` limb) |
+//! | [`link`] | `cryolink` | the Fig. 1 data link, the Fig. 5 Monte-Carlo experiments, and the batch link driver |
 //!
 //! ## Quick start
 //!
@@ -40,6 +41,7 @@ pub use ecc;
 pub use encoders;
 pub use gf2;
 pub use josim_lite as analog;
+pub use sfq_batch as batch;
 pub use sfq_cells as cells;
 pub use sfq_netlist as netlist;
 pub use sfq_sim as sim;
@@ -59,7 +61,8 @@ pub mod paper {
 mod tests {
     #[test]
     fn reexports_are_wired_up() {
-        let encoder = crate::encoders::EncoderDesign::build(crate::encoders::EncoderKind::Hamming84);
+        let encoder =
+            crate::encoders::EncoderDesign::build(crate::encoders::EncoderKind::Hamming84);
         assert_eq!(encoder.n(), 8);
         let lib = crate::cells::CellLibrary::coldflux();
         assert_eq!(encoder.stats(&lib).cost.jj_count, 278);

@@ -232,11 +232,7 @@ impl Netlist {
             to_port,
             to_node.name
         );
-        self.connections.push(Connection {
-            from,
-            to,
-            to_port,
-        });
+        self.connections.push(Connection { from, to, to_port });
     }
 
     /// Registers a clocked cell as a sink of the clock-distribution network.

@@ -180,7 +180,12 @@ pub fn synthesize_linear_encoder(
         let ports = if uses == 0 {
             Vec::new()
         } else {
-            fanout(&mut netlist, PortRef::of(input), uses, &format!("m{}", i + 1))
+            fanout(
+                &mut netlist,
+                PortRef::of(input),
+                uses,
+                &format!("m{}", i + 1),
+            )
         };
         input_ports.push(ports);
     }
@@ -202,12 +207,11 @@ pub fn synthesize_linear_encoder(
         while level.len() > 1 {
             let mut next_level = Vec::with_capacity(level.len().div_ceil(2));
             let mut iter = level.chunks(2);
-            let mut idx = 0;
-            for chunk in iter.by_ref() {
+            for (idx, chunk) in iter.by_ref().enumerate() {
                 match chunk {
                     [a, b] => {
-                        let xor = netlist
-                            .add_cell(CellKind::Xor, format!("{out_name}_x{depth}_{idx}"));
+                        let xor =
+                            netlist.add_cell(CellKind::Xor, format!("{out_name}_x{depth}_{idx}"));
                         netlist.connect(*a, xor, 0);
                         netlist.connect(*b, xor, 1);
                         netlist.add_clock_sink(xor);
@@ -216,17 +220,12 @@ pub fn synthesize_linear_encoder(
                     [a] => {
                         // Odd signal out: delay through a DFF to stay aligned
                         // with its future partners.
-                        let delayed = dff_chain(
-                            &mut netlist,
-                            *a,
-                            1,
-                            &format!("{out_name}_bal{depth}_{idx}"),
-                        );
+                        let delayed =
+                            dff_chain(&mut netlist, *a, 1, &format!("{out_name}_bal{depth}_{idx}"));
                         next_level.push(delayed);
                     }
                     _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
                 }
-                idx += 1;
             }
             level = next_level;
             depth += 1;
@@ -352,11 +351,8 @@ mod tests {
     #[test]
     fn baseline_3832_encoder_synthesizes() {
         let code = ShortenedHamming3832::new();
-        let nl = synthesize_linear_encoder(
-            "peng3832",
-            code.generator(),
-            SynthesisOptions::default(),
-        );
+        let nl =
+            synthesize_linear_encoder("peng3832", code.generator(), SynthesisOptions::default());
         assert!(drc::is_clean(&nl), "{:?}", drc::check(&nl));
         assert_eq!(nl.inputs().len(), 32);
         assert_eq!(nl.outputs().len(), 38);
@@ -364,6 +360,6 @@ mod tests {
         // implementation is smaller, an unshared tree flow is larger. Sanity
         // bounds only.
         let xors = nl.count_cells(CellKind::Xor);
-        assert!(xors >= 60 && xors <= 200, "xor count {xors}");
+        assert!((60..=200).contains(&xors), "xor count {xors}");
     }
 }

@@ -72,7 +72,11 @@ impl Stimulus {
     /// # Panics
     /// Panics if the word length differs from the number of inputs.
     pub fn apply_word(&mut self, word: &BitVec, cycle: usize) {
-        assert_eq!(word.len(), self.num_inputs, "word length must match input count");
+        assert_eq!(
+            word.len(),
+            self.num_inputs,
+            "word length must match input count"
+        );
         for i in 0..word.len() {
             if word.get(i) {
                 self.pulse_input(i, cycle);
@@ -300,9 +304,9 @@ impl GateLevelSim {
                     }
                 }
             };
-            for node in 0..n {
-                if pending[node] {
-                    pending[node] = false;
+            for (node, slot) in pending.iter_mut().enumerate() {
+                if *slot {
+                    *slot = false;
                     emit(node, &mut queue, &mut emissions);
                 }
             }
@@ -333,7 +337,10 @@ impl GateLevelSim {
             // 5. Propagate through the combinational fabric.
             while let Some((node, port)) = queue.pop_front() {
                 budget = budget.saturating_sub(1);
-                assert!(budget > 0, "combinational propagation did not converge (cycle in netlist?)");
+                assert!(
+                    budget > 0,
+                    "combinational propagation did not converge (cycle in netlist?)"
+                );
                 match self.nodes[node] {
                     SimNode::Output { output_index } => {
                         arrivals[output_index][cycle] = true;
@@ -560,7 +567,10 @@ mod tests {
         let stim = Stimulus::new(&nl); // no input pulses at all
         let mut rng = StdRng::seed_from_u64(2);
         let trace = sim.run_with_faults(&stim, 3, &faults, &mut rng);
-        assert!(trace.pulse_count(0) > 0, "spurious pulses should reach the output");
+        assert!(
+            trace.pulse_count(0) > 0,
+            "spurious pulses should reach the output"
+        );
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! Recomputes the PPV margin-scale calibration against the paper's anchor
+//! point: the uncoded 4-bit link delivers 100 messages error-free with
+//! probability 80.0 % at ±20 % spread (Fig. 5, "no encoder" curve).
+//!
+//! The resulting scale is baked into `PpvModel::paper_defaults()`; run this
+//! example after changing the fault model, the cell library, or the RNG to
+//! refresh that constant:
+//!
+//! ```text
+//! cargo run --release --example calibrate
+//! ```
+
+use sfq_ecc::cells::CellLibrary;
+use sfq_ecc::link::calibrate::calibrate_margin_scale;
+use sfq_ecc::sim::PpvModel;
+
+fn main() {
+    let library = CellLibrary::coldflux();
+    let base = PpvModel::paper_defaults().with_margin_scale(1.0);
+    println!("calibrating margin scale to the 80% uncoded anchor (1000 chips x 100 messages)...");
+    let cal = calibrate_margin_scale(&library, base, 0.80, 1000, 100, 0x5f5_ecc);
+    println!(
+        "margin_scale = {:.4}  (uncoded zero-error probability {:.3}, target {:.3})",
+        cal.margin_scale, cal.achieved, cal.target
+    );
+    println!(
+        "current paper_defaults margin_scale = {:.4}",
+        PpvModel::paper_defaults().margin_scale
+    );
+}

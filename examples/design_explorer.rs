@@ -36,7 +36,12 @@ fn main() {
     for row in paper_table1() {
         println!(
             "{:<14} {:>4} | {:>13} {:>13} | {:>12} {:>12}",
-            row.code, row.dmin, row.worst_detected, row.worst_corrected, row.best_detected, row.best_corrected
+            row.code,
+            row.dmin,
+            row.worst_detected,
+            row.worst_corrected,
+            row.best_detected,
+            row.best_corrected
         );
     }
 
@@ -50,7 +55,11 @@ fn main() {
 
     println!();
     println!("=== Encoder structure ===");
-    for kind in [EncoderKind::Hamming84, EncoderKind::Hamming74, EncoderKind::Rm13] {
+    for kind in [
+        EncoderKind::Hamming84,
+        EncoderKind::Hamming74,
+        EncoderKind::Rm13,
+    ] {
         let design = EncoderDesign::build(kind);
         let stats = design.stats(&library);
         println!(

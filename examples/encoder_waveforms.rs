@@ -10,7 +10,9 @@ use sfq_ecc::gf2::BitVec;
 use sfq_ecc::link::waveform::{render_waveforms, WaveformConfig};
 
 fn main() {
-    let message_str = std::env::args().nth(1).unwrap_or_else(|| "1011".to_string());
+    let message_str = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "1011".to_string());
     let message = BitVec::from_str01(&message_str);
     assert_eq!(message.len(), 4, "message must be 4 bits");
 
@@ -20,7 +22,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let waveforms = render_waveforms(&encoder, &message, &config, &mut rng);
 
-    println!("Hamming(8,4) encoder at {} GHz, message {message} -> codeword {codeword}", config.clock_ghz);
+    println!(
+        "Hamming(8,4) encoder at {} GHz, message {message} -> codeword {codeword}",
+        config.clock_ghz
+    );
     println!(
         "clock period {} ps, SFQ pulse width {:.1} ps, thermal noise {:.0} uV rms",
         config.clock_period_ps(),
@@ -28,7 +33,10 @@ fn main() {
         config.noise_rms_uv
     );
     println!();
-    println!("time axis: 0 .. {:.0} ps ('|' = pulse, '.' = noise)", waveforms.duration_ps);
+    println!(
+        "time axis: 0 .. {:.0} ps ('|' = pulse, '.' = noise)",
+        waveforms.duration_ps
+    );
     print!("{}", waveforms.to_ascii(72));
     println!();
 

@@ -21,7 +21,10 @@ fn main() {
     let model = PpvModel::paper_defaults();
     let mut rng = StdRng::seed_from_u64(seed);
 
-    println!("sampling one fabricated chip per encoder at ±{:.0}% spread (seed {seed})", model.spread * 100.0);
+    println!(
+        "sampling one fabricated chip per encoder at ±{:.0}% spread (seed {seed})",
+        model.spread * 100.0
+    );
     println!();
 
     for kind in EncoderKind::ALL {

@@ -6,7 +6,7 @@
 
 use sfq_ecc::cells::CellLibrary;
 use sfq_ecc::link::montecarlo::paper_zero_error_probabilities;
-use sfq_ecc::link::{Fig5Experiment};
+use sfq_ecc::link::Fig5Experiment;
 
 fn main() {
     let chips: usize = std::env::args()

@@ -11,7 +11,11 @@ fn main() {
     println!("message: {message}");
     println!();
 
-    for kind in [EncoderKind::Hamming84, EncoderKind::Hamming74, EncoderKind::Rm13] {
+    for kind in [
+        EncoderKind::Hamming84,
+        EncoderKind::Hamming74,
+        EncoderKind::Rm13,
+    ] {
         let encoder = EncoderDesign::build(kind);
 
         // Encode twice: once through the reference generator matrix and once

@@ -1,0 +1,88 @@
+//! Offline stand-in for the `crossbeam::scope` API used by this workspace.
+//!
+//! Since Rust 1.63 the standard library's [`std::thread::scope`] provides the
+//! same borrowing guarantees crossbeam's scoped threads pioneered, so this
+//! shim is a thin adapter: real OS threads, real parallelism, the crossbeam
+//! call shape (`crossbeam::scope(|s| { s.spawn(|_| ...); }).expect(...)`).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result type mirroring `crossbeam::thread::scope`: `Err` carries the panic
+/// payload of a worker thread.
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle passed to the closure of [`scope`] and to every spawned
+/// thread's closure (crossbeam passes the scope so workers can spawn
+/// sub-workers).
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The join handle can be ignored: all threads
+    /// are joined when the scope ends, exactly like crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned, joining all
+/// of them before returning. Returns `Err` with the panic payload if any
+/// spawned thread (or the closure itself) panicked.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_share_borrowed_slices() {
+        let mut results = vec![0usize; 8];
+        scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = i * i;
+                });
+            }
+        })
+        .expect("workers should not panic");
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_as_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let mut flag = false;
+        scope(|s| {
+            let flag_ref = &mut flag;
+            s.spawn(move |inner| {
+                inner.spawn(move |_| {
+                    *flag_ref = true;
+                });
+            });
+        })
+        .expect("no panic");
+        assert!(flag);
+    }
+}

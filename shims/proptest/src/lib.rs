@@ -1,0 +1,241 @@
+//! Offline stand-in for the `proptest` API surface used by this workspace.
+//!
+//! Supports the subset `tests/properties.rs` relies on: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`, `any::<T>()`, integer-range
+//! strategies, `prop::collection::vec`, and the `prop_assert*` macros.
+//! Each test runs a fixed number of deterministic random cases (seeded from
+//! the test name), so failures are reproducible run-to-run. Unlike the real
+//! proptest there is no shrinking — the failing case is reported as-is.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: usize = 256;
+
+/// The RNG handed to strategies. A thin wrapper so the public API does not
+/// leak the shim's `rand` internals.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates a generator for one test, seeded from the test's name so every
+    /// test draws an independent, reproducible stream.
+    #[must_use]
+    pub fn for_test(test_name: &str) -> Self {
+        TestRng(StdRng::seed_from_u64(fnv1a(test_name)))
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Samples uniformly below `n`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.0.random_range(0..n)
+    }
+}
+
+/// FNV-1a hash used to derive per-test seeds.
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`, mirroring `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below((end - start) as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+/// Mirrors the `proptest::prop` module tree (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for fixed-length `Vec`s of `element` samples.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                (0..self.len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Mirrors `prop::collection::vec(element, size)` for a fixed size.
+        pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Mirrors `proptest!`: declares test functions whose arguments are drawn
+/// from strategies, run [`CASES`] times with a per-test deterministic seed.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::TestRng::for_test(stringify!($name));
+                for __proptest_case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&{ $strategy }, &mut __proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Mirrors `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirrors `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 1usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_has_requested_length(bits in prop::collection::vec(any::<bool>(), 16)) {
+            prop_assert_eq!(bits.len(), 16);
+        }
+
+        #[test]
+        fn prop_map_applies(fours in (0u64..4).prop_map(|x| x * 4) ) {
+            prop_assert_eq!(fours % 4, 0);
+            prop_assert!(fours < 16);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(super::fnv1a("a"), super::fnv1a("b"));
+    }
+}

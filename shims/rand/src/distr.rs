@@ -1,0 +1,141 @@
+//! Standard and range distributions.
+
+use crate::{uniform_below, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled from their "standard" distribution
+/// (`rng.random::<T>()`).
+pub trait StandardUniform: Sized {
+    /// Draws one sample from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_uniform_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that `Rng::random_range` accepts.
+pub trait SampleRange<T> {
+    /// Draws one sample uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + i128::from(uniform_below(rng, span))) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    // Only reachable for the full u64/i64/u128-like domain.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + i128::from(uniform_below(rng, span as u64))) as $t
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u = f64::sample_standard(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from empty range");
+        let u = f64::sample_standard(rng);
+        start + u * (end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = rng.random_range(0..16);
+            assert!(x < 16);
+            let y: usize = rng.random_range(3..=7);
+            assert!((3..=7).contains(&y));
+            let z: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_range_appear() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 16];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..16usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.random_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _: u64 = rng.random_range(5..5);
+    }
+}

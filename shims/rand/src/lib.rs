@@ -1,0 +1,71 @@
+//! Offline stand-in for the `rand` 0.9 API surface used by this workspace.
+//!
+//! The execution environment has no access to crates.io, so the real `rand`
+//! cannot be vendored. This shim implements the subset the workspace calls —
+//! `Rng::random`, `Rng::random_range`, `Rng::random_bool`, `SeedableRng::
+//! seed_from_u64`, and `rngs::StdRng` — on top of a xoshiro256++ generator
+//! seeded through SplitMix64. Streams are deterministic for a fixed seed,
+//! which is all the Monte-Carlo experiments require; they do *not* reproduce
+//! the byte streams of the real `rand` crate.
+
+pub mod distr;
+pub mod rngs;
+
+use distr::{SampleRange, StandardUniform};
+
+/// Low-level entropy source: 64 random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64`/`f32`: uniform in `[0, 1)`; integers: uniform over the full
+    /// range; `bool`: fair coin).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Construction of reproducible generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform `u64` below `n` via Lemire's multiply-shift method with rejection
+/// (unbiased).
+pub(crate) fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(n);
+    let mut lo = m as u64;
+    if lo < n {
+        let threshold = n.wrapping_neg() % n;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(n);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}

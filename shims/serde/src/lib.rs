@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The execution environment for this workspace has no access to crates.io,
+//! so the real `serde` cannot be vendored. The workspace only uses serde as a
+//! *marker* — types derive `Serialize`/`Deserialize` so that downstream users
+//! can persist results — and never actually serializes anything in-tree.
+//! This shim therefore provides the two traits with no required items plus a
+//! derive macro that emits empty impls. Swapping the real serde back in is a
+//! one-line change in the workspace manifest and requires no source edits.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The real trait's `serialize` method is intentionally absent: no code in
+/// this workspace calls it, and leaving it out lets the derive macro emit
+/// empty impls without needing a full serialization framework.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,57 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty `impl serde::Serialize` / `impl serde::Deserialize` blocks for
+//! the annotated type. Because the shim traits have no required items (see
+//! `shims/serde`), an empty impl satisfies them. The parser below handles the
+//! shapes used in this workspace: non-generic `struct`s and `enum`s, possibly
+//! preceded by attributes, doc comments, and a visibility modifier.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive macro was applied to.
+///
+/// Scans the token stream for the `struct`/`enum`/`union` keyword and returns
+/// the identifier that follows. Panics (a compile error in practice) when the
+/// following tokens declare generic parameters, which this shim does not
+/// support — no type in the workspace derives serde traits generically.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tree) = tokens.next() {
+        let TokenTree::Ident(ident) = &tree else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("serde shim derive: expected a type name after `{kw}`");
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            assert!(
+                p.as_char() != '<',
+                "serde shim derive: generic types are not supported (type `{name}`)"
+            );
+        }
+        return name.to_string();
+    }
+    panic!("serde shim derive: no struct/enum/union found in input");
+}
+
+/// Derives the shim `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl must parse")
+}
+
+/// Derives the shim `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl must parse")
+}

@@ -1,0 +1,3 @@
+//! Host crate for the workspace-level integration tests (`tests/`) and
+//! examples (`examples/`). All functionality lives in the member crates; see
+//! the `sfq-ecc` facade crate for the public API.

@@ -19,7 +19,12 @@ fn fault_free_link_is_error_free_for_all_designs_and_messages() {
         for m in 0u64..16 {
             let msg = BitVec::from_u64(4, m);
             let result = link.transmit(&msg, &mut rng);
-            assert_eq!(result.outcome, LinkOutcome::Correct, "{} {m:04b}", design.name());
+            assert_eq!(
+                result.outcome,
+                LinkOutcome::Correct,
+                "{} {m:04b}",
+                design.name()
+            );
         }
     }
 }

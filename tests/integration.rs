@@ -48,7 +48,9 @@ fn paper_circuits_are_smaller_than_generic_synthesis() {
     let generic_stats = NetlistStats::compute(&generic, &lib);
     let paper_stats = EncoderDesign::build(EncoderKind::Hamming84).stats(&lib);
     assert!(paper_stats.cost.jj_count < generic_stats.cost.jj_count);
-    assert!(paper_stats.histogram.count(CellKind::Xor) <= generic_stats.histogram.count(CellKind::Xor));
+    assert!(
+        paper_stats.histogram.count(CellKind::Xor) <= generic_stats.histogram.count(CellKind::Xor)
+    );
 }
 
 /// The (38,32) prior-art baseline of reference [14] synthesizes, passes DRC,
@@ -95,7 +97,11 @@ fn stats_pipeline_is_consistent_for_all_designs() {
 /// simulator actually needs before the codeword settles.
 #[test]
 fn reported_latency_matches_simulated_settling_time() {
-    for kind in [EncoderKind::Hamming74, EncoderKind::Hamming84, EncoderKind::Rm13] {
+    for kind in [
+        EncoderKind::Hamming74,
+        EncoderKind::Hamming84,
+        EncoderKind::Rm13,
+    ] {
         let design = EncoderDesign::build(kind);
         let msg = BitVec::from_str01("1111");
         let trace = design.simulate(&msg);

@@ -63,9 +63,18 @@ fn table1_capabilities() {
     let h84 = table1_row(&Hamming84::new());
     let rm = table1_row(&Rm13::new());
     assert_eq!((h74.dmin, h84.dmin, rm.dmin), (3, 4, 4));
-    assert_eq!((h74.worst_corrected, h84.worst_corrected, rm.worst_corrected), (1, 1, 1));
-    assert_eq!(h74.worst_detected, 1, "Hamming(7,4) worst case: miscorrects 2-bit errors");
-    assert_eq!(rm.best_corrected, 2, "RM(1,3) best case corrects some 2-bit patterns");
+    assert_eq!(
+        (h74.worst_corrected, h84.worst_corrected, rm.worst_corrected),
+        (1, 1, 1)
+    );
+    assert_eq!(
+        h74.worst_detected, 1,
+        "Hamming(7,4) worst case: miscorrects 2-bit errors"
+    );
+    assert_eq!(
+        rm.best_corrected, 2,
+        "RM(1,3) best case corrects some 2-bit patterns"
+    );
     assert_eq!(h84.best_corrected, 1);
 }
 
@@ -90,7 +99,8 @@ fn hamming84_splitter_budget() {
     let total = design.netlist().count_cells(CellKind::Splitter);
     assert_eq!(total, 23);
     // 13 of them belong to the clock tree (14 clocked cells).
-    let clocked = design.netlist().count_cells(CellKind::Xor) + design.netlist().count_cells(CellKind::Dff);
+    let clocked =
+        design.netlist().count_cells(CellKind::Xor) + design.netlist().count_cells(CellKind::Dff);
     assert_eq!(clocked, 14);
     assert_eq!(total - (clocked - 1), 10, "10 data splitters");
 }
@@ -103,11 +113,24 @@ fn table2_is_reproduced_exactly() {
     let computed = table2_rows(&lib);
     for (ours, theirs) in computed.iter().zip(paper_table2()) {
         assert_eq!(ours.jj_count, theirs.jj_count, "{}", theirs.encoder);
-        assert!((ours.power_uw - theirs.power_uw).abs() < 0.05, "{}", theirs.encoder);
-        assert!((ours.area_mm2 - theirs.area_mm2).abs() < 0.0005, "{}", theirs.encoder);
+        assert!(
+            (ours.power_uw - theirs.power_uw).abs() < 0.05,
+            "{}",
+            theirs.encoder
+        );
+        assert!(
+            (ours.area_mm2 - theirs.area_mm2).abs() < 0.0005,
+            "{}",
+            theirs.encoder
+        );
         assert_eq!(
             (ours.xor_gates, ours.dffs, ours.splitters, ours.sfq_to_dc),
-            (theirs.xor_gates, theirs.dffs, theirs.splitters, theirs.sfq_to_dc),
+            (
+                theirs.xor_gates,
+                theirs.dffs,
+                theirs.splitters,
+                theirs.sfq_to_dc
+            ),
             "{}",
             theirs.encoder
         );

@@ -2,7 +2,7 @@
 //! invariants of the workspace.
 
 use proptest::prelude::*;
-use sfq_ecc::ecc::{BlockCode, HardDecoder, Hamming74, Hamming84, ReedMuller, Rm13};
+use sfq_ecc::ecc::{BlockCode, Hamming74, Hamming84, HardDecoder, ReedMuller, Rm13};
 use sfq_ecc::encoders::{EncoderDesign, EncoderKind};
 use sfq_ecc::gf2::{BitMat, BitVec};
 use sfq_ecc::netlist::synth;
