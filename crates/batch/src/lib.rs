@@ -37,7 +37,7 @@
 
 use ecc::{
     generator_right_inverse, BatchDecode, BatchDecoded, BatchEncode, BlockCode, DecodeOutcome,
-    Hamming74, Hamming84, HardDecoder, Repetition, Rm13, Uncoded,
+    Hamming74, Hamming84, HardDecoder, Repetition, Rm13, SecDed, Uncoded,
 };
 use gf2::{BitMat, BitSlice64, BitVec};
 
@@ -45,12 +45,16 @@ use gf2::{BitMat, BitSlice64, BitVec};
 /// `2^(n-k)` entries, so this caps it at one million.
 pub const MAX_REDUNDANCY: usize = 20;
 
+/// Largest supported codeword length: masks are single `u128`s, which covers
+/// every catalog code up to and beyond SEC-DED(72,64).
+pub const MAX_BLOCK_LENGTH: usize = 128;
+
 /// What the scalar decoder does for one syndrome value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SyndromeAction {
     /// Error pattern to XOR into the received word (bit `p` = codeword
     /// position `p`). Zero for the zero syndrome.
-    flip: u64,
+    flip: u128,
     /// `true` when the decoder raises the error flag instead of correcting.
     detected: bool,
 }
@@ -65,35 +69,38 @@ struct SyndromeAction {
 /// * the pivot/transform pair of [`generator_right_inverse`] (for lane
 ///   message extraction).
 ///
-/// All masks are single `u64`s, so the code must satisfy `n ≤ 64`, `k ≤ 64`,
-/// and `n - k ≤` [`MAX_REDUNDANCY`] — comfortably true for every code in
-/// this workspace.
+/// All masks are single `u128`s, so the code must satisfy `n ≤`
+/// [`MAX_BLOCK_LENGTH`] and `n - k ≤` [`MAX_REDUNDANCY`] — comfortably true
+/// for every code in this workspace, including the wide SEC-DED family.
 #[derive(Debug, Clone)]
 pub struct BatchCodec {
     name: String,
     n: usize,
     k: usize,
     /// `encode_masks[j]`: support of generator column `j` over message bits.
-    encode_masks: Vec<u64>,
+    encode_masks: Vec<u128>,
     /// `syndrome_masks[t]`: support of parity-check row `t` over codeword bits.
-    syndrome_masks: Vec<u64>,
+    syndrome_masks: Vec<u128>,
     /// Indexed by syndrome value (bit `t` = syndrome lane `t`).
     actions: Vec<SyndromeAction>,
     /// `extract_masks[j]`: support over codeword bits whose parity is message
     /// bit `j` (from the generator's right inverse).
-    extract_masks: Vec<u64>,
+    extract_masks: Vec<u128>,
 }
 
 impl BatchCodec {
     /// Builds the batch engine for a scalar code + hard decoder.
     ///
     /// # Panics
-    /// Panics if the code exceeds the `n ≤ 64` / `n - k ≤ 20` limits, or if
+    /// Panics if the code exceeds the `n ≤ 128` / `n - k ≤ 20` limits, or if
     /// the parity-check matrix does not have full row rank.
     #[must_use]
     pub fn new<C: BlockCode + HardDecoder>(code: &C) -> Self {
         let (n, k) = (code.n(), code.k());
-        assert!(n <= 64, "batch codec supports n <= 64 (got {n})");
+        assert!(
+            n <= MAX_BLOCK_LENGTH,
+            "batch codec supports n <= {MAX_BLOCK_LENGTH} (got {n})"
+        );
         assert!(k <= n, "k must not exceed n");
         let redundancy = n - k;
         assert!(
@@ -102,21 +109,21 @@ impl BatchCodec {
         );
 
         let g = code.generator();
-        let encode_masks: Vec<u64> = (0..n).map(|j| column_mask(g, j)).collect();
+        let encode_masks: Vec<u128> = (0..n).map(|j| column_mask(g, j)).collect();
 
         let h = code.parity_check();
-        let syndrome_masks: Vec<u64> = (0..redundancy).map(|t| row_mask(h, t)).collect();
+        let syndrome_masks: Vec<u128> = (0..redundancy).map(|t| row_mask(h, t)).collect();
 
         let actions = build_syndrome_actions(code);
 
         let (pivots, transform) = generator_right_inverse(g);
-        let extract_masks: Vec<u64> = (0..k)
+        let extract_masks: Vec<u128> = (0..k)
             .map(|j| {
                 pivots
                     .iter()
                     .enumerate()
                     .filter(|&(i, _)| transform.get(i, j))
-                    .fold(0u64, |mask, (_, &p)| mask | (1u64 << p))
+                    .fold(0u128, |mask, (_, &p)| mask | (1u128 << p))
             })
             .collect();
 
@@ -159,6 +166,13 @@ impl BatchCodec {
     #[must_use]
     pub fn uncoded(k: usize) -> Self {
         Self::new(&Uncoded::new(k))
+    }
+
+    /// Batch engine for the SEC-DED family member with `2^m` data bits
+    /// (`m = 6` is the wide (72,64) code).
+    #[must_use]
+    pub fn sec_ded(m: usize) -> Self {
+        Self::new(&SecDed::new(m))
     }
 
     /// Human-readable name, derived from the scalar code's.
@@ -297,10 +311,10 @@ impl BatchDecode for BatchCodec {
 }
 
 /// Support of generator column `j` as a mask over message-bit indices.
-fn column_mask(g: &BitMat, j: usize) -> u64 {
-    (0..g.rows()).fold(0u64, |mask, i| {
+fn column_mask(g: &BitMat, j: usize) -> u128 {
+    (0..g.rows()).fold(0u128, |mask, i| {
         if g.get(i, j) {
-            mask | (1u64 << i)
+            mask | (1u128 << i)
         } else {
             mask
         }
@@ -308,10 +322,10 @@ fn column_mask(g: &BitMat, j: usize) -> u64 {
 }
 
 /// Support of parity-check row `t` as a mask over codeword positions.
-fn row_mask(h: &BitMat, t: usize) -> u64 {
-    (0..h.cols()).fold(0u64, |mask, p| {
+fn row_mask(h: &BitMat, t: usize) -> u128 {
+    (0..h.cols()).fold(0u128, |mask, p| {
         if h.get(t, p) {
-            mask | (1u64 << p)
+            mask | (1u128 << p)
         } else {
             mask
         }
@@ -371,7 +385,7 @@ fn build_syndrome_actions<C: BlockCode + HardDecoder>(code: &C) -> Vec<SyndromeA
                     let codeword = decoded
                         .codeword
                         .expect("non-detected decode must produce a codeword");
-                    let flip = (&representative ^ &codeword).to_u64();
+                    let flip = (&representative ^ &codeword).to_u128();
                     SyndromeAction {
                         flip,
                         detected: false,
@@ -542,6 +556,67 @@ mod tests {
         let codec = BatchCodec::hamming84();
         assert_eq!((codec.n(), codec.k()), (8, 4));
         assert!(codec.name().contains("Hamming(8,4)"));
+    }
+
+    #[test]
+    fn secded_72_64_batch_corrects_singles_and_flags_doubles() {
+        // The widest catalog member: 72 lanes (beyond one u64 mask), 8-bit
+        // syndrome table. Messages are 64-bit, drawn from a seeded RNG.
+        let codec = BatchCodec::sec_ded(6);
+        assert_eq!((codec.n(), codec.k()), (72, 64));
+        let mut rng = StdRng::seed_from_u64(0x7264);
+        let messages: Vec<BitVec> = (0..130)
+            .map(|_| BitVec::from_u64(64, rng.random::<u64>()))
+            .collect();
+        let clean = codec.encode_batch(&BitSlice64::pack(&messages));
+
+        // Clean round trip.
+        let decoded = codec.decode_batch(&clean);
+        assert_eq!(decoded.flagged_count(), 0);
+        assert_eq!(decoded.messages.unpack(), messages);
+
+        // One error per word: corrected. Words 10 and 100 get a second
+        // error: flagged.
+        let mut received = clean.clone();
+        for i in 0..130 {
+            let pos = rng.random_range(0..72usize);
+            received.set(i, pos, !received.get(i, pos));
+            if i == 10 || i == 100 {
+                let second = (pos + 1 + rng.random_range(0..70usize)) % 72;
+                received.set(i, second, !received.get(i, second));
+            }
+        }
+        let decoded = codec.decode_batch(&received);
+        for (i, message) in messages.iter().enumerate() {
+            if i == 10 || i == 100 {
+                assert!(decoded.is_flagged(i), "word {i} must be flagged");
+            } else {
+                assert!(decoded.is_corrected(i), "word {i}");
+                assert_eq!(decoded.messages.extract(i), *message, "word {i}");
+            }
+        }
+        assert_eq!(decoded.flagged_count(), 2);
+    }
+
+    #[test]
+    fn secded_batch_matches_scalar_for_whole_family() {
+        for m in 3..=6 {
+            let scalar = SecDed::new(m);
+            let codec = BatchCodec::sec_ded(m);
+            let mut rng = StdRng::seed_from_u64(m as u64);
+            let k = scalar.k();
+            let messages: Vec<BitVec> = (0..64)
+                .map(|_| {
+                    (0..k)
+                        .map(|_| rng.random::<u64>() & 1 == 1)
+                        .collect::<BitVec>()
+                })
+                .collect();
+            let encoded = codec.encode_batch(&BitSlice64::pack(&messages));
+            for (i, msg) in messages.iter().enumerate() {
+                assert_eq!(encoded.extract(i), scalar.encode(msg), "m={m} word {i}");
+            }
+        }
     }
 
     #[test]

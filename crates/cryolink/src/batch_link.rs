@@ -3,7 +3,7 @@
 //! [`BatchLink`] runs the Fig. 5 Monte-Carlo inner loop — encode, corrupt,
 //! decode, classify — through the bit-sliced batch codec of the `sfq-batch`
 //! crate instead of the scalar gate-level path. One fabricated chip's fault
-//! map is condensed into a per-output-channel flip probability (see
+//! map is condensed into a set of correlated error sources (see
 //! [`BatchLink::new`]), errors are injected 64 messages per `u64` limb, and
 //! outcomes are counted with popcounts. On the paper's 8-bit codes this is
 //! orders of magnitude faster per message than pulse-level simulation, which
@@ -13,13 +13,20 @@
 //!
 //! The *codec* (encode/syndrome/decode) is bit-exact with the scalar `ecc`
 //! decoders by construction. The *channel/fault model* is an approximation:
-//! instead of replaying pulses through the faulty netlist, each output
-//! channel `j` flips independently with the probability that some faulty cell
-//! in its fan-in cone malfunctions (XOR-composed, since an odd number of
-//! upstream malfunctions flips the bit), composed with the cable's crossover
-//! probability. The scalar [`crate::CryoLink`] remains the reference oracle;
-//! `montecarlo::Fig5Experiment::run_design_batched` uses this driver and the
-//! workspace tests check it tracks the scalar statistics.
+//! instead of replaying pulses through the faulty netlist, each faulty cell
+//! is an independent Bernoulli error source at its per-activation malfunction
+//! probability, and when it fires it flips **every output channel whose
+//! fan-in cone contains the cell, together** (one shared draw per cell per
+//! limb). This correlated injection matters at wide words: a malfunctioning
+//! splitter deep in the clock tree of the SEC-DED(72,64) encoder corrupts
+//! many codeword bits of the same word, which the decoder must flag rather
+//! than correct — a per-channel independent-flip model would dilute such
+//! bursts into mostly-correctable single errors. Cable/receiver noise is
+//! genuinely independent per channel and is injected that way, at the
+//! channel's crossover probability. The scalar [`crate::CryoLink`] remains
+//! the reference oracle; `montecarlo::Fig5Experiment::run_design_batched`
+//! uses this driver and the workspace tests check it tracks the scalar
+//! statistics.
 //!
 //! One deliberate policy difference: the batch decoder uses the
 //! tie-*detecting* RM(1,3) decoder (coset-invariant), while the scalar link
@@ -32,8 +39,8 @@ use encoders::EncoderDesign;
 use gf2::BitSlice64;
 use rand::Rng;
 use sfq_batch::BatchCodec;
-use sfq_netlist::{Netlist, NodeId};
-use sfq_sim::FaultMap;
+use sfq_netlist::Netlist;
+use sfq_sim::{FailureMode, FaultMap};
 
 /// Outcome counts of one transmitted batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,24 +72,54 @@ impl BatchLinkStats {
     }
 }
 
+/// One correlated error source: a faulty cell and the output channels its
+/// malfunctions reach.
+#[derive(Debug, Clone)]
+struct FaultSource {
+    /// Effective per-word flip probability of the cell (`q/2`: a dropped or
+    /// spurious pulse corrupts the affected channels for one of the two
+    /// nominal bit values).
+    prob: f64,
+    /// Output channel indices whose fan-in cone contains the cell; one draw
+    /// flips all of them together.
+    channels: Vec<usize>,
+}
+
 /// One encoder chip driven through the bit-sliced batch path.
 pub struct BatchLink<'a> {
     design: &'a EncoderDesign,
     codec: BatchCodec,
+    /// Correlated per-faulty-cell error sources of this chip.
+    sources: Vec<FaultSource>,
+    /// Independent per-channel crossover probability of the cable/receiver.
+    crossover: f64,
+    /// Marginal per-channel flip probabilities (chip faults XOR-composed with
+    /// the cable), kept for reporting and sanity tests.
     flip_probs: Vec<f64>,
 }
 
 impl<'a> BatchLink<'a> {
     /// Builds a batch link for a design and one sampled chip.
     ///
-    /// Every output channel's flip probability is derived from the chip's
-    /// fault map: walk the output's transitive fan-in cone (data *and* clock
-    /// ports), take each faulty cell's per-activation malfunction probability
-    /// `q` at effective flip rate `q/2` (a dropped or spurious pulse corrupts
-    /// the channel for one of the two nominal bit values), and XOR-compose —
-    /// an odd number of upstream malfunctions flips the bit:
-    /// `p ⊕ q = p(1-q) + q(1-p)`. The cable's crossover probability is
-    /// composed in the same way.
+    /// Every faulty cell of the chip becomes a correlated error source whose
+    /// per-message firing probability depends on its failure mode:
+    ///
+    /// * **drop / invert** faults fire at `q/2` — although the pulse-level
+    ///   oracle rolls such cells on every activation, a dropped pulse only
+    ///   corrupts on the one cycle the data (or the clock pulse releasing
+    ///   it) transits the cell, and only for one of the two nominal bit
+    ///   values;
+    /// * **spurious** faults fire at the parity of `Binomial(d + 1, q)`,
+    ///   where `d` is the cell's clocked depth — the oracle rolls them every
+    ///   cycle, extra pulses cancel pairwise at the toggling SFQ-to-DC
+    ///   converters, and only fires early enough to reach the outputs by the
+    ///   sampling cycle are visible.
+    ///
+    /// When a source fires it flips every affected output channel together:
+    /// the full data+clock fan-out cone for drop/invert, the data-port-only
+    /// cone for spurious (an extra edge on a clock port evaluates an empty
+    /// cell, which emits nothing). Channel noise is injected independently
+    /// per channel at the cable's crossover probability.
     #[must_use]
     pub fn new(design: &'a EncoderDesign, faults: &FaultMap, channel: ChannelConfig) -> Self {
         Self::with_codec(design, batch_codec_for(design), faults, channel)
@@ -100,16 +137,56 @@ impl<'a> BatchLink<'a> {
     ) -> Self {
         let crossover = channel.crossover_probability();
         let netlist = design.netlist();
-        let flip_probs = netlist
-            .outputs()
-            .iter()
-            .map(|&out| {
-                let cone = fanin_cone(netlist, out);
+        let cones = DownstreamCones::of(netlist);
+        let cycles = design.latency() + 1;
+        // `iter_faulty` yields nodes in index order, which fixes the RNG
+        // draw order of `transmit_batch` deterministically.
+        let sources: Vec<FaultSource> = faults
+            .iter_faulty()
+            .filter_map(|(id, fault)| {
+                let q = fault.activation_failure_prob;
+                let (prob, channels) = match fault.mode {
+                    // A dropped (or inverted) pulse is only visible on the
+                    // one cycle the data transits the cell, and only for one
+                    // of the two nominal bit values. Dropped *clock* pulses
+                    // corrupt too (held flux is released late), so the full
+                    // data+clock cone is affected.
+                    FailureMode::DropPulse | FailureMode::Invert => {
+                        (0.5 * q, cones.full[id.0].clone())
+                    }
+                    // A spurious emission only corrupts where it can inject a
+                    // *data* pulse (an extra edge on a clock port evaluates
+                    // an empty cell, which emits nothing). The pulse-level
+                    // simulator rolls spurious cells once per cycle
+                    // (combinational ones via the per-cycle activity step,
+                    // clocked ones at every clock edge), and the toggling
+                    // SFQ-to-DC levels record the *parity* of the extra
+                    // pulses: P(odd of Binomial(c, q)) = (1 − (1−2q)^c) / 2.
+                    FailureMode::SpuriousPulse => {
+                        // Only fires early enough to reach the outputs by the
+                        // sampling cycle count: a pulse from a cell at
+                        // clocked depth `d` needs `latency − d` further
+                        // stages, so of the `latency + 1` rolls, `d + 1`
+                        // arrive in time.
+                        let rolls = (cones.depth[id.0] + 1).min(cycles);
+                        let prob = 0.5 * (1.0 - (1.0 - 2.0 * q.min(0.5)).powi(rolls as i32));
+                        (prob, cones.data_only[id.0].clone())
+                    }
+                };
+                if channels.is_empty() {
+                    return None;
+                }
+                Some(FaultSource { prob, channels })
+            })
+            .collect();
+
+        let n = netlist.outputs().len();
+        let flip_probs = (0..n)
+            .map(|j| {
                 let mut p = 0.0f64;
-                for id in cone {
-                    let fault = faults.get(id);
-                    if fault.is_faulty() {
-                        p = xor_compose(p, 0.5 * fault.activation_failure_prob);
+                for source in &sources {
+                    if source.channels.contains(&j) {
+                        p = xor_compose(p, source.prob);
                     }
                 }
                 xor_compose(p, crossover)
@@ -118,6 +195,8 @@ impl<'a> BatchLink<'a> {
         BatchLink {
             design,
             codec,
+            sources,
+            crossover,
             flip_probs,
         }
     }
@@ -179,15 +258,35 @@ impl<'a> BatchLink<'a> {
         let words = received.words();
         let tail = received.tail_mask();
 
-        // Batched error injection: one Bernoulli limb per (position, word).
-        for (bit, &p) in self.flip_probs.iter().enumerate() {
-            if p <= 0.0 {
+        // Correlated chip-fault injection: one Bernoulli limb per (source,
+        // word), XORed into every channel the source reaches — 64 words
+        // share each draw column-wise, and all affected channels of one word
+        // flip together.
+        for source in &self.sources {
+            if source.prob <= 0.0 {
                 continue;
             }
-            let lane = received.lane_mut(bit);
-            for (w, limb) in lane.iter_mut().enumerate() {
-                let mask = if w + 1 == words { tail } else { u64::MAX };
-                *limb ^= bernoulli_limb(rng, p) & mask;
+            for w in 0..words {
+                let valid = if w + 1 == words { tail } else { u64::MAX };
+                let mask = bernoulli_limb(rng, source.prob) & valid;
+                if mask == 0 {
+                    continue;
+                }
+                for &channel in &source.channels {
+                    received.lane_mut(channel)[w] ^= mask;
+                }
+            }
+        }
+
+        // Independent cable/receiver noise: one Bernoulli limb per
+        // (channel, word).
+        if self.crossover > 0.0 {
+            for bit in 0..self.codec.n() {
+                let lane = received.lane_mut(bit);
+                for (w, limb) in lane.iter_mut().enumerate() {
+                    let mask = if w + 1 == words { tail } else { u64::MAX };
+                    *limb ^= bernoulli_limb(rng, self.crossover) & mask;
+                }
             }
         }
 
@@ -221,29 +320,89 @@ pub fn batch_codec_for(design: &EncoderDesign) -> BatchCodec {
         EncoderKind::Hamming74 => BatchCodec::hamming74(),
         EncoderKind::Hamming84 => BatchCodec::hamming84(),
         EncoderKind::Rm13 => BatchCodec::rm13(),
+        EncoderKind::SecDed(m) => BatchCodec::sec_ded(usize::from(m)),
     }
 }
 
-/// Transitive fan-in cone of `node`: every node reachable backwards through
-/// data and clock ports.
-fn fanin_cone(netlist: &Netlist, node: NodeId) -> Vec<NodeId> {
-    let mut seen = vec![false; netlist.nodes().len()];
-    let mut stack = vec![node];
-    let mut cone = Vec::new();
-    while let Some(id) = stack.pop() {
-        if seen[id.0] {
-            continue;
-        }
-        seen[id.0] = true;
-        cone.push(id);
-        let ports = netlist.node(id).kind.input_ports();
-        for port in 0..ports {
-            if let Some(driver) = netlist.driver_of(id, port) {
-                stack.push(driver.node);
+/// Per-node downstream output channels, under two notions of reachability.
+struct DownstreamCones {
+    /// Channels reachable forward through **any** port (data or clock).
+    full: Vec<Vec<usize>>,
+    /// Channels reachable forward through **data** ports only.
+    data_only: Vec<Vec<usize>>,
+    /// Clocked stages from the primary inputs up to and including each node
+    /// (the netlist's logic-depth notion).
+    depth: Vec<usize>,
+}
+
+impl DownstreamCones {
+    /// Computes both cone maps with one backward DFS per output over driver
+    /// adjacencies built in a single pass over the connection list —
+    /// `Netlist::driver_of` scans all connections per call, which would make
+    /// per-chip cone walks quadratic on the wide SEC-DED netlists.
+    fn of(netlist: &Netlist) -> Self {
+        let node_count = netlist.nodes().len();
+        let mut drivers_full: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+        let mut drivers_data: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+        for connection in netlist.connections() {
+            let to = connection.to.0;
+            let from = connection.from.node.0;
+            drivers_full[to].push(from);
+            let is_clock_edge =
+                netlist.node(connection.to).kind.clock_port() == Some(connection.to_port);
+            if !is_clock_edge {
+                drivers_data[to].push(from);
             }
         }
+        let walk = |drivers: &[Vec<usize>]| -> Vec<Vec<usize>> {
+            let mut channels_of: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+            for (channel, &out) in netlist.outputs().iter().enumerate() {
+                let mut seen = vec![false; node_count];
+                let mut stack = vec![out.0];
+                while let Some(id) = stack.pop() {
+                    if seen[id] {
+                        continue;
+                    }
+                    seen[id] = true;
+                    channels_of[id].push(channel);
+                    stack.extend(drivers[id].iter().copied());
+                }
+            }
+            channels_of
+        };
+        // Node depths (clocked stages up to and including the node) by
+        // memoized DFS over the full driver adjacency.
+        let mut depth: Vec<Option<usize>> = vec![None; node_count];
+        fn depth_of(
+            id: usize,
+            netlist: &Netlist,
+            drivers: &[Vec<usize>],
+            memo: &mut Vec<Option<usize>>,
+        ) -> usize {
+            if let Some(d) = memo[id] {
+                return d;
+            }
+            memo[id] = Some(0); // cycle guard; real cycles are a DRC error
+            let own = usize::from(netlist.nodes()[id].kind.is_clocked());
+            let upstream = drivers[id]
+                .iter()
+                .map(|&d| depth_of(d, netlist, drivers, memo))
+                .max()
+                .unwrap_or(0);
+            let result = own + upstream;
+            memo[id] = Some(result);
+            result
+        }
+        for id in 0..node_count {
+            depth_of(id, netlist, &drivers_full, &mut depth);
+        }
+
+        DownstreamCones {
+            full: walk(&drivers_full),
+            data_only: walk(&drivers_data),
+            depth: depth.into_iter().map(|d| d.unwrap_or(0)).collect(),
+        }
     }
-    cone
 }
 
 /// XOR-composition of independent flip probabilities:

@@ -30,4 +30,7 @@ pub mod waveform;
 pub use batch_link::{BatchLink, BatchLinkStats};
 pub use channel::{ChannelConfig, CryoCable};
 pub use link::{CryoLink, LinkOutcome, TransmissionResult};
-pub use montecarlo::{ErrorCounting, Fig5Curve, Fig5Experiment, Fig5Result};
+pub use montecarlo::{
+    paper_zero_error_probabilities, wilson_interval, ErrorCounting, Fig5Curve, Fig5Experiment,
+    Fig5Result,
+};

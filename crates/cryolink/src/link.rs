@@ -2,9 +2,10 @@
 //!
 //! One [`CryoLink`] instance corresponds to one fabricated chip (one sampled
 //! fault map) connected to the room-temperature electronics through a cable
-//! bundle. [`CryoLink::transmit`] pushes a 4-bit message through the whole
-//! chain and classifies the outcome the way the paper's MATLAB
-//! post-processing does.
+//! bundle. [`CryoLink::transmit`] pushes a `k`-bit message (4 bits for the
+//! paper's designs, 64 for the wide SEC-DED word) through the whole chain
+//! and classifies the outcome the way the paper's MATLAB post-processing
+//! does.
 
 use crate::channel::{ChannelConfig, CryoCable};
 use ecc::DecodeOutcome;
@@ -31,7 +32,7 @@ pub enum LinkOutcome {
 /// Full record of one transmission.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransmissionResult {
-    /// The transmitted 4-bit message.
+    /// The transmitted `k`-bit message.
     pub message: BitVec,
     /// The codeword produced by the (possibly faulty) encoder circuit.
     pub transmitted: BitVec,
@@ -92,10 +93,10 @@ impl<'a> CryoLink<'a> {
         self.design
     }
 
-    /// Transmits one 4-bit message end to end.
+    /// Transmits one `k`-bit message end to end.
     ///
     /// # Panics
-    /// Panics if the message is not 4 bits.
+    /// Panics if the message width differs from the design's data width.
     pub fn transmit<R: Rng + ?Sized>(&self, message: &BitVec, rng: &mut R) -> TransmissionResult {
         let transmitted = self.design.transmit_with_faults(message, &self.faults, rng);
         let received = self.cable.transport(&transmitted, rng);

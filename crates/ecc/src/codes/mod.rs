@@ -4,4 +4,5 @@
 pub mod hamming;
 pub mod reed_muller;
 pub mod repetition;
+pub mod sec_ded;
 pub mod uncoded;

@@ -47,6 +47,7 @@ pub use batch::{BatchDecode, BatchDecoded, BatchEncode};
 pub use codes::hamming::{Hamming74, Hamming84, HammingCode, ShortenedHamming3832};
 pub use codes::reed_muller::{ReedMuller, Rm13};
 pub use codes::repetition::Repetition;
+pub use codes::sec_ded::{SecDed, SECDED_MAX_M, SECDED_MIN_M};
 pub use codes::uncoded::Uncoded;
 pub use decoder::{DecodeOutcome, Decoded};
 

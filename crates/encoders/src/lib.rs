@@ -38,16 +38,23 @@ pub mod no_encoder;
 pub mod rm13;
 pub mod table2;
 
-pub use table2::{paper_table2, table2_rows, Table2Row};
+pub use table2::{catalog_table_rows, paper_table2, table2_row_for, table2_rows, Table2Row};
 
-use ecc::{BlockCode, Decoded, Hamming74, Hamming84, HardDecoder, Rm13, Uncoded};
+use ecc::{BlockCode, Decoded, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, Uncoded};
 use gf2::BitVec;
 use serde::{Deserialize, Serialize};
 use sfq_cells::CellLibrary;
-use sfq_netlist::{Netlist, NetlistStats};
+use sfq_netlist::{synth, Netlist, NetlistStats};
 use sfq_sim::{FaultMap, GateLevelSim, Stimulus, Trace};
 
 /// Which encoder design to build.
+///
+/// Beyond the paper's three fixed encoders and the uncoded baseline, the
+/// kind space enumerates *parameterized family members*: [`EncoderKind::SecDed`]
+/// selects a shortened extended-Hamming SEC-DED code by its data-width
+/// exponent (`m = 6` is the wide (72,64) code of real memory/link
+/// deployments). [`EncoderKind::catalog`] lists every member the workspace
+/// can build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EncoderKind {
     /// Uncoded 4-bit transmission (the "no encoder" curve of Fig. 5).
@@ -58,6 +65,10 @@ pub enum EncoderKind {
     Hamming84,
     /// First-order Reed–Muller RM(1,3) encoder (Fig. 4).
     Rm13,
+    /// SEC-DED family member with `2^m` data bits (`m` in
+    /// [`ecc::SECDED_MIN_M`]`..=`[`ecc::SECDED_MAX_M`]); synthesized with
+    /// the generic generator-matrix flow rather than a hand-drawn schematic.
+    SecDed(u8),
 }
 
 impl EncoderKind {
@@ -70,14 +81,28 @@ impl EncoderKind {
         EncoderKind::None,
     ];
 
-    /// Display name matching the paper.
+    /// Every buildable design: the paper's four plus the SEC-DED family from
+    /// (13,8) up to (72,64).
     #[must_use]
-    pub fn name(&self) -> &'static str {
+    pub fn catalog() -> Vec<EncoderKind> {
+        let mut kinds = Self::ALL.to_vec();
+        kinds.extend((3..=ecc::SECDED_MAX_M as u8).map(EncoderKind::SecDed));
+        kinds
+    }
+
+    /// Display name matching the paper (and, for family members, the coding
+    /// literature's `(n,k)` convention).
+    #[must_use]
+    pub fn name(&self) -> String {
         match self {
-            EncoderKind::None => "No encoder",
-            EncoderKind::Hamming74 => "Hamming(7,4)",
-            EncoderKind::Hamming84 => "Hamming(8,4)",
-            EncoderKind::Rm13 => "Reed-Muller RM(1,3)",
+            EncoderKind::None => "No encoder".to_string(),
+            EncoderKind::Hamming74 => "Hamming(7,4)".to_string(),
+            EncoderKind::Hamming84 => "Hamming(8,4)".to_string(),
+            EncoderKind::Rm13 => "Reed-Muller RM(1,3)".to_string(),
+            EncoderKind::SecDed(m) => {
+                let k = 1usize << m;
+                format!("SEC-DED({},{k})", k + usize::from(*m) + 2)
+            }
         }
     }
 }
@@ -88,6 +113,7 @@ enum ReferenceCode {
     Hamming74(Hamming74),
     Hamming84(Hamming84),
     Rm13(Rm13),
+    SecDed(SecDed),
 }
 
 impl ReferenceCode {
@@ -97,6 +123,7 @@ impl ReferenceCode {
             ReferenceCode::Hamming74(c) => c.encode(message),
             ReferenceCode::Hamming84(c) => c.encode(message),
             ReferenceCode::Rm13(c) => c.encode(message),
+            ReferenceCode::SecDed(c) => c.encode(message),
         }
     }
 
@@ -109,6 +136,7 @@ impl ReferenceCode {
             // patterns (Table I best case); that corresponds to the FHT
             // decoder with spectral tie-breaking.
             ReferenceCode::Rm13(c) => c.decode_best_effort(received),
+            ReferenceCode::SecDed(c) => c.decode(received),
         }
     }
 
@@ -118,6 +146,17 @@ impl ReferenceCode {
             ReferenceCode::Hamming74(c) => c.n(),
             ReferenceCode::Hamming84(c) => c.n(),
             ReferenceCode::Rm13(c) => c.n(),
+            ReferenceCode::SecDed(c) => c.n(),
+        }
+    }
+
+    fn k(&self) -> usize {
+        match self {
+            ReferenceCode::None(c) => c.k(),
+            ReferenceCode::Hamming74(c) => c.k(),
+            ReferenceCode::Hamming84(c) => c.k(),
+            ReferenceCode::Rm13(c) => c.k(),
+            ReferenceCode::SecDed(c) => c.k(),
         }
     }
 }
@@ -126,6 +165,7 @@ impl ReferenceCode {
 /// and receiver-side decoder.
 pub struct EncoderDesign {
     kind: EncoderKind,
+    name: String,
     netlist: Netlist,
     sim: GateLevelSim,
     code: ReferenceCode,
@@ -133,25 +173,37 @@ pub struct EncoderDesign {
 }
 
 impl EncoderDesign {
-    /// Builds one of the paper's encoder designs.
+    /// Builds one of the catalog's encoder designs.
+    ///
+    /// The paper's four designs use the hand-drawn Fig. 2/Fig. 4 circuits;
+    /// SEC-DED family members are synthesized from their generator matrices
+    /// with [`synth::synthesize_linear_encoder`] (XOR trees, path balancing,
+    /// splitter fan-out, clock tree, SFQ-to-DC output drivers).
     #[must_use]
     pub fn build(kind: EncoderKind) -> Self {
-        let netlist = match kind {
-            EncoderKind::None => no_encoder::build_netlist(),
-            EncoderKind::Hamming74 => hamming74::build_netlist(),
-            EncoderKind::Hamming84 => hamming84::build_netlist(),
-            EncoderKind::Rm13 => rm13::build_netlist(),
-        };
         let code = match kind {
             EncoderKind::None => ReferenceCode::None(Uncoded::new(4)),
             EncoderKind::Hamming74 => ReferenceCode::Hamming74(Hamming74::new()),
             EncoderKind::Hamming84 => ReferenceCode::Hamming84(Hamming84::new()),
             EncoderKind::Rm13 => ReferenceCode::Rm13(Rm13::new()),
+            EncoderKind::SecDed(m) => ReferenceCode::SecDed(SecDed::new(usize::from(m))),
+        };
+        let netlist = match &code {
+            ReferenceCode::None(_) => no_encoder::build_netlist(),
+            ReferenceCode::Hamming74(_) => hamming74::build_netlist(),
+            ReferenceCode::Hamming84(_) => hamming84::build_netlist(),
+            ReferenceCode::Rm13(_) => rm13::build_netlist(),
+            ReferenceCode::SecDed(c) => synth::synthesize_linear_encoder(
+                &format!("secded_{}_{}_encoder", c.n(), c.k()),
+                c.generator(),
+                synth::SynthesisOptions::default(),
+            ),
         };
         let latency = netlist.logic_depth();
         let sim = GateLevelSim::new(&netlist);
         EncoderDesign {
             kind,
+            name: kind.name(),
             netlist,
             sim,
             code,
@@ -159,10 +211,21 @@ impl EncoderDesign {
         }
     }
 
-    /// Builds all four designs (three encoders + uncoded baseline).
+    /// Builds all four designs of the paper (three encoders + uncoded
+    /// baseline).
     #[must_use]
     pub fn build_all() -> Vec<EncoderDesign> {
         EncoderKind::ALL.iter().map(|&k| Self::build(k)).collect()
+    }
+
+    /// Builds every member of [`EncoderKind::catalog`], including the
+    /// synthesized SEC-DED family.
+    #[must_use]
+    pub fn build_catalog() -> Vec<EncoderDesign> {
+        EncoderKind::catalog()
+            .into_iter()
+            .map(Self::build)
+            .collect()
     }
 
     /// Which design this is.
@@ -173,8 +236,8 @@ impl EncoderDesign {
 
     /// Display name matching the paper.
     #[must_use]
-    pub fn name(&self) -> &'static str {
-        self.kind.name()
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// The gate-level netlist.
@@ -183,13 +246,15 @@ impl EncoderDesign {
         &self.netlist
     }
 
-    /// Message length (always 4 in the paper's setting).
+    /// Message length: 4 for the paper's designs, up to 64 for the wide
+    /// SEC-DED members.
     #[must_use]
     pub fn k(&self) -> usize {
-        4
+        self.code.k()
     }
 
-    /// Number of output channels used (7, 8, or 4).
+    /// Number of output channels used (7, 8, or 4 for the paper's designs;
+    /// up to 72 for the SEC-DED family).
     #[must_use]
     pub fn n(&self) -> usize {
         self.code.n()
@@ -207,10 +272,10 @@ impl EncoderDesign {
         NetlistStats::compute(&self.netlist, library)
     }
 
-    /// Reference (mathematical) encoding of a 4-bit message.
+    /// Reference (mathematical) encoding of a `k`-bit message.
     ///
     /// # Panics
-    /// Panics if the message is not 4 bits long.
+    /// Panics if the message is not `k` bits long.
     #[must_use]
     pub fn encode_reference(&self, message: &BitVec) -> BitVec {
         self.code.encode(message)
@@ -226,7 +291,7 @@ impl EncoderDesign {
     /// sampling the SFQ-to-DC output levels after the encoding latency.
     ///
     /// # Panics
-    /// Panics if the message is not 4 bits long.
+    /// Panics if the message is not `k` bits long.
     #[must_use]
     pub fn encode_gate_level(&self, message: &BitVec) -> BitVec {
         let trace = self.simulate(message);
@@ -239,8 +304,8 @@ impl EncoderDesign {
     pub fn simulate(&self, message: &BitVec) -> Trace {
         assert_eq!(
             message.len(),
-            4,
-            "the paper's interface carries 4-bit messages"
+            self.k(),
+            "message width must match the design's data width k"
         );
         let mut stim = Stimulus::new(&self.netlist);
         stim.apply_word(message, 0);
@@ -258,8 +323,8 @@ impl EncoderDesign {
     ) -> BitVec {
         assert_eq!(
             message.len(),
-            4,
-            "the paper's interface carries 4-bit messages"
+            self.k(),
+            "message width must match the design's data width k"
         );
         let mut stim = Stimulus::new(&self.netlist);
         stim.apply_word(message, 0);
@@ -356,5 +421,73 @@ mod tests {
         assert_eq!(EncoderDesign::build(EncoderKind::Hamming74).latency(), 2);
         assert_eq!(EncoderDesign::build(EncoderKind::Hamming84).latency(), 2);
         assert_eq!(EncoderDesign::build(EncoderKind::Rm13).latency(), 2);
+    }
+
+    fn seeded_message<R: rand::Rng + ?Sized>(k: usize, rng: &mut R) -> BitVec {
+        (0..k).map(|_| rng.random::<u64>() & 1 == 1).collect()
+    }
+
+    #[test]
+    fn catalog_enumerates_paper_designs_and_secded_family() {
+        let catalog = EncoderKind::catalog();
+        assert_eq!(catalog.len(), 8);
+        for kind in EncoderKind::ALL {
+            assert!(catalog.contains(&kind));
+        }
+        for m in 3u8..=6 {
+            assert!(catalog.contains(&EncoderKind::SecDed(m)));
+        }
+        assert_eq!(EncoderKind::SecDed(6).name(), "SEC-DED(72,64)");
+        assert_eq!(EncoderDesign::build_catalog().len(), 8);
+    }
+
+    #[test]
+    fn every_catalog_design_passes_drc() {
+        for design in EncoderDesign::build_catalog() {
+            let violations = drc::check(design.netlist());
+            assert!(violations.is_empty(), "{}: {:?}", design.name(), violations);
+        }
+    }
+
+    #[test]
+    fn secded_designs_encode_correctly_at_gate_level() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FF_EE00_1234_5678);
+        for m in [3u8, 4, 6] {
+            let design = EncoderDesign::build(EncoderKind::SecDed(m));
+            assert_eq!(design.k(), 1 << m);
+            assert_eq!(design.n(), (1 << m) + usize::from(m) + 2);
+            for _ in 0..4 {
+                let msg = seeded_message(design.k(), &mut rng);
+                assert_eq!(
+                    design.encode_gate_level(&msg),
+                    design.encode_reference(&msg),
+                    "{}",
+                    design.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn secded_design_corrects_single_channel_errors_and_flags_doubles() {
+        use rand::SeedableRng;
+        let design = EncoderDesign::build(EncoderKind::SecDed(6));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EC_DED);
+        let msg = seeded_message(64, &mut rng);
+        let cw = design.encode_reference(&msg);
+        for pos in [0usize, 31, 63, 64, 71] {
+            let mut r = cw.clone();
+            r.flip(pos);
+            let d = design.decode(&r);
+            assert_eq!(d.message, Some(msg.clone()), "pos {pos}");
+        }
+        let mut r = cw.clone();
+        r.flip(3);
+        r.flip(68);
+        assert_eq!(
+            design.decode(&r).outcome,
+            ecc::DecodeOutcome::DetectedUncorrectable
+        );
     }
 }

@@ -58,21 +58,37 @@ pub fn table2_rows(library: &CellLibrary) -> Vec<Table2Row> {
         EncoderKind::Hamming84,
     ]
     .iter()
-    .map(|&kind| {
-        let design = EncoderDesign::build(kind);
-        let stats = design.stats(library);
-        Table2Row {
-            encoder: design.name().to_string(),
-            xor_gates: stats.histogram.count(CellKind::Xor),
-            dffs: stats.histogram.count(CellKind::Dff),
-            splitters: stats.histogram.count(CellKind::Splitter),
-            sfq_to_dc: stats.histogram.count(CellKind::SfqToDc),
-            jj_count: stats.cost.jj_count,
-            power_uw: stats.cost.static_power_uw,
-            area_mm2: stats.cost.area_mm2,
-        }
-    })
+    .map(|&kind| table2_row_for(&EncoderDesign::build(kind), library))
     .collect()
+}
+
+/// Computes a Table-II-style row for one built design.
+#[must_use]
+pub fn table2_row_for(design: &EncoderDesign, library: &CellLibrary) -> Table2Row {
+    let stats = design.stats(library);
+    Table2Row {
+        encoder: design.name().to_string(),
+        xor_gates: stats.histogram.count(CellKind::Xor),
+        dffs: stats.histogram.count(CellKind::Dff),
+        splitters: stats.histogram.count(CellKind::Splitter),
+        sfq_to_dc: stats.histogram.count(CellKind::SfqToDc),
+        jj_count: stats.cost.jj_count,
+        power_uw: stats.cost.static_power_uw,
+        area_mm2: stats.cost.area_mm2,
+    }
+}
+
+/// Table-II-style circuit costs for **every coded catalog member**: the
+/// paper's three hand-drawn encoders plus the synthesized SEC-DED family up
+/// to (72,64). The uncoded baseline is omitted (it has no encoder logic to
+/// cost).
+#[must_use]
+pub fn catalog_table_rows(library: &CellLibrary) -> Vec<Table2Row> {
+    EncoderDesign::build_catalog()
+        .iter()
+        .filter(|d| d.kind() != EncoderKind::None)
+        .map(|d| table2_row_for(d, library))
+        .collect()
 }
 
 /// The values printed in Table II of the paper.
@@ -155,6 +171,38 @@ mod tests {
         let h84 = &rows[2];
         assert!(rm.jj_count > h84.jj_count);
         assert!(h84.jj_count > h74.jj_count);
+    }
+
+    #[test]
+    fn catalog_table_covers_the_secded_family() {
+        let lib = CellLibrary::coldflux();
+        let rows = catalog_table_rows(&lib);
+        // Three paper encoders + four SEC-DED members; no uncoded row.
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().all(|r| r.encoder != "No encoder"));
+        let jj_of = |name: &str| {
+            rows.iter()
+                .find(|r| r.encoder == name)
+                .unwrap_or_else(|| panic!("missing row {name}"))
+                .jj_count
+        };
+        // Costs grow monotonically with the data width across the family,
+        // and the wide (72,64) member dwarfs the paper's 4-bit encoders.
+        let family: Vec<u64> = [
+            "SEC-DED(13,8)",
+            "SEC-DED(22,16)",
+            "SEC-DED(39,32)",
+            "SEC-DED(72,64)",
+        ]
+        .iter()
+        .map(|n| jj_of(n))
+        .collect();
+        assert!(family.windows(2).all(|w| w[0] < w[1]), "{family:?}");
+        assert!(family[3] > jj_of("Hamming(8,4)"));
+        // Every row carries a positive power/area estimate.
+        for row in &rows {
+            assert!(row.power_uw > 0.0 && row.area_mm2 > 0.0, "{}", row.encoder);
+        }
     }
 
     #[test]

@@ -201,6 +201,43 @@ impl BitVec {
         self.limbs.first().copied().unwrap_or(0)
     }
 
+    /// Returns the vector as a `u128`, interpreting element `i` as bit `i`.
+    ///
+    /// Used by the batch codec engine, whose masks cover codes up to
+    /// `n = 128` (wide SEC-DED words exceed one limb).
+    ///
+    /// # Panics
+    /// Panics if the length exceeds 128.
+    #[must_use]
+    pub fn to_u128(&self) -> u128 {
+        assert!(self.len <= 128, "to_u128 supports at most 128 bits");
+        let lo = u128::from(self.limbs.first().copied().unwrap_or(0));
+        let hi = u128::from(self.limbs.get(1).copied().unwrap_or(0));
+        lo | (hi << 64)
+    }
+
+    /// Creates a length-`len` vector from the low `len` bits of `word`.
+    ///
+    /// Bit `i` of `word` becomes element `i` of the vector.
+    ///
+    /// # Panics
+    /// Panics if `len > 128`.
+    #[must_use]
+    pub fn from_u128(len: usize, word: u128) -> Self {
+        assert!(len <= 128, "from_u128 supports at most 128 bits");
+        let mut v = Self::zeros(len);
+        for limb_index in 0..v.limbs.len() {
+            let mut limb = (word >> (64 * limb_index)) as u64;
+            // Mask away bits beyond `len` in the last limb.
+            let bits_here = (len - 64 * limb_index).min(64);
+            if bits_here < 64 {
+                limb &= (1u64 << bits_here) - 1;
+            }
+            v.limbs[limb_index] = limb;
+        }
+        v
+    }
+
     /// Returns the bits as a `Vec<bool>`.
     #[must_use]
     pub fn to_bits(&self) -> Vec<bool> {
@@ -363,6 +400,24 @@ mod tests {
         // Bits beyond len are masked off.
         let w = BitVec::from_u64(4, 0xFF);
         assert_eq!(w.to_u64(), 0xF);
+    }
+
+    #[test]
+    fn from_u128_roundtrip_spans_two_limbs() {
+        let word = (0xDEAD_BEEF_u128 << 64) | 0x1234_5678_9ABC_DEF0;
+        let v = BitVec::from_u128(100, word);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.to_u128(), word & ((1 << 100) - 1));
+        // Bits beyond len are masked off.
+        assert_eq!(BitVec::from_u128(72, u128::MAX).weight(), 72);
+        assert_eq!(
+            BitVec::from_u128(64, u128::MAX).to_u128(),
+            u128::from(u64::MAX)
+        );
+        // Agreement with the u64 path on short vectors.
+        let short = BitVec::from_u64(17, 0x1_ABCD);
+        assert_eq!(short.to_u128(), 0x1_ABCD);
+        assert_eq!(BitVec::from_u128(17, 0x1_ABCD), short);
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`gf2`] | `gf2` | GF(2) bit-vector / bit-matrix linear algebra |
-//! | [`ecc`] | `ecc` | Hamming(7,4), Hamming(8,4), RM(1,3), the (38,32) baseline, decoders, Table I analysis |
+//! | [`ecc`] | `ecc` | Hamming(7,4), Hamming(8,4), RM(1,3), the (38,32) baseline, the SEC-DED family up to (72,64), decoders, Table I analysis |
 //! | [`cells`] | `sfq-cells` | RSFQ standard-cell library model (JJ count, power, area, margins) |
 //! | [`netlist`] | `sfq-netlist` | gate-level netlist IR, synthesis passes, design-rule checks |
 //! | [`sim`] | `sfq-sim` | pulse-level simulator and the PPV fault model |
 //! | [`analog`] | `josim-lite` | RCSJ/MNA transient simulator (the JoSIM stand-in) |
-//! | [`encoders`] | `encoders` | the paper's three encoder circuits + baselines + Table II |
+//! | [`encoders`] | `encoders` | the code catalog: the paper's encoder circuits, synthesized SEC-DED encoders, Table II |
 //! | [`batch`] | `sfq-batch` | bit-sliced batch codec engine (64 codewords per `u64` limb) |
 //! | [`link`] | `cryolink` | the Fig. 1 data link, the Fig. 5 Monte-Carlo experiments, and the batch link driver |
 //!

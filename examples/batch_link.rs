@@ -60,6 +60,6 @@ fn main() {
     println!();
     println!("The scalar path replays every pulse through the faulty netlist and");
     println!("remains the reference oracle; the batch path condenses each chip's");
-    println!("fault map into per-channel flip probabilities and drives the");
-    println!("bit-sliced codec (64 codewords per u64 limb) from sfq-batch.");
+    println!("fault map into correlated per-faulty-cell error sources and drives");
+    println!("the bit-sliced codec (64 codewords per u64 limb) from sfq-batch.");
 }

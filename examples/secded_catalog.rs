@@ -1,0 +1,69 @@
+//! Tour of the parameterized code catalog: synthesizes every SEC-DED family
+//! member next to the paper's encoders, prints their Table-II-style circuit
+//! costs, and runs the wide (72,64) memory-word link through both the
+//! pulse-level scalar path and the bit-sliced batch path.
+//!
+//! ```text
+//! cargo run --release --example secded_catalog
+//! ```
+
+use sfq_ecc::cells::CellLibrary;
+use sfq_ecc::encoders::{catalog_table_rows, EncoderDesign, EncoderKind};
+use sfq_ecc::link::{wilson_interval, Fig5Experiment};
+use std::time::Instant;
+
+fn main() {
+    let library = CellLibrary::coldflux();
+
+    println!("=== Code catalog: Table-II-style circuit costs ===");
+    println!("(the paper's hand-drawn encoders + synthesized SEC-DED family)");
+    for row in catalog_table_rows(&library) {
+        println!("{}", row.format());
+    }
+    println!();
+
+    println!("=== Wide-word scenario: SEC-DED(72,64) over the cryo link ===");
+    let experiment = Fig5Experiment::wide_word_setup();
+    println!(
+        "{} chips x {} 64-bit words, +/-{:.0}% spread",
+        experiment.chips,
+        experiment.messages_per_chip,
+        experiment.ppv.spread * 100.0
+    );
+    let design = EncoderDesign::build(EncoderKind::SecDed(6));
+    println!(
+        "netlist: {} cells, logic depth {}",
+        design.netlist().nodes().len(),
+        design.latency()
+    );
+
+    let start = Instant::now();
+    let scalar = experiment.run_design(&design, &library);
+    let scalar_time = start.elapsed();
+    let start = Instant::now();
+    let batched = experiment.run_design_batched(&design, &library);
+    let batched_time = start.elapsed();
+
+    for (label, curve, time) in [
+        ("scalar (pulse-level)", &scalar, scalar_time),
+        ("batched (bit-sliced)", &batched, batched_time),
+    ] {
+        let (lo, hi) = curve.zero_error_wilson_interval(1.96);
+        println!(
+            "{label:<22} zero-error {:.3}  (95% Wilson [{lo:.3}, {hi:.3}])  mean errs/chip {:.2}  in {time:?}",
+            curve.zero_error_probability(),
+            curve.mean_errors(),
+        );
+    }
+    let (s_lo, s_hi) = scalar.zero_error_wilson_interval(1.96);
+    let (b_lo, b_hi) = batched.zero_error_wilson_interval(1.96);
+    assert!(
+        s_lo <= b_hi && b_lo <= s_hi,
+        "scalar and batched curves should agree within Monte-Carlo error"
+    );
+    println!();
+    println!(
+        "sanity: wilson_interval(72, 80, 1.96) = {:?}",
+        wilson_interval(72, 80, 1.96)
+    );
+}

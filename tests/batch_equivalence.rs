@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use sfq_ecc::batch::BatchCodec;
 use sfq_ecc::ecc::{
     BatchDecode, BatchEncode, BlockCode, DecodeOutcome, Hamming74, Hamming84, HardDecoder,
-    Repetition, Rm13, Uncoded,
+    Repetition, Rm13, SecDed, Uncoded,
 };
 use sfq_ecc::gf2::{BitSlice64, BitVec, WeightPatterns};
 
@@ -123,6 +123,136 @@ fn repetition_batch_is_bit_exact_on_all_low_weight_patterns() {
 #[test]
 fn uncoded_batch_is_bit_exact_on_all_low_weight_patterns() {
     assert_batch_matches_scalar(&Uncoded::new(4));
+}
+
+#[test]
+fn secded_13_8_batch_is_bit_exact_on_all_low_weight_patterns() {
+    // The smallest family member is exhaustively tractable: all 256 messages
+    // x all 0/1/2-bit patterns of the 13-bit word.
+    assert_batch_matches_scalar(&SecDed::new(3));
+}
+
+/// Compares batch and scalar decode on a set of received words, word for
+/// word, for a code too wide for `to_u64`-based helpers.
+fn assert_wide_batch_matches_scalar(code: &SecDed, received: &[BitVec]) {
+    let codec = BatchCodec::new(code);
+    let batch = BitSlice64::pack(received);
+    let syndromes = codec.syndrome_batch(&batch);
+    let decoded = codec.decode_batch(&batch);
+    for (i, word) in received.iter().enumerate() {
+        assert_eq!(
+            syndromes.extract(i),
+            code.syndrome(word),
+            "syndrome mismatch at word {i}"
+        );
+        let scalar = code.decode(word);
+        match scalar.outcome {
+            DecodeOutcome::DetectedUncorrectable => {
+                assert!(decoded.is_flagged(i), "word {i} should be flagged");
+            }
+            outcome => {
+                assert!(!decoded.is_flagged(i), "word {i} wrongly flagged");
+                assert_eq!(
+                    Some(decoded.messages.extract(i)),
+                    scalar.message,
+                    "word {i} message mismatch"
+                );
+                assert_eq!(
+                    Some(decoded.codewords.extract(i)),
+                    scalar.codeword,
+                    "word {i} codeword mismatch"
+                );
+                assert_eq!(
+                    decoded.is_corrected(i),
+                    matches!(outcome, DecodeOutcome::Corrected { .. }),
+                    "word {i} correction status mismatch"
+                );
+            }
+        }
+    }
+}
+
+fn seeded_messages(code: &SecDed, count: usize, seed: u64) -> Vec<BitVec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| BitVec::from_u64(code.k(), rng.random::<u64>()))
+        .collect()
+}
+
+/// Acceptance sweep for the wide member: every 0- and 1-bit error pattern of
+/// every sampled codeword decodes bit-exactly to the scalar result (clean
+/// words pass through, single errors are corrected back to the message).
+#[test]
+fn secded_72_64_batch_is_bit_exact_on_all_zero_and_one_bit_patterns() {
+    let code = SecDed::new(6);
+    let mut received = Vec::new();
+    for msg in seeded_messages(&code, 6, 0x5ECD_ED01) {
+        let cw = code.encode(&msg);
+        received.push(cw.clone());
+        for pos in 0..72 {
+            let mut r = cw.clone();
+            r.flip(pos);
+            received.push(r);
+        }
+    }
+    // 6 x (1 + 72) = 438 words, 6.9 limbs: exercises the tail mask too.
+    assert_wide_batch_matches_scalar(&code, &received);
+}
+
+/// Acceptance sweep for the wide member: a seeded sample of well over 10k
+/// 2-bit error patterns — in fact every one of the C(72,2) = 2556 position
+/// pairs on each of 5 sampled codewords (12 780 corrupted words) — is
+/// reported `DetectedUncorrectable` by both paths.
+#[test]
+fn secded_72_64_flags_every_two_bit_pattern() {
+    let code = SecDed::new(6);
+    let codec = BatchCodec::new(&code);
+    for (w, msg) in seeded_messages(&code, 5, 0x5ECD_ED02).iter().enumerate() {
+        let cw = code.encode(msg);
+        let mut received = Vec::with_capacity(2556);
+        let mut pairs = Vec::with_capacity(2556);
+        for a in 0..72 {
+            for b in (a + 1)..72 {
+                let mut r = cw.clone();
+                r.flip(a);
+                r.flip(b);
+                received.push(r);
+                pairs.push((a, b));
+            }
+        }
+        let decoded = codec.decode_batch(&BitSlice64::pack(&received));
+        assert_eq!(
+            decoded.flagged_count(),
+            received.len(),
+            "codeword {w}: every double error must be flagged"
+        );
+        for (i, r) in received.iter().enumerate() {
+            assert_eq!(
+                code.decode(r).outcome,
+                DecodeOutcome::DetectedUncorrectable,
+                "codeword {w}: scalar decoder missed double error {:?}",
+                pairs[i]
+            );
+        }
+    }
+}
+
+/// Randomized multi-limb agreement for the whole SEC-DED family, arbitrary
+/// error weights.
+#[test]
+fn secded_family_random_words_agree_with_scalar_decode() {
+    for (m, seed) in [(3usize, 301u64), (4, 302), (5, 303), (6, 304)] {
+        let code = SecDed::new(m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words: Vec<BitVec> = (0..200)
+            .map(|_| {
+                (0..code.n())
+                    .map(|_| rng.random::<u64>() & 1 == 1)
+                    .collect()
+            })
+            .collect();
+        assert_wide_batch_matches_scalar(&code, &words);
+    }
 }
 
 #[test]

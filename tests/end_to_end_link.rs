@@ -64,8 +64,11 @@ fn coding_gain_on_a_noisy_channel() {
 }
 
 /// A reduced-size Fig. 5 run must reproduce the headline qualitative results
-/// of the paper: every encoder beats the uncoded link, and the extended
-/// Hamming(8,4) code is the best of the three encoders.
+/// of the paper — every encoder beats the uncoded link, and the extended
+/// Hamming(8,4) code is the best of the three encoders — *statistically*:
+/// each ordering claim is asserted as non-overlap of 95 % Wilson confidence
+/// intervals derived from the actual chip count, not as a point comparison
+/// tuned to one seed.
 #[test]
 fn reduced_fig5_preserves_paper_ordering() {
     let library = CellLibrary::coldflux();
@@ -76,20 +79,102 @@ fn reduced_fig5_preserves_paper_ordering() {
         ..Fig5Experiment::paper_setup()
     };
     let result = experiment.run_all(&library);
-    let p = |kind: EncoderKind| result.curve(kind).unwrap().zero_error_probability();
+    let ci = |kind: EncoderKind| result.curve(kind).unwrap().zero_error_wilson_interval(1.96);
 
-    let none = p(EncoderKind::None);
-    let h74 = p(EncoderKind::Hamming74);
-    let h84 = p(EncoderKind::Hamming84);
-    let rm = p(EncoderKind::Rm13);
+    let none = ci(EncoderKind::None);
+    let h74 = ci(EncoderKind::Hamming74);
+    let h84 = ci(EncoderKind::Hamming84);
+    let rm = ci(EncoderKind::Rm13);
 
-    assert!(h84 > none, "Hamming(8,4) {h84} must beat no-encoder {none}");
-    assert!(h74 > none, "Hamming(7,4) {h74} must beat no-encoder {none}");
-    assert!(rm > none, "RM(1,3) {rm} must beat no-encoder {none}");
+    for (name, coded) in [
+        ("Hamming(8,4)", h84),
+        ("Hamming(7,4)", h74),
+        ("RM(1,3)", rm),
+    ] {
+        assert!(
+            coded.0 > none.1,
+            "{name} must significantly beat no-encoder ({coded:?} vs {none:?})"
+        );
+    }
     assert!(
-        h84 >= h74 && h84 >= rm,
-        "Hamming(8,4) must be the best encoder (h84={h84}, h74={h74}, rm={rm})"
+        h84.0 > h74.1 && h84.0 > rm.1,
+        "Hamming(8,4) must be significantly the best encoder (h84={h84:?}, h74={h74:?}, rm={rm:?})"
     );
+}
+
+/// The Fig. 5 per-chip seeding contract (`seed + chip_index` drives each
+/// chip's RNG): curves are **bit-identical** regardless of the worker-thread
+/// count, on both the scalar pulse-level path and the bit-sliced batch path.
+/// This is the determinism guarantee `montecarlo.rs` documents; here it is
+/// asserted at the workspace level for 1 vs 8 threads.
+#[test]
+fn fig5_curves_are_bit_identical_for_one_and_eight_threads() {
+    let library = CellLibrary::coldflux();
+    let serial = Fig5Experiment {
+        chips: 26, // not a multiple of 8: exercises ragged chunking
+        messages_per_chip: 12,
+        threads: 1,
+        ..Fig5Experiment::paper_setup()
+    };
+    let eight = Fig5Experiment {
+        threads: 8,
+        ..serial
+    };
+    for kind in [EncoderKind::Hamming84, EncoderKind::SecDed(3)] {
+        let design = EncoderDesign::build(kind);
+        let a = serial.run_design(&design, &library);
+        let b = eight.run_design(&design, &library);
+        assert_eq!(
+            a.errors_per_chip,
+            b.errors_per_chip,
+            "scalar path diverged across thread counts for {}",
+            design.name()
+        );
+        let a = serial.run_design_batched(&design, &library);
+        let b = eight.run_design_batched(&design, &library);
+        assert_eq!(
+            a.errors_per_chip,
+            b.errors_per_chip,
+            "batched path diverged across thread counts for {}",
+            design.name()
+        );
+    }
+}
+
+/// The wide-word scenario of the ISSUE: SEC-DED(72,64) words through the
+/// cryo link under ±20 % PPV, on both the scalar pulse-level path and the
+/// bit-sliced batch driver. The curves must agree: overlapping 95 % Wilson
+/// intervals on the zero-error probability and a small gap between the point
+/// estimates (the batch fault model is a correlated approximation, not a
+/// bit-exact replay).
+#[test]
+fn wide_word_secded72_scenario_agrees_between_scalar_and_batched() {
+    let library = CellLibrary::coldflux();
+    let experiment = Fig5Experiment::wide_word_setup();
+    let design = EncoderDesign::build(EncoderKind::SecDed(6));
+    assert_eq!((design.n(), design.k()), (72, 64));
+
+    let scalar = experiment.run_design(&design, &library);
+    let batched = experiment.run_design_batched(&design, &library);
+    assert_eq!(scalar.chips(), experiment.chips);
+    assert_eq!(batched.chips(), experiment.chips);
+
+    let s = scalar.zero_error_probability();
+    let b = batched.zero_error_probability();
+    let s_ci = scalar.zero_error_wilson_interval(1.96);
+    let b_ci = batched.zero_error_wilson_interval(1.96);
+    assert!(
+        s_ci.0 <= b_ci.1 && b_ci.0 <= s_ci.1,
+        "Wilson intervals must overlap: scalar {s_ci:?} vs batched {b_ci:?}"
+    );
+    assert!(
+        (s - b).abs() <= 0.10,
+        "zero-error probabilities must track: scalar {s} vs batched {b}"
+    );
+    // Both paths see a meaningfully faulty process at this scale: the chips
+    // are not all perfect, and not all broken.
+    assert!(s > 0.5 && s < 1.0, "scalar zero-error {s}");
+    assert!(b > 0.5 && b < 1.0, "batched zero-error {b}");
 }
 
 /// Counting flagged messages as erroneous can only lower the zero-error

@@ -1,0 +1,189 @@
+//! Golden-vector regression tests: checked-in encode/syndrome vectors for
+//! every catalog code under `tests/golden/`, so that any change to a
+//! generator matrix, bit ordering, or syndrome layout fails loudly instead
+//! of silently re-deriving both sides of an equivalence check.
+//!
+//! Each code's file is a line-oriented record set (written by
+//! [`GoldenFile::render`], which doubles as the serializer — the workspace's
+//! offline `serde` shim is marker-only, so the format is implemented here
+//! and the record types carry the derives for the day the real crate is
+//! swapped back in):
+//!
+//! ```text
+//! code <name> n <n> k <k>
+//! msg <k bits> cw <n bits>            # seeded-StdRng messages
+//! syn pos <p> <n-k bits>              # syndrome of cw0 + e_p, every p
+//! ```
+//!
+//! Regenerate after an *intentional* layout change with:
+//!
+//! ```text
+//! cargo test --test golden_vectors -- --ignored regenerate_golden_files
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sfq_ecc::ecc::{BlockCode, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, Uncoded};
+use sfq_ecc::gf2::BitVec;
+use std::path::PathBuf;
+
+/// One catalog code's golden data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct GoldenFile {
+    name: String,
+    n: usize,
+    k: usize,
+    /// `(message, codeword)` pairs.
+    encodings: Vec<(BitVec, BitVec)>,
+    /// `(error position, syndrome)` for single-bit corruptions of the first
+    /// codeword.
+    syndromes: Vec<(usize, BitVec)>,
+}
+
+impl GoldenFile {
+    fn compute<C: BlockCode + HardDecoder + ?Sized>(code: &C, slug_seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(slug_seed);
+        let encodings: Vec<(BitVec, BitVec)> = (0..8)
+            .map(|_| {
+                let msg = BitVec::from_u64(code.k(), rng.random::<u64>() & mask_of(code.k()));
+                let cw = code.encode(&msg);
+                (msg, cw)
+            })
+            .collect();
+        let cw0 = &encodings[0].1;
+        let syndromes = (0..code.n())
+            .map(|pos| {
+                let mut r = cw0.clone();
+                r.flip(pos);
+                (pos, code.syndrome(&r))
+            })
+            .collect();
+        GoldenFile {
+            name: code.name().to_string(),
+            n: code.n(),
+            k: code.k(),
+            encodings,
+            syndromes,
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("code {} n {} k {}\n", self.name, self.n, self.k));
+        for (msg, cw) in &self.encodings {
+            out.push_str(&format!(
+                "msg {} cw {}\n",
+                msg.to_string01(),
+                cw.to_string01()
+            ));
+        }
+        for (pos, syndrome) in &self.syndromes {
+            out.push_str(&format!("syn pos {pos} {}\n", syndrome.to_string01()));
+        }
+        out
+    }
+}
+
+/// Mask of the low `k` bits.
+fn mask_of(k: usize) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// Every catalog code with its golden-file slug, scalar decoder, and golden
+/// data.
+fn golden_cases() -> Vec<(&'static str, Box<dyn HardDecoder>, GoldenFile)> {
+    let codes: Vec<(&'static str, Box<dyn HardDecoder>, u64)> = vec![
+        ("hamming_7_4", Box::new(Hamming74::new()), 0x74),
+        ("hamming_8_4", Box::new(Hamming84::new()), 0x84),
+        ("rm_1_3", Box::new(Rm13::new()), 0x13),
+        ("uncoded_4", Box::new(Uncoded::new(4)), 0x04),
+        ("secded_13_8", Box::new(SecDed::new(3)), 0x1308),
+        ("secded_22_16", Box::new(SecDed::new(4)), 0x2216),
+        ("secded_39_32", Box::new(SecDed::new(5)), 0x3932),
+        ("secded_72_64", Box::new(SecDed::new(6)), 0x7264),
+    ];
+    codes
+        .into_iter()
+        .map(|(slug, code, seed)| {
+            let golden = GoldenFile::compute(&*code, seed);
+            (slug, code, golden)
+        })
+        .collect()
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+#[test]
+fn golden_vectors_match_checked_in_files() {
+    for (slug, _, computed) in golden_cases() {
+        let path = golden_dir().join(format!("{slug}.txt"));
+        let checked_in = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); regenerate with \
+                 `cargo test --test golden_vectors -- --ignored regenerate_golden_files`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            checked_in,
+            computed.render(),
+            "{slug}: encode/syndrome bit layout changed. If intentional, \
+             regenerate tests/golden/ with \
+             `cargo test --test golden_vectors -- --ignored regenerate_golden_files` \
+             and review the diff."
+        );
+    }
+}
+
+/// The golden corpus itself must be self-consistent: each stored codeword
+/// decodes cleanly back to its stored message with the *current* decoders.
+#[test]
+fn golden_codewords_decode_to_their_messages() {
+    for (slug, code, golden) in golden_cases() {
+        assert_eq!(golden.encodings.len(), 8, "{slug}");
+        for (msg, cw) in &golden.encodings {
+            assert_eq!(msg.len(), golden.k, "{slug}");
+            assert_eq!(cw.len(), golden.n, "{slug}");
+            let decoded = code.decode(cw);
+            assert!(
+                !decoded.outcome.error_flag() && !decoded.outcome.corrected(),
+                "{slug}: stored codeword must decode cleanly, got {:?}",
+                decoded.outcome
+            );
+            assert_eq!(
+                decoded.message.as_ref(),
+                Some(msg),
+                "{slug}: decoder no longer recovers the stored message"
+            );
+        }
+        assert_eq!(golden.syndromes.len(), golden.n, "{slug}");
+        // Zero-syndrome sanity: the stored syndromes of single-bit errors are
+        // nonzero for every code with parity (n > k).
+        if golden.n > golden.k {
+            for (pos, syndrome) in &golden.syndromes {
+                assert!(!syndrome.is_zero(), "{slug}: position {pos}");
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "writes tests/golden/; run explicitly after intentional layout changes"]
+fn regenerate_golden_files() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    for (slug, _, computed) in golden_cases() {
+        let path = dir.join(format!("{slug}.txt"));
+        std::fs::write(&path, computed.render()).expect("write golden file");
+        println!("wrote {}", path.display());
+    }
+}

@@ -6,6 +6,7 @@ use sfq_ecc::ecc::analysis::{table1_row, CodeAnalysis, DecodingPolicy};
 use sfq_ecc::ecc::{BlockCode, Hamming74, Hamming84, Rm13, ShortenedHamming3832};
 use sfq_ecc::encoders::{paper_table2, table2_rows, EncoderDesign, EncoderKind};
 use sfq_ecc::gf2::BitVec;
+use sfq_ecc::link::{paper_zero_error_probabilities, Fig5Experiment};
 
 /// Section I: "[the (38,32) code] can detect 2-bit and correct 1-bit errors
 /// using a circuit consisting of 84 XOR gates and 135 DFFs" — we verify the
@@ -160,4 +161,62 @@ fn rm13_and_hamming84_have_identical_weight_distributions() {
     let a = WeightDistribution::of_code(&Rm13::new());
     let b = WeightDistribution::of_code(&Hamming84::new());
     assert_eq!(a.counts, b.counts);
+}
+
+/// Fig. 5, statistically honest: a reduced scalar run at the paper's 100
+/// messages per chip, judged through Wilson confidence intervals derived
+/// from the actual chip count rather than point values with hand-tuned
+/// tolerances.
+///
+/// What the fault model actually commits to:
+/// * the *calibration anchor* — the paper's 80.0 % zero-error probability for
+///   the uncoded link — must fall inside the uncoded curve's 95 % interval;
+/// * every encoder's coding gain over the uncoded link must be significant
+///   (disjoint intervals), reproducing the paper's qualitative Fig. 5 claim;
+/// * Hamming(8,4) must be significantly the best encoder, matching the
+///   paper's headline ordering.
+///
+/// The paper's *absolute* encoder probabilities (86.7/89.8/92.7 %) are not
+/// asserted: only the uncoded anchor is calibrated, and the model predicts
+/// stronger coding gains than the paper measures.
+#[test]
+fn fig5_wilson_intervals_support_paper_anchor_and_ordering() {
+    let library = CellLibrary::coldflux();
+    let experiment = Fig5Experiment {
+        chips: 400,
+        messages_per_chip: 100,
+        threads: 4,
+        ..Fig5Experiment::paper_setup()
+    };
+    let result = experiment.run_all(&library);
+    let ci = |kind: EncoderKind| result.curve(kind).unwrap().zero_error_wilson_interval(1.96);
+
+    let paper_uncoded = paper_zero_error_probabilities()
+        .into_iter()
+        .find(|(kind, _)| *kind == EncoderKind::None)
+        .map(|(_, p)| p)
+        .unwrap();
+    let none = ci(EncoderKind::None);
+    assert!(
+        none.0 <= paper_uncoded && paper_uncoded <= none.1,
+        "paper's uncoded anchor {paper_uncoded} must lie in the Wilson interval {none:?}"
+    );
+
+    let h84 = ci(EncoderKind::Hamming84);
+    let h74 = ci(EncoderKind::Hamming74);
+    let rm = ci(EncoderKind::Rm13);
+    for (name, coded) in [
+        ("Hamming(8,4)", h84),
+        ("Hamming(7,4)", h74),
+        ("RM(1,3)", rm),
+    ] {
+        assert!(
+            coded.0 > none.1,
+            "{name} coding gain must be significant: {coded:?} vs uncoded {none:?}"
+        );
+    }
+    assert!(
+        h84.0 > h74.1 && h84.0 > rm.1,
+        "Hamming(8,4) must be significantly the best (h84={h84:?}, h74={h74:?}, rm={rm:?})"
+    );
 }

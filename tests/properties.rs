@@ -2,13 +2,39 @@
 //! invariants of the workspace.
 
 use proptest::prelude::*;
-use sfq_ecc::ecc::{BlockCode, Hamming74, Hamming84, HardDecoder, ReedMuller, Rm13};
+use sfq_ecc::ecc::{
+    generator_right_inverse, BlockCode, DecodeOutcome, Hamming74, Hamming84, HardDecoder,
+    ReedMuller, Rm13, SecDed, Uncoded,
+};
 use sfq_ecc::encoders::{EncoderDesign, EncoderKind};
-use sfq_ecc::gf2::{BitMat, BitVec};
+use sfq_ecc::gf2::{BitMat, BitSlice64, BitVec};
 use sfq_ecc::netlist::synth;
 
 fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
     prop::collection::vec(any::<bool>(), len).prop_map(|bits| BitVec::from_bits(&bits))
+}
+
+/// Every scalar code behind the `EncoderKind::catalog()` registry, boxed for
+/// uniform property checks.
+fn catalog_codes() -> Vec<Box<dyn HardDecoder>> {
+    let mut codes: Vec<Box<dyn HardDecoder>> = vec![
+        Box::new(Rm13::new()),
+        Box::new(Hamming74::new()),
+        Box::new(Hamming84::new()),
+        Box::new(Uncoded::new(4)),
+    ];
+    for m in 3..=6 {
+        codes.push(Box::new(SecDed::new(m)));
+    }
+    codes
+}
+
+/// Deterministic pseudo-random message for a given code width and seed.
+fn seeded_message(k: usize, seed: u64) -> BitVec {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..k).map(|_| rng.random::<u64>() & 1 == 1).collect()
 }
 
 proptest! {
@@ -130,6 +156,77 @@ proptest! {
         stim.apply_word(&msg, 0);
         let word = sim.run(&stim, latency + 1).dc_word_at(latency);
         prop_assert_eq!(word, code.encode(&msg));
+    }
+
+    /// Batch pack/unpack round-trips at arbitrary lane counts and across
+    /// limb boundaries: any vector length (including the wide SEC-DED words)
+    /// and any batch size (including 0, exact multiples of 64, and ragged
+    /// tails) survives the transpose unchanged, element for element.
+    #[test]
+    fn bitslice_pack_unpack_roundtrip(bits in 1usize..=96, batch in 0usize..=200, seed in any::<u64>()) {
+        let vectors: Vec<BitVec> = (0..batch)
+            .map(|i| seeded_message(bits, seed ^ (i as u64).wrapping_mul(0x9E37_79B9)))
+            .collect();
+        let sliced = BitSlice64::pack(&vectors);
+        prop_assert_eq!(sliced.batch(), batch);
+        prop_assert_eq!(sliced.words(), batch.div_ceil(64));
+        prop_assert_eq!(sliced.unpack(), vectors.clone());
+        for (i, v) in vectors.iter().enumerate() {
+            prop_assert_eq!(sliced.extract(i), v.clone());
+            for b in (0..bits).step_by(7) {
+                prop_assert_eq!(sliced.get(i, b), v.get(b));
+            }
+        }
+    }
+
+    /// `generator_right_inverse` is a left identity on the encoding map for
+    /// every catalog code: recombining a codeword's pivot bits through the
+    /// transform recovers the original message exactly.
+    #[test]
+    fn generator_right_inverse_left_identity_for_catalog_codes(seed in any::<u64>()) {
+        for code in catalog_codes() {
+            let (pivots, transform) = generator_right_inverse(code.generator());
+            prop_assert_eq!(pivots.len(), code.k());
+            let msg = seeded_message(code.k(), seed);
+            let cw = code.encode(&msg);
+            let mut recovered = BitVec::zeros(code.k());
+            for (i, &p) in pivots.iter().enumerate() {
+                if cw.get(p) {
+                    recovered.xor_assign(transform.row(i));
+                }
+            }
+            prop_assert_eq!(recovered, msg, "{}", code.name());
+        }
+    }
+
+    /// Decode idempotence for every catalog code: re-encoding a decoded
+    /// message and decoding again is a no-op — the second pass sees a clean
+    /// codeword, corrects nothing, and returns the same message.
+    #[test]
+    fn decoding_is_idempotent_for_catalog_codes(seed in any::<u64>(), weight in 0usize..=2) {
+        for code in catalog_codes() {
+            let msg = seeded_message(code.k(), seed);
+            let mut received = code.encode(&msg);
+            // Corrupt `weight` distinct deterministic positions.
+            let n = code.n();
+            let first = (seed as usize) % n;
+            let second = (first + 1 + (seed >> 32) as usize % (n - 1)) % n;
+            if weight >= 1 { received.flip(first); }
+            if weight >= 2 && second != first { received.flip(second); }
+
+            let once = code.decode(&received);
+            if let Some(decoded_msg) = &once.message {
+                let reencoded = code.encode(decoded_msg);
+                prop_assert_eq!(
+                    Some(&reencoded), once.codeword.as_ref(),
+                    "{}: decoded message must re-encode to the decoded codeword", code.name()
+                );
+                let twice = code.decode(&reencoded);
+                prop_assert_eq!(twice.outcome, DecodeOutcome::NoErrorDetected, "{}", code.name());
+                prop_assert_eq!(twice.message.as_ref(), Some(decoded_msg), "{}", code.name());
+                prop_assert_eq!(twice.codeword, Some(reencoded), "{}", code.name());
+            }
+        }
     }
 
     /// The splitter-insertion pass always produces exactly `loads` usable
