@@ -1,0 +1,109 @@
+//! Synthesis-pipeline benchmark: regenerates the naive-vs-optimized circuit
+//! costs of every coded catalog member, times the pipeline, and emits
+//! `BENCH_synth.json` at the workspace root (per-code XOR/DFF/SPL/JJ/depth
+//! before and after the passes, plus the per-pass deltas) so CI and the
+//! roadmap can track cost regressions numerically.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecc::BlockCode;
+use encoders::{EncoderDesign, EncoderKind};
+use sfq_cells::CellLibrary;
+use sfq_netlist::NetlistStats;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn json_cost(stats: &NetlistStats, depth: usize) -> String {
+    use sfq_cells::CellKind;
+    format!(
+        "{{\"xor\": {}, \"dff\": {}, \"spl\": {}, \"sfqdc\": {}, \"jj\": {}, \"depth\": {}}}",
+        stats.histogram.count(CellKind::Xor),
+        stats.histogram.count(CellKind::Dff),
+        stats.histogram.count(CellKind::Splitter),
+        stats.histogram.count(CellKind::SfqToDc),
+        stats.cost.jj_count,
+        depth
+    )
+}
+
+/// Builds the report and returns it as a JSON string.
+fn synth_report_json() -> String {
+    let library = CellLibrary::coldflux();
+    let mut designs = Vec::new();
+    for kind in EncoderKind::catalog() {
+        if kind == EncoderKind::None {
+            continue;
+        }
+        let design = EncoderDesign::build(kind);
+        let optimized = design.stats(&library);
+        let naive_netlist = design.naive_netlist().expect("coded design");
+        let naive = NetlistStats::compute(&naive_netlist, &library);
+        let saving = 100.0 * (naive.cost.jj_count as f64 - optimized.cost.jj_count as f64)
+            / naive.cost.jj_count as f64;
+        let mut passes = String::new();
+        for report in &design.synthesis_report().expect("pipeline report").passes {
+            let _ = write!(
+                passes,
+                "{}{{\"pass\": \"{}\", \"xor\": [{}, {}], \"dff\": [{}, {}], \
+                 \"spl\": [{}, {}], \"depth\": [{}, {}]}}",
+                if passes.is_empty() { "" } else { ", " },
+                report.pass,
+                report.before.xor,
+                report.after.xor,
+                report.before.dff,
+                report.after.dff,
+                report.before.splitter,
+                report.after.splitter,
+                report.before.depth,
+                report.after.depth,
+            );
+        }
+        designs.push(format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"k\": {}, \"naive\": {}, \"optimized\": {}, \
+             \"jj_saving_pct\": {:.2}, \"passes\": [{}]}}",
+            design.name(),
+            design.n(),
+            design.k(),
+            json_cost(&naive, naive_netlist.logic_depth()),
+            json_cost(&optimized, design.netlist().logic_depth()),
+            saving,
+            passes
+        ));
+    }
+    format!("{{\n  \"designs\": [\n{}\n  ]\n}}\n", designs.join(",\n"))
+}
+
+fn bench_synth(c: &mut Criterion) {
+    let json = synth_report_json();
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_synth.json");
+    std::fs::write(&out, &json).expect("write BENCH_synth.json");
+    println!("wrote {} ({} bytes)", out.display(), json.len());
+
+    let code = ecc::SecDed::new(6);
+    c.bench_function("synth/pipeline_secded_72_64", |b| {
+        b.iter(|| {
+            black_box(sfq_netlist::synth::synthesize_encoder(
+                "secded_72_64_encoder",
+                code.generator(),
+                sfq_netlist::pass::PipelineOptions::default(),
+            ))
+        })
+    });
+    c.bench_function("synth/naive_secded_72_64", |b| {
+        b.iter(|| {
+            black_box(sfq_netlist::synth::synthesize_linear_encoder(
+                "secded_72_64_naive",
+                code.generator(),
+                sfq_netlist::synth::SynthesisOptions::default(),
+            ))
+        })
+    });
+    c.bench_function("synth/build_full_catalog", |b| {
+        b.iter(|| black_box(EncoderDesign::build_catalog()))
+    });
+}
+
+criterion_group!(benches, bench_synth);
+criterion_main!(benches);

@@ -337,9 +337,10 @@ struct DownstreamCones {
 
 impl DownstreamCones {
     /// Computes both cone maps with one backward DFS per output over driver
-    /// adjacencies built in a single pass over the connection list —
-    /// `Netlist::driver_of` scans all connections per call, which would make
-    /// per-chip cone walks quadratic on the wide SEC-DED netlists.
+    /// adjacencies built in a single pass over the connection list. The
+    /// netlist's own reverse-driver index covers the *full* adjacency, but
+    /// the fault model also needs the **data-only** view (clock edges
+    /// excluded), so both filtered adjacency lists are materialized here.
     fn of(netlist: &Netlist) -> Self {
         let node_count = netlist.nodes().len();
         let mut drivers_full: Vec<Vec<usize>> = vec![Vec::new(); node_count];

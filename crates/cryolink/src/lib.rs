@@ -4,8 +4,10 @@
 //!
 //! The link chains together:
 //!
-//! 1. the SFQ encoder circuit at 4.2 K (`encoders` crate), simulated at gate
-//!    level with PPV-induced faults (`sfq-sim`);
+//! 1. the SFQ encoder circuit at 4.2 K (`encoders` crate — every coded
+//!    design synthesized from its generator matrix by the `sfq-netlist` pass
+//!    pipeline), simulated at gate level with PPV-induced faults
+//!    (`sfq-sim`);
 //! 2. the SFQ-to-DC output drivers and cryogenic cables carrying the DC
 //!    levels to the 50–300 K stage ([`channel::CryoCable`]);
 //! 3. a CMOS threshold receiver and the error-correction decoder

@@ -3,10 +3,18 @@
 //! [`table2_rows`] computes the table from the synthesized netlists and a
 //! cell library; [`paper_table2`] holds the values printed in the paper for
 //! side-by-side comparison in the benchmark output and EXPERIMENTS.md.
+//!
+//! Every computed row is derived from [`NetlistStats`] — the one place in
+//! the workspace that turns a netlist into a histogram and a cost — via
+//! [`Table2Row::from_stats`]; this module adds only the paper's presentation
+//! and, for pipeline-synthesized designs, the *naive* (sharing-free) flow's
+//! cost next to the optimized one so the value of the pass pipeline is
+//! visible per code.
 
 use crate::{EncoderDesign, EncoderKind};
 use serde::{Deserialize, Serialize};
 use sfq_cells::{CellKind, CellLibrary};
+use sfq_netlist::NetlistStats;
 
 /// One row of Table II.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,13 +35,53 @@ pub struct Table2Row {
     pub power_uw: f64,
     /// Layout area in square millimetres.
     pub area_mm2: f64,
+    /// XOR count of the naive sharing-free synthesis of the same code
+    /// (`None` for rows quoted from the paper).
+    pub naive_xor_gates: Option<u64>,
+    /// JJ count of the naive sharing-free synthesis of the same code.
+    pub naive_jj_count: Option<u64>,
 }
 
 impl Table2Row {
-    /// Formats the row like the paper's table.
+    /// Builds a row from computed netlist statistics — the single source of
+    /// truth for histograms and costs.
+    #[must_use]
+    pub fn from_stats(encoder: impl Into<String>, stats: &NetlistStats) -> Self {
+        Table2Row {
+            encoder: encoder.into(),
+            xor_gates: stats.histogram.count(CellKind::Xor),
+            dffs: stats.histogram.count(CellKind::Dff),
+            splitters: stats.histogram.count(CellKind::Splitter),
+            sfq_to_dc: stats.histogram.count(CellKind::SfqToDc),
+            jj_count: stats.cost.jj_count,
+            power_uw: stats.cost.static_power_uw,
+            area_mm2: stats.cost.area_mm2,
+            naive_xor_gates: None,
+            naive_jj_count: None,
+        }
+    }
+
+    /// Attaches the naive-flow comparison columns.
+    #[must_use]
+    pub fn with_naive(mut self, naive: &NetlistStats) -> Self {
+        self.naive_xor_gates = Some(naive.histogram.count(CellKind::Xor));
+        self.naive_jj_count = Some(naive.cost.jj_count);
+        self
+    }
+
+    /// JJ saving of the optimized synthesis versus the naive flow, in
+    /// percent, when the naive columns are present.
+    #[must_use]
+    pub fn jj_saving_pct(&self) -> Option<f64> {
+        self.naive_jj_count
+            .map(|naive| 100.0 * (naive as f64 - self.jj_count as f64) / naive as f64)
+    }
+
+    /// Formats the row like the paper's table, with the naive-vs-optimized
+    /// columns appended when available.
     #[must_use]
     pub fn format(&self) -> String {
-        format!(
+        let mut row = format!(
             "{:<22} | {:>2} XOR, {:>2} DFF, {:>2} SPL, {:>2} SFQ/DC | {:>4} JJ | {:>6.1} uW | {:>6.3} mm2",
             self.encoder,
             self.xor_gates,
@@ -43,7 +91,17 @@ impl Table2Row {
             self.jj_count,
             self.power_uw,
             self.area_mm2
-        )
+        );
+        if let (Some(naive_xor), Some(naive_jj), Some(saving)) = (
+            self.naive_xor_gates,
+            self.naive_jj_count,
+            self.jj_saving_pct(),
+        ) {
+            row.push_str(&format!(
+                " | naive {naive_xor} XOR {naive_jj} JJ ({saving:+.1}% JJ)"
+            ));
+        }
+        row
     }
 }
 
@@ -65,29 +123,25 @@ pub fn table2_rows(library: &CellLibrary) -> Vec<Table2Row> {
 /// Computes a Table-II-style row for one built design.
 #[must_use]
 pub fn table2_row_for(design: &EncoderDesign, library: &CellLibrary) -> Table2Row {
-    let stats = design.stats(library);
-    Table2Row {
-        encoder: design.name().to_string(),
-        xor_gates: stats.histogram.count(CellKind::Xor),
-        dffs: stats.histogram.count(CellKind::Dff),
-        splitters: stats.histogram.count(CellKind::Splitter),
-        sfq_to_dc: stats.histogram.count(CellKind::SfqToDc),
-        jj_count: stats.cost.jj_count,
-        power_uw: stats.cost.static_power_uw,
-        area_mm2: stats.cost.area_mm2,
-    }
+    Table2Row::from_stats(design.name(), &design.stats(library))
 }
 
 /// Table-II-style circuit costs for **every coded catalog member**: the
-/// paper's three hand-drawn encoders plus the synthesized SEC-DED family up
-/// to (72,64). The uncoded baseline is omitted (it has no encoder logic to
-/// cost).
+/// paper's three encoders plus the synthesized SEC-DED family up to (72,64),
+/// each with the naive sharing-free synthesis cost alongside the pipeline's.
+/// The uncoded baseline is omitted (it has no encoder logic to cost).
 #[must_use]
 pub fn catalog_table_rows(library: &CellLibrary) -> Vec<Table2Row> {
     EncoderDesign::build_catalog()
         .iter()
         .filter(|d| d.kind() != EncoderKind::None)
-        .map(|d| table2_row_for(d, library))
+        .map(|d| {
+            let row = table2_row_for(d, library);
+            match d.naive_netlist() {
+                Some(naive) => row.with_naive(&NetlistStats::compute(&naive, library)),
+                None => row,
+            }
+        })
         .collect()
 }
 
@@ -104,6 +158,8 @@ pub fn paper_table2() -> Vec<Table2Row> {
             jj_count: 305,
             power_uw: 101.5,
             area_mm2: 0.193,
+            naive_xor_gates: None,
+            naive_jj_count: None,
         },
         Table2Row {
             encoder: "Hamming(7,4)".to_string(),
@@ -114,6 +170,8 @@ pub fn paper_table2() -> Vec<Table2Row> {
             jj_count: 247,
             power_uw: 81.7,
             area_mm2: 0.158,
+            naive_xor_gates: None,
+            naive_jj_count: None,
         },
         Table2Row {
             encoder: "Hamming(8,4)".to_string(),
@@ -124,6 +182,8 @@ pub fn paper_table2() -> Vec<Table2Row> {
             jj_count: 278,
             power_uw: 92.3,
             area_mm2: 0.177,
+            naive_xor_gates: None,
+            naive_jj_count: None,
         },
     ]
 }
@@ -203,6 +263,41 @@ mod tests {
         for row in &rows {
             assert!(row.power_uw > 0.0 && row.area_mm2 > 0.0, "{}", row.encoder);
         }
+    }
+
+    #[test]
+    fn catalog_rows_carry_naive_columns_and_positive_savings() {
+        let lib = CellLibrary::coldflux();
+        for row in catalog_table_rows(&lib) {
+            let naive_xor = row
+                .naive_xor_gates
+                .unwrap_or_else(|| panic!("{}: missing naive XOR column", row.encoder));
+            let naive_jj = row.naive_jj_count.unwrap();
+            assert!(
+                row.xor_gates <= naive_xor,
+                "{}: optimized {} XOR vs naive {naive_xor}",
+                row.encoder,
+                row.xor_gates
+            );
+            assert!(
+                row.jj_count <= naive_jj,
+                "{}: optimized {} JJ vs naive {naive_jj}",
+                row.encoder,
+                row.jj_count
+            );
+            let saving = row.jj_saving_pct().unwrap();
+            assert!(
+                (0.0..100.0).contains(&saving),
+                "{}: saving {saving}",
+                row.encoder
+            );
+            assert!(row.format().contains("naive"), "{}", row.format());
+        }
+        // Rows quoted from the paper carry no naive columns and omit them
+        // from the rendering.
+        let paper_row = &paper_table2()[0];
+        assert_eq!(paper_row.jj_saving_pct(), None);
+        assert!(!paper_row.format().contains("naive"));
     }
 
     #[test]

@@ -332,6 +332,24 @@ impl CellLibrary {
         &self.cells[&kind]
     }
 
+    /// Josephson-junction count of one cell kind — the cost-model query the
+    /// synthesis passes use when weighing transformations.
+    #[must_use]
+    pub fn jj_of(&self, kind: CellKind) -> u64 {
+        u64::from(self.params(kind).jj_count)
+    }
+
+    /// Aggregate cost of an ad-hoc cell-count list, without building a
+    /// histogram map first.
+    #[must_use]
+    pub fn cost_of(&self, counts: impl IntoIterator<Item = (CellKind, u64)>) -> CircuitCost {
+        let mut cost = CircuitCost::default();
+        for (kind, count) in counts {
+            cost.add(self.params(kind), count);
+        }
+        cost
+    }
+
     /// Iterates over all cells in the library.
     pub fn iter(&self) -> impl Iterator<Item = &CellParams> {
         self.cells.values()
@@ -456,6 +474,28 @@ mod tests {
             assert!(p.area_mm2 > 0.0);
             assert!(p.margins.critical_current > 0.0);
         }
+    }
+
+    #[test]
+    fn cost_queries_agree_with_the_histogram_path() {
+        let lib = CellLibrary::coldflux();
+        assert_eq!(lib.jj_of(CellKind::Xor), 11);
+        assert_eq!(lib.jj_of(CellKind::Dff), 7);
+        let direct = lib.cost_of([
+            (CellKind::Xor, 6),
+            (CellKind::Dff, 8),
+            (CellKind::Splitter, 23),
+            (CellKind::SfqToDc, 8),
+        ]);
+        let mut hist = BTreeMap::new();
+        hist.insert(CellKind::Xor, 6);
+        hist.insert(CellKind::Dff, 8);
+        hist.insert(CellKind::Splitter, 23);
+        hist.insert(CellKind::SfqToDc, 8);
+        let via_histogram = CircuitCost::from_histogram(&lib, &hist);
+        assert_eq!(direct.jj_count, via_histogram.jj_count);
+        assert_eq!(direct.jj_count, 278);
+        assert!((direct.static_power_uw - via_histogram.static_power_uw).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Parity-equation IR: the intermediate representation between a generator
+//! matrix and a gate-level encoder netlist.
+//!
+//! A linear encoder computes `c_j = ⊕_{i : G[i][j]=1} m_i`. The IR represents
+//! this computation as a set of **signals** and per-output **term lists**:
+//!
+//! * signals `0..k` are the message inputs `m_1..m_k`;
+//! * signals `k..` are *factors*, each the XOR of two earlier signals
+//!   (a straight-line program over GF(2), cancellation-free: a factor's
+//!   support is always the disjoint union of its operands' supports);
+//! * every output is a list of distinct signals whose supports XOR to the
+//!   output's generator column.
+//!
+//! Optimization passes (see [`crate::pass`]) rewrite the IR — extracting
+//! shared factors à la Paar, balancing XOR trees — while
+//! [`ParityIr::verify_against`] provides an exact GF(2) functional-
+//! equivalence check after every transformation: expanding each output's
+//! terms back to a support vector and comparing against the generator column
+//! is sound because the program is cancellation-free, so IR equivalence
+//! implies gate-level equivalence of any faithful lowering.
+
+use gf2::{BitMat, BitVec};
+use serde::{Deserialize, Serialize};
+
+/// Index of a signal inside a [`ParityIr`] (`0..k` are inputs, `k..` are
+/// factors).
+pub type SignalId = usize;
+
+/// A factor signal: the XOR of two earlier signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Factor {
+    /// First operand (a signal with a smaller id than the factor's).
+    pub a: SignalId,
+    /// Second operand (a signal with a smaller id than the factor's).
+    pub b: SignalId,
+}
+
+/// Functional-equivalence failure detected by [`ParityIr::verify_against`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrEquivalenceError {
+    /// Output index whose expansion disagrees with the generator column.
+    pub output: usize,
+    /// The support the IR computes for that output.
+    pub computed: BitVec,
+    /// The generator column the output must equal.
+    pub expected: BitVec,
+}
+
+impl std::fmt::Display for IrEquivalenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "output {} computes support {} but the generator column is {}",
+            self.output,
+            self.computed.to_string01(),
+            self.expected.to_string01()
+        )
+    }
+}
+
+/// The parity-equation IR of one linear encoder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParityIr {
+    k: usize,
+    factors: Vec<Factor>,
+    /// Per output: distinct signal ids, kept sorted ascending.
+    outputs: Vec<Vec<SignalId>>,
+    /// Logic depth of each signal (inputs 0, factor = max(operands) + 1).
+    depths: Vec<usize>,
+    /// Depth budget inherited from the naive XOR-tree flow: passes must keep
+    /// every output realizable within this many clocked stages so that
+    /// optimization never worsens encoding latency.
+    depth_budget: usize,
+}
+
+impl ParityIr {
+    /// Builds the IR of a `k × n` generator matrix: one term list per
+    /// codeword bit, no factors yet.
+    ///
+    /// # Panics
+    /// Panics if the generator has a zero column (a codeword bit that depends
+    /// on no message bit cannot be generated).
+    #[must_use]
+    pub fn from_generator(generator: &BitMat) -> Self {
+        let k = generator.rows();
+        let n = generator.cols();
+        let outputs: Vec<Vec<SignalId>> = (0..n)
+            .map(|j| (0..k).filter(|&i| generator.get(i, j)).collect::<Vec<_>>())
+            .collect();
+        for (j, terms) in outputs.iter().enumerate() {
+            assert!(
+                !terms.is_empty(),
+                "generator column {j} is zero; codeword bit c{} has no source",
+                j + 1
+            );
+        }
+        let depth_budget = outputs
+            .iter()
+            .map(|t| naive_tree_depth(t.len()))
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        ParityIr {
+            k,
+            factors: Vec::new(),
+            outputs,
+            depths: vec![0; k],
+            depth_budget,
+        }
+    }
+
+    /// Number of message inputs.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of outputs (codeword bits).
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Total number of signals (inputs + factors).
+    #[must_use]
+    pub fn num_signals(&self) -> usize {
+        self.k + self.factors.len()
+    }
+
+    /// The extracted factors, in creation (topological) order.
+    #[must_use]
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// The term list of output `j` (sorted, distinct signal ids).
+    #[must_use]
+    pub fn output_terms(&self, j: usize) -> &[SignalId] {
+        &self.outputs[j]
+    }
+
+    /// Logic depth of a signal (0 for inputs).
+    #[must_use]
+    pub fn depth(&self, signal: SignalId) -> usize {
+        self.depths[signal]
+    }
+
+    /// The depth budget every output must stay within.
+    #[must_use]
+    pub fn depth_budget(&self) -> usize {
+        self.depth_budget
+    }
+
+    /// Adds a factor `a ⊕ b` and returns its signal id.
+    ///
+    /// # Panics
+    /// Panics if the operands are not distinct existing signals.
+    pub fn add_factor(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        assert!(a != b, "a factor must combine two distinct signals");
+        assert!(
+            a < self.num_signals() && b < self.num_signals(),
+            "factor operands must already exist"
+        );
+        let id = self.num_signals();
+        self.depths.push(self.depths[a].max(self.depths[b]) + 1);
+        self.factors.push(Factor { a, b });
+        id
+    }
+
+    /// Replaces terms `a` and `b` of output `j` with the signal `factor`.
+    ///
+    /// # Panics
+    /// Panics if `a` or `b` is not a term of output `j`, or if `factor`
+    /// already is.
+    pub fn substitute(&mut self, j: usize, a: SignalId, b: SignalId, factor: SignalId) {
+        let terms = &mut self.outputs[j];
+        for gone in [a, b] {
+            let pos = terms
+                .iter()
+                .position(|&t| t == gone)
+                .unwrap_or_else(|| panic!("signal {gone} is not a term of output {j}"));
+            terms.remove(pos);
+        }
+        assert!(
+            !terms.contains(&factor),
+            "signal {factor} is already a term of output {j}"
+        );
+        let pos = terms.partition_point(|&t| t < factor);
+        terms.insert(pos, factor);
+    }
+
+    /// The smallest clocked depth at which a balanced XOR tree can combine
+    /// terms of the given depths: combining the two shallowest terms first
+    /// yields `ceil(log2(Σ 2^{d_i}))`.
+    #[must_use]
+    pub fn achievable_depth(&self, terms: &[SignalId]) -> usize {
+        achievable_depth_of(terms.iter().map(|&t| self.depths[t]))
+    }
+
+    /// Current realizable depth of output `j`.
+    #[must_use]
+    pub fn output_depth(&self, j: usize) -> usize {
+        self.achievable_depth(&self.outputs[j])
+    }
+
+    /// The deepest output — the encoding latency of a faithful lowering.
+    #[must_use]
+    pub fn max_output_depth(&self) -> usize {
+        (0..self.outputs.len())
+            .map(|j| self.output_depth(j))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of XOR gates a faithful lowering emits: one per factor plus
+    /// `terms − 1` per multi-term output.
+    #[must_use]
+    pub fn xor_count(&self) -> usize {
+        self.factors.len()
+            + self
+                .outputs
+                .iter()
+                .map(|t| t.len().saturating_sub(1))
+                .sum::<usize>()
+    }
+
+    /// Support vector (over the message inputs) of every signal.
+    #[must_use]
+    pub fn supports(&self) -> Vec<BitVec> {
+        let mut supports: Vec<BitVec> = (0..self.k)
+            .map(|i| {
+                let mut v = BitVec::zeros(self.k);
+                v.set(i, true);
+                v
+            })
+            .collect();
+        for factor in &self.factors {
+            let mut v = supports[factor.a].clone();
+            v.xor_assign(&supports[factor.b]);
+            supports.push(v);
+        }
+        supports
+    }
+
+    /// Exact GF(2) functional-equivalence check: every output's expanded
+    /// support must equal its generator column. Called by the pass manager
+    /// after every transformation.
+    ///
+    /// # Errors
+    /// Returns the first output whose expansion disagrees.
+    pub fn verify_against(&self, generator: &BitMat) -> Result<(), IrEquivalenceError> {
+        assert_eq!(generator.rows(), self.k, "generator row count changed");
+        assert_eq!(
+            generator.cols(),
+            self.outputs.len(),
+            "generator column count changed"
+        );
+        let supports = self.supports();
+        for (j, terms) in self.outputs.iter().enumerate() {
+            let mut computed = BitVec::zeros(self.k);
+            for &t in terms {
+                computed.xor_assign(&supports[t]);
+            }
+            let expected = generator.col(j);
+            if computed != expected {
+                return Err(IrEquivalenceError {
+                    output: j,
+                    computed,
+                    expected,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Depth of a naive balanced XOR tree over `t` equal-depth terms.
+#[must_use]
+pub fn naive_tree_depth(t: usize) -> usize {
+    if t <= 1 {
+        0
+    } else {
+        (usize::BITS - (t - 1).leading_zeros()) as usize
+    }
+}
+
+/// `ceil(log2(Σ 2^{d_i}))` — the minimal root depth of a binary tree whose
+/// leaves sit at the given depths (combine-two-shallowest is optimal).
+#[must_use]
+pub fn achievable_depth_of(depths: impl Iterator<Item = usize>) -> usize {
+    let mut total: u128 = 0;
+    let mut any = false;
+    for d in depths {
+        any = true;
+        total = total.saturating_add(1u128 << d.min(100));
+    }
+    if !any {
+        return 0;
+    }
+    let mut depth = 0;
+    while (1u128 << depth) < total {
+        depth += 1;
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hamming84_generator() -> BitMat {
+        BitMat::from_str_rows(&["11100001", "10011001", "01010101", "11010010"])
+    }
+
+    #[test]
+    fn from_generator_builds_one_term_list_per_column() {
+        let g = hamming84_generator();
+        let ir = ParityIr::from_generator(&g);
+        assert_eq!(ir.k(), 4);
+        assert_eq!(ir.num_outputs(), 8);
+        // Column c1 = m1 + m2 + m4 (rows 0, 1, 3).
+        assert_eq!(ir.output_terms(0), &[0, 1, 3]);
+        // Column c3 = m1 alone (systematic passthrough).
+        assert_eq!(ir.output_terms(2), &[0]);
+        assert_eq!(ir.depth_budget(), 2);
+        assert_eq!(ir.xor_count(), 8, "naive tree flow: 2 XOR per parity");
+        assert!(ir.verify_against(&g).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "column 1 is zero")]
+    fn zero_column_panics() {
+        let g = BitMat::from_str_rows(&["10", "10"]);
+        let _ = ParityIr::from_generator(&g);
+    }
+
+    #[test]
+    fn factor_extraction_preserves_equivalence() {
+        let g = hamming84_generator();
+        let mut ir = ParityIr::from_generator(&g);
+        // t = m1 + m2, shared by c1 and c8.
+        let t = ir.add_factor(0, 1);
+        assert_eq!(ir.depth(t), 1);
+        ir.substitute(0, 0, 1, t);
+        ir.substitute(7, 0, 1, t);
+        assert!(ir.verify_against(&g).is_ok());
+        assert_eq!(ir.xor_count(), 7, "one XOR shared");
+        assert_eq!(ir.output_terms(0), &[3, t]);
+    }
+
+    #[test]
+    fn bad_substitution_is_caught_by_verify() {
+        let g = hamming84_generator();
+        let mut ir = ParityIr::from_generator(&g);
+        let t = ir.add_factor(0, 2); // m1 + m3: NOT a subterm of c1
+        ir.substitute(0, 0, 1, t); // wrong: replaces m1+m2 with m1+m3
+        let err = ir.verify_against(&g).unwrap_err();
+        assert_eq!(err.output, 0);
+        assert!(err.to_string().contains("output 0"));
+    }
+
+    #[test]
+    fn achievable_depth_matches_huffman_combining() {
+        // Equal-depth leaves: plain ceil(log2 t).
+        assert_eq!(achievable_depth_of([0usize, 0].into_iter()), 1);
+        assert_eq!(achievable_depth_of([0usize, 0, 0].into_iter()), 2);
+        assert_eq!(achievable_depth_of(vec![0usize; 36].into_iter()), 6);
+        // Mixed depths: {1,0,0} fits in depth 2, {2,0} needs 3.
+        assert_eq!(achievable_depth_of([1usize, 0, 0].into_iter()), 2);
+        assert_eq!(achievable_depth_of([2usize, 0].into_iter()), 3);
+        assert_eq!(achievable_depth_of([1usize, 1].into_iter()), 2);
+        // Single leaf: its own depth.
+        assert_eq!(achievable_depth_of([3usize].into_iter()), 3);
+        assert_eq!(achievable_depth_of(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn naive_tree_depth_is_ceil_log2() {
+        let expected = [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (36, 6)];
+        for (t, d) in expected {
+            assert_eq!(naive_tree_depth(t), d, "t={t}");
+        }
+    }
+}

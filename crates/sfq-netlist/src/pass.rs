@@ -1,0 +1,1101 @@
+//! The optimizing encoder-synthesis pass pipeline.
+//!
+//! [`PassManager::run`] lowers a generator matrix to a gate-level [`Netlist`]
+//! through a fixed sequence of [`Pass`]es over a [`SynthUnit`]:
+//!
+//! 1. [`GreedyFactoringPass`] — cancellation-free common-pair XOR factoring
+//!    (Paar's greedy heuristic): the signal pair shared by the most parity
+//!    equations becomes an explicit factor, under a depth budget so that
+//!    sharing never worsens encoding latency;
+//! 2. [`TreeBalancePass`] — lowers every multi-term equation to binary XOR
+//!    factors by repeatedly combining the two shallowest terms (which
+//!    achieves the minimal root depth `⌈log₂ Σ 2^dᵢ⌉`), except that trees
+//!    destined to be padded up to the balanced output depth are deliberately
+//!    shaped deeper instead — same gate count, fewer pad DFFs;
+//! 3. [`FanoutPlanPass`] — plans splitter fan-out chains, shared alignment
+//!    DFFs (when the [`InputDiscipline::Align`] discipline is selected), and
+//!    path-balancing output pads;
+//! 4. [`EmitNetlistPass`] — materializes inputs, XOR cells, splitters,
+//!    alignment DFFs, pad chains, and output drivers;
+//! 5. [`ClockTreePass`] — expands the clock-distribution splitter tree.
+//!
+//! After every pass the manager re-verifies the IR against the generator
+//! matrix (exact GF(2) equivalence, see [`ParityIr::verify_against`]) and
+//! records a [`PassReport`] with the planned-cost delta, so a broken pass
+//! fails at synthesis time with the pass name attached. A gate-level
+//! simulation check can be attached with [`PassManager::with_netlist_verifier`]
+//! (the `sfq-sim` crate provides one; this crate cannot depend on it).
+//!
+//! # Input disciplines
+//!
+//! SFQ XOR gates hold arriving flux until their next clock pulse, and the
+//! SFQ-to-DC output drivers toggle on every pulse, so a parity network stays
+//! functionally correct even when a gate's operands arrive in different clock
+//! cycles — every pulse eventually reaches the toggling driver and the DC
+//! level sampled at the encoding latency equals the parity
+//! ([`InputDiscipline::Hold`], how the paper's Fig. 2 Hamming encoders feed
+//! message bits straight into second-level gates). Fig. 4's RM(1,3) encoder
+//! instead inserts alignment DFFs so both operands of each gate arrive in the
+//! same cycle ([`InputDiscipline::Align`]); alignment chains are shared per
+//! (signal, depth) and fanned out, as in the paper's schematic.
+
+use crate::ir::{Factor, IrEquivalenceError, ParityIr, SignalId};
+use crate::synth::{build_clock_tree, dff_chain, fanout};
+use crate::{Netlist, PortRef};
+use gf2::BitMat;
+use serde::{Deserialize, Serialize};
+use sfq_cells::{CellKind, CellLibrary, CircuitCost};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How XOR operands with unequal logic depths are reconciled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputDiscipline {
+    /// Rely on flux-holding gates and toggling SFQ-to-DC drivers: operands
+    /// may arrive in different cycles (Fig. 2 style, no alignment DFFs).
+    Hold,
+    /// Insert shared DFF chains so both operands of every XOR arrive in the
+    /// same clock cycle (Fig. 4 style).
+    Align,
+}
+
+/// Configuration of the synthesis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineOptions {
+    /// Operand-arrival discipline.
+    pub discipline: InputDiscipline,
+    /// Run the common-pair factoring pass (disable to get the pure balanced
+    /// tree flow).
+    pub factoring: bool,
+    /// Extra clocked stages the factoring pass may add beyond the naive tree
+    /// depth (0 keeps the naive latency).
+    pub depth_slack: usize,
+    /// Add an SFQ-to-DC output driver in front of each primary output.
+    pub output_drivers: bool,
+    /// Balance all outputs to the same logic depth with DFF pad chains.
+    pub balance_outputs: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            discipline: InputDiscipline::Hold,
+            factoring: true,
+            depth_slack: 0,
+            output_drivers: true,
+            balance_outputs: true,
+        }
+    }
+}
+
+/// The unit of work a [`Pass`] transforms.
+#[derive(Debug)]
+pub struct SynthUnit {
+    /// Netlist name.
+    pub name: String,
+    /// The generator matrix being lowered (the functional specification).
+    pub generator: BitMat,
+    /// Pipeline configuration.
+    pub options: PipelineOptions,
+    /// The parity-equation IR.
+    pub ir: ParityIr,
+    /// Fan-out / alignment / padding plan (after [`FanoutPlanPass`]).
+    pub plan: Option<FanoutPlan>,
+    /// The netlist under construction (after [`EmitNetlistPass`]).
+    pub netlist: Option<Netlist>,
+}
+
+/// Planned (or, once the netlist exists, actual) circuit cost of a unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedCost {
+    /// XOR gates.
+    pub xor: u64,
+    /// D flip-flops (alignment + path balancing).
+    pub dff: u64,
+    /// Splitters (data fan-out + clock tree).
+    pub splitter: u64,
+    /// SFQ-to-DC output drivers.
+    pub sfq_to_dc: u64,
+    /// Logic depth (clocked stages input → output).
+    pub depth: usize,
+}
+
+impl PlannedCost {
+    /// The cost as a cell histogram.
+    #[must_use]
+    pub fn histogram(&self) -> BTreeMap<CellKind, u64> {
+        let mut map = BTreeMap::new();
+        map.insert(CellKind::Xor, self.xor);
+        map.insert(CellKind::Dff, self.dff);
+        map.insert(CellKind::Splitter, self.splitter);
+        map.insert(CellKind::SfqToDc, self.sfq_to_dc);
+        map
+    }
+
+    /// Evaluates the plan against a cell library.
+    #[must_use]
+    pub fn cost(&self, library: &CellLibrary) -> CircuitCost {
+        library.cost_of([
+            (CellKind::Xor, self.xor),
+            (CellKind::Dff, self.dff),
+            (CellKind::Splitter, self.splitter),
+            (CellKind::SfqToDc, self.sfq_to_dc),
+        ])
+    }
+
+    /// Josephson-junction count against a cell library.
+    #[must_use]
+    pub fn jj(&self, library: &CellLibrary) -> u64 {
+        self.cost(library).jj_count
+    }
+}
+
+/// What one pass did to the unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassReport {
+    /// Pass name.
+    pub pass: String,
+    /// Planned cost before the pass.
+    pub before: PlannedCost,
+    /// Planned cost after the pass.
+    pub after: PlannedCost,
+    /// Human-readable note (factors extracted, cells emitted, …).
+    pub detail: String,
+}
+
+/// The full per-pass account of one synthesis run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Netlist name.
+    pub name: String,
+    /// One report per executed pass, in order.
+    pub passes: Vec<PassReport>,
+}
+
+impl PipelineReport {
+    /// Planned cost before the first pass (the unoptimized lowering).
+    #[must_use]
+    pub fn initial_cost(&self) -> PlannedCost {
+        self.passes.first().map(|p| p.before).unwrap_or_default()
+    }
+
+    /// Cost after the last pass (the emitted netlist).
+    #[must_use]
+    pub fn final_cost(&self) -> PlannedCost {
+        self.passes.last().map(|p| p.after).unwrap_or_default()
+    }
+
+    /// Multi-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!("synthesis pipeline for {}\n", self.name);
+        for report in &self.passes {
+            out.push_str(&format!(
+                "  {:<18} XOR {:>4} -> {:>4} | DFF {:>4} -> {:>4} | SPL {:>4} -> {:>4} | depth {} -> {} | {}\n",
+                report.pass,
+                report.before.xor,
+                report.after.xor,
+                report.before.dff,
+                report.after.dff,
+                report.before.splitter,
+                report.after.splitter,
+                report.before.depth,
+                report.after.depth,
+                report.detail,
+            ));
+        }
+        out
+    }
+}
+
+/// Error raised by a pass or by the manager's verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassError {
+    /// A pass broke functional equivalence of the IR.
+    Equivalence {
+        /// Name of the offending pass.
+        pass: String,
+        /// The detected mismatch.
+        error: IrEquivalenceError,
+    },
+    /// The attached netlist verifier rejected the final netlist.
+    Verifier(String),
+}
+
+impl std::fmt::Display for PassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PassError::Equivalence { pass, error } => {
+                write!(f, "pass {pass} broke functional equivalence: {error}")
+            }
+            PassError::Verifier(msg) => write!(f, "netlist verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// A transformation step of the synthesis pipeline.
+pub trait Pass {
+    /// Pass name (for reports and error messages).
+    fn name(&self) -> &'static str;
+
+    /// Transforms the unit, returning a human-readable note.
+    fn run(&self, unit: &mut SynthUnit) -> Result<String, PassError>;
+}
+
+/// Signature of an external gate-level netlist verifier (e.g. the `sfq-sim`
+/// simulation harness): given the emitted netlist and the generator matrix,
+/// return `Err` with a description if they disagree.
+pub type NetlistVerifier = Box<dyn Fn(&Netlist, &BitMat) -> Result<(), String>>;
+
+/// Runs a pass sequence over a [`SynthUnit`] with built-in functional
+/// verification and per-pass cost accounting.
+pub struct PassManager {
+    options: PipelineOptions,
+    passes: Vec<Box<dyn Pass>>,
+    verifier: Option<NetlistVerifier>,
+}
+
+/// The outcome of a full pipeline run.
+#[derive(Debug)]
+pub struct SynthResult {
+    /// The synthesized netlist.
+    pub netlist: Netlist,
+    /// Per-pass cost/depth accounting.
+    pub report: PipelineReport,
+}
+
+impl PassManager {
+    /// The standard five-pass pipeline for the given options.
+    #[must_use]
+    pub fn standard(options: PipelineOptions) -> Self {
+        PassManager {
+            options,
+            passes: vec![
+                Box::new(GreedyFactoringPass),
+                Box::new(TreeBalancePass),
+                Box::new(FanoutPlanPass),
+                Box::new(EmitNetlistPass),
+                Box::new(ClockTreePass),
+            ],
+            verifier: None,
+        }
+    }
+
+    /// Attaches a gate-level verifier that runs once after the final pass.
+    #[must_use]
+    pub fn with_netlist_verifier(mut self, verifier: NetlistVerifier) -> Self {
+        self.verifier = Some(verifier);
+        self
+    }
+
+    /// Number of passes in the pipeline.
+    #[must_use]
+    pub fn num_passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Runs the pipeline on a generator matrix.
+    ///
+    /// # Errors
+    /// Returns a [`PassError`] if any pass breaks IR equivalence or the
+    /// attached netlist verifier rejects the result.
+    ///
+    /// # Panics
+    /// Panics if the generator has a zero column, or if the final pass did
+    /// not produce a netlist.
+    pub fn run(&self, name: &str, generator: &BitMat) -> Result<SynthResult, PassError> {
+        let mut unit = SynthUnit {
+            name: name.to_string(),
+            generator: generator.clone(),
+            options: self.options,
+            ir: ParityIr::from_generator(generator),
+            plan: None,
+            netlist: None,
+        };
+        let mut reports = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let before = planned_cost(&unit);
+            let detail = pass.run(&mut unit)?;
+            unit.ir
+                .verify_against(&unit.generator)
+                .map_err(|error| PassError::Equivalence {
+                    pass: pass.name().to_string(),
+                    error,
+                })?;
+            let after = planned_cost(&unit);
+            reports.push(PassReport {
+                pass: pass.name().to_string(),
+                before,
+                after,
+                detail,
+            });
+        }
+        let netlist = unit
+            .netlist
+            .expect("the pipeline's emission pass must produce a netlist");
+        if let Some(verifier) = &self.verifier {
+            verifier(&netlist, generator).map_err(PassError::Verifier)?;
+        }
+        Ok(SynthResult {
+            netlist,
+            report: PipelineReport {
+                name: name.to_string(),
+                passes: reports,
+            },
+        })
+    }
+}
+
+/// Planned cost of the unit in its current state: actual cell counts once the
+/// netlist exists, otherwise the exact cost a faithful lowering of the
+/// current IR would produce (computed by simulating tree balancing and
+/// fan-out planning on a scratch copy).
+#[must_use]
+pub fn planned_cost(unit: &SynthUnit) -> PlannedCost {
+    if let Some(netlist) = &unit.netlist {
+        let hist = netlist.cell_histogram();
+        let count = |kind: CellKind| hist.get(&kind).copied().unwrap_or(0);
+        return PlannedCost {
+            xor: count(CellKind::Xor),
+            dff: count(CellKind::Dff),
+            splitter: count(CellKind::Splitter),
+            sfq_to_dc: count(CellKind::SfqToDc),
+            depth: netlist.logic_depth(),
+        };
+    }
+    let mut scratch = unit.ir.clone();
+    tree_balance(&mut scratch, unit.options.balance_outputs);
+    let plan = FanoutPlan::compute(&scratch, &unit.options);
+    plan.planned_cost(&scratch, &unit.options)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: greedy common-pair factoring (Paar).
+// ---------------------------------------------------------------------------
+
+/// Cancellation-free greedy common-subexpression extraction: repeatedly turn
+/// the signal pair shared by the most parity equations into an explicit
+/// factor, as long as at least two equations benefit and no equation is
+/// pushed past the depth budget.
+pub struct GreedyFactoringPass;
+
+impl Pass for GreedyFactoringPass {
+    fn name(&self) -> &'static str {
+        "factor-common-pairs"
+    }
+
+    fn run(&self, unit: &mut SynthUnit) -> Result<String, PassError> {
+        if !unit.options.factoring {
+            return Ok("disabled by options".to_string());
+        }
+        let budget = unit.ir.depth_budget() + unit.options.depth_slack;
+        let mut cache = factor_cache(&unit.ir);
+        let mut extracted = 0usize;
+        loop {
+            // Count, per candidate pair, the equations where substitution is
+            // depth-feasible. BTreeMap keeps the tie-break deterministic
+            // (smallest pair wins among equal counts).
+            let mut candidates: BTreeMap<(SignalId, SignalId), Vec<usize>> = BTreeMap::new();
+            for j in 0..unit.ir.num_outputs() {
+                let terms = unit.ir.output_terms(j);
+                if terms.len() < 2 {
+                    continue;
+                }
+                for x in 0..terms.len() {
+                    for y in (x + 1)..terms.len() {
+                        let (a, b) = (terms[x], terms[y]);
+                        if substitution_fits(&unit.ir, j, a, b, budget) {
+                            candidates.entry((a, b)).or_default().push(j);
+                        }
+                    }
+                }
+            }
+            // Term-occurrence frequency, used as a secondary criterion: when
+            // several pairs are shared by the same number of equations,
+            // extracting the one built from the *least*-used signals commits
+            // the rare signals first and keeps the widely-shared signals
+            // available for later, larger extractions — measurably better on
+            // the SEC-DED family than frequency-greedy, while the paper's
+            // three small encoders (whose optima are forced) are unaffected.
+            // Remaining ties fall back to the smallest pair, which BTreeMap
+            // iteration order provides.
+            let mut freq: BTreeMap<SignalId, usize> = BTreeMap::new();
+            for j in 0..unit.ir.num_outputs() {
+                let terms = unit.ir.output_terms(j);
+                if terms.len() < 2 {
+                    continue;
+                }
+                for &t in terms {
+                    *freq.entry(t).or_insert(0) += 1;
+                }
+            }
+            let mut best: Option<((SignalId, SignalId), &Vec<usize>, usize)> = None;
+            for (pair, outs) in &candidates {
+                if outs.len() < 2 {
+                    continue;
+                }
+                let tiebreak = usize::MAX - (freq[&pair.0] + freq[&pair.1]);
+                if best.is_none_or(|(_, b, bt)| (outs.len(), tiebreak) > (b.len(), bt)) {
+                    best = Some((*pair, outs, tiebreak));
+                }
+            }
+            let Some(((a, b), outs, _)) = best else { break };
+            let outs = outs.clone();
+            let factor = *cache
+                .entry((a, b))
+                .or_insert_with(|| unit.ir.add_factor(a, b));
+            for j in outs {
+                unit.ir.substitute(j, a, b, factor);
+            }
+            extracted += 1;
+        }
+        Ok(format!(
+            "{extracted} shared factors (depth budget {budget})"
+        ))
+    }
+}
+
+/// Existing factors keyed by their (sorted) operand pair, for reuse.
+fn factor_cache(ir: &ParityIr) -> BTreeMap<(SignalId, SignalId), SignalId> {
+    ir.factors()
+        .iter()
+        .enumerate()
+        .map(|(i, &Factor { a, b })| ((a.min(b), a.max(b)), ir.k() + i))
+        .collect()
+}
+
+/// Would replacing `{a, b}` with their factor keep output `j` within the
+/// depth budget?
+fn substitution_fits(ir: &ParityIr, j: usize, a: SignalId, b: SignalId, budget: usize) -> bool {
+    let factor_depth = ir.depth(a).max(ir.depth(b)) + 1;
+    let depths = ir
+        .output_terms(j)
+        .iter()
+        .filter(|&&t| t != a && t != b)
+        .map(|&t| ir.depth(t))
+        .chain(std::iter::once(factor_depth));
+    crate::ir::achievable_depth_of(depths) <= budget
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: XOR-tree depth balancing.
+// ---------------------------------------------------------------------------
+
+/// Lowers every multi-term equation to binary factors by combining the two
+/// shallowest terms first (minimal root depth), reusing identical factors
+/// across outputs.
+pub struct TreeBalancePass;
+
+impl Pass for TreeBalancePass {
+    fn name(&self) -> &'static str {
+        "balance-xor-trees"
+    }
+
+    fn run(&self, unit: &mut SynthUnit) -> Result<String, PassError> {
+        let stretch = unit.options.balance_outputs;
+        let trees = tree_balance(&mut unit.ir, stretch);
+        Ok(format!("{trees} multi-term equations lowered"))
+    }
+}
+
+/// Reduces every output to a single root signal; returns how many multi-term
+/// outputs were lowered.
+///
+/// With `stretch` set (the balanced-output flow), trees that would come out
+/// shallower than the deepest output are deliberately shaped *deeper* — an
+/// XOR tree over `t` terms costs `t − 1` gates regardless of shape, so every
+/// level gained towards the common output depth eliminates one path-
+/// balancing pad DFF (and its clock splitter) for free.
+fn tree_balance(ir: &mut ParityIr, stretch: bool) -> usize {
+    let mut cache = factor_cache(ir);
+    let mut lowered = 0usize;
+    let target = if stretch {
+        (0..ir.num_outputs())
+            .map(|j| ir.output_depth(j))
+            .max()
+            .unwrap_or(0)
+    } else {
+        0
+    };
+    for j in 0..ir.num_outputs() {
+        if ir.output_terms(j).len() > 1 {
+            lowered += 1;
+        }
+        while ir.output_terms(j).len() > 1 {
+            // Depth-optimal combining joins two terms drawn from the two
+            // shallowest depth classes (Huffman exchange argument); while the
+            // output still sits below the stretch target, joining the two
+            // *deepest* classes instead raises the achievable depth by at
+            // most one without ever overshooting the target.
+            let terms = ir.output_terms(j);
+            let deepen = stretch && ir.achievable_depth(terms) < target;
+            let mut depths: Vec<usize> = terms.iter().map(|&t| ir.depth(t)).collect();
+            depths.sort_unstable();
+            let (d1, d2) = if deepen {
+                (depths[depths.len() - 1], depths[depths.len() - 2])
+            } else {
+                (depths[0], depths[1])
+            };
+            let optimal = |x: SignalId, y: SignalId| {
+                let mut pair = [ir.depth(x), ir.depth(y)];
+                pair.sort_unstable();
+                pair == [d1.min(d2), d1.max(d2)]
+            };
+            // Among the depth-admissible pairs prefer one whose factor
+            // already exists — a free XOR — then the smallest pair.
+            let mut chosen: Option<(SignalId, SignalId)> = None;
+            'search: for (xi, &x) in terms.iter().enumerate() {
+                for &y in &terms[xi + 1..] {
+                    if !optimal(x, y) {
+                        continue;
+                    }
+                    if chosen.is_none() {
+                        chosen = Some((x, y));
+                    }
+                    if cache.contains_key(&(x.min(y), x.max(y))) {
+                        chosen = Some((x, y));
+                        break 'search;
+                    }
+                }
+            }
+            let (a, b) = chosen.expect("two terms always admit a depth-admissible pair");
+            let factor = *cache
+                .entry((a.min(b), a.max(b)))
+                .or_insert_with(|| ir.add_factor(a, b));
+            ir.substitute(j, a, b, factor);
+        }
+    }
+    lowered
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: splitter fan-out, alignment, and pad planning.
+// ---------------------------------------------------------------------------
+
+/// One shared alignment tap of a signal: a DFF chain raising the signal to
+/// `target_depth`, fanned out to `consumers` XOR operand ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlignTap {
+    /// The clocked depth consumers expect the signal at.
+    pub target_depth: usize,
+    /// Number of XOR operand ports reading this tap.
+    pub consumers: usize,
+}
+
+/// The fan-out / alignment / padding plan the emission pass follows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FanoutPlan {
+    /// Direct consumers per signal (operand ports, alignment chain heads,
+    /// output heads).
+    uses: Vec<usize>,
+    /// Alignment taps per signal, sorted by target depth ([`InputDiscipline::Align`] only).
+    align: BTreeMap<SignalId, Vec<AlignTap>>,
+    /// Path-balancing DFF stages per output.
+    pads: Vec<usize>,
+    /// The balanced output depth (the encoding latency).
+    max_depth: usize,
+}
+
+impl FanoutPlan {
+    /// Computes the plan for a tree-balanced IR (every output a single
+    /// signal).
+    ///
+    /// # Panics
+    /// Panics if some output still has more than one term.
+    #[must_use]
+    pub fn compute(ir: &ParityIr, options: &PipelineOptions) -> Self {
+        let mut uses = vec![0usize; ir.num_signals()];
+        let mut align_consumers: BTreeMap<(SignalId, usize), usize> = BTreeMap::new();
+        for &Factor { a, b } in ir.factors() {
+            let target = ir.depth(a).max(ir.depth(b));
+            for operand in [a, b] {
+                if options.discipline == InputDiscipline::Align && ir.depth(operand) < target {
+                    *align_consumers.entry((operand, target)).or_insert(0) += 1;
+                } else {
+                    uses[operand] += 1;
+                }
+            }
+        }
+        let mut max_depth = 0usize;
+        let mut roots = Vec::with_capacity(ir.num_outputs());
+        for j in 0..ir.num_outputs() {
+            let terms = ir.output_terms(j);
+            assert!(
+                terms.len() == 1,
+                "fan-out planning requires tree-balanced outputs (output {j} has {} terms)",
+                terms.len()
+            );
+            let root = terms[0];
+            uses[root] += 1;
+            roots.push(root);
+            max_depth = max_depth.max(ir.depth(root));
+        }
+        let pads: Vec<usize> = roots
+            .iter()
+            .map(|&r| {
+                if options.balance_outputs {
+                    max_depth - ir.depth(r)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mut align: BTreeMap<SignalId, Vec<AlignTap>> = BTreeMap::new();
+        for ((signal, target_depth), consumers) in align_consumers {
+            align.entry(signal).or_default().push(AlignTap {
+                target_depth,
+                consumers,
+            });
+        }
+        // Each alignment chain consumes one port of its base signal.
+        for &signal in align.keys() {
+            uses[signal] += 1;
+        }
+        FanoutPlan {
+            uses,
+            align,
+            pads,
+            max_depth,
+        }
+    }
+
+    /// Direct consumers of a signal.
+    #[must_use]
+    pub fn uses(&self, signal: SignalId) -> usize {
+        self.uses[signal]
+    }
+
+    /// Alignment taps of a signal (sorted by target depth).
+    #[must_use]
+    pub fn align_taps(&self, signal: SignalId) -> &[AlignTap] {
+        self.align.get(&signal).map_or(&[], Vec::as_slice)
+    }
+
+    /// Pad stages of output `j`.
+    #[must_use]
+    pub fn pad_stages(&self, j: usize) -> usize {
+        self.pads[j]
+    }
+
+    /// The balanced output depth.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Exact cell counts a faithful emission of this plan produces.
+    #[must_use]
+    pub fn planned_cost(&self, ir: &ParityIr, options: &PipelineOptions) -> PlannedCost {
+        let xor = ir.factors().len() as u64;
+        let mut dff = self.pads.iter().map(|&p| p as u64).sum::<u64>();
+        let mut data_splitters: u64 = self.uses.iter().map(|&u| u.saturating_sub(1) as u64).sum();
+        for (&signal, taps) in &self.align {
+            let base = ir.depth(signal);
+            let last = taps.last().map_or(base, |t| t.target_depth);
+            dff += (last - base) as u64;
+            for (idx, tap) in taps.iter().enumerate() {
+                let continues = usize::from(idx + 1 < taps.len());
+                data_splitters += (tap.consumers + continues).saturating_sub(1) as u64;
+            }
+        }
+        let sfq_to_dc = if options.output_drivers {
+            ir.num_outputs() as u64
+        } else {
+            0
+        };
+        let clock_sinks = xor + dff;
+        let clock_splitters = clock_sinks.saturating_sub(1);
+        PlannedCost {
+            xor,
+            dff,
+            splitter: data_splitters + clock_splitters,
+            sfq_to_dc,
+            depth: self.max_depth,
+        }
+    }
+}
+
+/// Computes and stores the [`FanoutPlan`].
+pub struct FanoutPlanPass;
+
+impl Pass for FanoutPlanPass {
+    fn name(&self) -> &'static str {
+        "plan-fanout"
+    }
+
+    fn run(&self, unit: &mut SynthUnit) -> Result<String, PassError> {
+        let plan = FanoutPlan::compute(&unit.ir, &unit.options);
+        let taps: usize = plan.align.values().map(Vec::len).sum();
+        let detail = format!(
+            "{} alignment taps, balanced output depth {}",
+            taps,
+            plan.max_depth()
+        );
+        unit.plan = Some(plan);
+        Ok(detail)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: netlist emission.
+// ---------------------------------------------------------------------------
+
+/// Materializes the planned design as a [`Netlist`] (everything except the
+/// clock tree).
+pub struct EmitNetlistPass;
+
+impl Pass for EmitNetlistPass {
+    fn name(&self) -> &'static str {
+        "emit-netlist"
+    }
+
+    fn run(&self, unit: &mut SynthUnit) -> Result<String, PassError> {
+        let plan = unit
+            .plan
+            .take()
+            .expect("emit-netlist requires plan-fanout to have run");
+        let ir = &unit.ir;
+        let options = &unit.options;
+        let mut nl = Netlist::new(unit.name.clone());
+        nl.add_clock("clk");
+
+        // Name every signal: inputs m1.., output roots c{j}_xor, other
+        // factors t{i}.
+        let mut names: Vec<String> = (0..ir.k()).map(|i| format!("m{}", i + 1)).collect();
+        let mut root_of: BTreeMap<SignalId, usize> = BTreeMap::new();
+        for j in 0..ir.num_outputs() {
+            root_of.entry(ir.output_terms(j)[0]).or_insert(j);
+        }
+        for idx in 0..ir.factors().len() {
+            let id = ir.k() + idx;
+            names.push(match root_of.get(&id) {
+                Some(&j) => format!("c{}_xor", j + 1),
+                None => format!("t{idx}"),
+            });
+        }
+
+        // Per-signal queues of fanned-out ports, plus aligned taps.
+        let mut ports: Vec<VecDeque<PortRef>> = vec![VecDeque::new(); ir.num_signals()];
+        let mut aligned: BTreeMap<(SignalId, usize), VecDeque<PortRef>> = BTreeMap::new();
+
+        // Fans a freshly created signal out according to the plan and builds
+        // its shared alignment chains.
+        let finish_signal =
+            |nl: &mut Netlist,
+             signal: SignalId,
+             source: PortRef,
+             ports: &mut Vec<VecDeque<PortRef>>,
+             aligned: &mut BTreeMap<(SignalId, usize), VecDeque<PortRef>>| {
+                let uses = plan.uses(signal);
+                if uses > 0 {
+                    ports[signal] = fanout(nl, source, uses, &names[signal]).into();
+                }
+                let taps = plan.align_taps(signal);
+                if taps.is_empty() {
+                    return;
+                }
+                let mut current = ports[signal].pop_front().expect("alignment chain port");
+                let mut current_depth = ir.depth(signal);
+                for (idx, tap) in taps.iter().enumerate() {
+                    let prefix = format!("{}_al{}", names[signal], tap.target_depth);
+                    current = dff_chain(nl, current, tap.target_depth - current_depth, &prefix);
+                    current_depth = tap.target_depth;
+                    let continues = usize::from(idx + 1 < taps.len());
+                    let mut tap_ports: VecDeque<PortRef> =
+                        fanout(nl, current, tap.consumers + continues, &prefix).into();
+                    if continues == 1 {
+                        current = tap_ports.pop_back().expect("chain continuation port");
+                    }
+                    aligned.insert((signal, tap.target_depth), tap_ports);
+                }
+            };
+
+        // Inputs.
+        for (i, name) in names.iter().enumerate().take(ir.k()) {
+            let input = nl.add_input(name.clone());
+            finish_signal(&mut nl, i, PortRef::of(input), &mut ports, &mut aligned);
+        }
+        // Factors, in topological order.
+        for (idx, &Factor { a, b }) in ir.factors().iter().enumerate() {
+            let id = ir.k() + idx;
+            let xor = nl.add_cell(CellKind::Xor, names[id].clone());
+            let target = ir.depth(a).max(ir.depth(b));
+            for (port_index, operand) in [a, b].into_iter().enumerate() {
+                let port =
+                    if options.discipline == InputDiscipline::Align && ir.depth(operand) < target {
+                        aligned
+                            .get_mut(&(operand, target))
+                            .and_then(VecDeque::pop_front)
+                            .expect("planned alignment tap port")
+                    } else {
+                        ports[operand].pop_front().expect("planned operand port")
+                    };
+                nl.connect(port, xor, port_index);
+            }
+            nl.add_clock_sink(xor);
+            finish_signal(&mut nl, id, PortRef::of(xor), &mut ports, &mut aligned);
+        }
+        // Outputs: pad chain, driver, primary output.
+        for j in 0..ir.num_outputs() {
+            let out_name = format!("c{}", j + 1);
+            let root = ir.output_terms(j)[0];
+            let mut signal = ports[root].pop_front().expect("planned output port");
+            signal = dff_chain(
+                &mut nl,
+                signal,
+                plan.pad_stages(j),
+                &format!("{out_name}_pad"),
+            );
+            if options.output_drivers {
+                let driver = nl.add_cell(CellKind::SfqToDc, format!("{out_name}_drv"));
+                nl.connect(signal, driver, 0);
+                signal = PortRef::of(driver);
+            }
+            let output = nl.add_output(out_name);
+            nl.connect(signal, output, 0);
+        }
+        let cells = nl.nodes().len();
+        unit.netlist = Some(nl);
+        Ok(format!("{cells} nodes emitted"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 5: clock tree.
+// ---------------------------------------------------------------------------
+
+/// Expands the clock-distribution splitter tree over every clocked cell.
+pub struct ClockTreePass;
+
+impl Pass for ClockTreePass {
+    fn name(&self) -> &'static str {
+        "build-clock-tree"
+    }
+
+    fn run(&self, unit: &mut SynthUnit) -> Result<String, PassError> {
+        let netlist = unit
+            .netlist
+            .as_mut()
+            .expect("build-clock-tree requires emit-netlist to have run");
+        let splitters = build_clock_tree(netlist, "clk");
+        Ok(format!("{splitters} clock splitters"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc;
+
+    fn hamming84_generator() -> BitMat {
+        BitMat::from_str_rows(&["11100001", "10011001", "01010101", "11010010"])
+    }
+
+    fn run_standard(options: PipelineOptions) -> SynthResult {
+        PassManager::standard(options)
+            .run("h84", &hamming84_generator())
+            .expect("pipeline must succeed")
+    }
+
+    #[test]
+    fn standard_pipeline_has_five_passes_and_reports_each() {
+        let result = run_standard(PipelineOptions::default());
+        assert_eq!(result.report.passes.len(), 5);
+        let names: Vec<&str> = result
+            .report
+            .passes
+            .iter()
+            .map(|p| p.pass.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "factor-common-pairs",
+                "balance-xor-trees",
+                "plan-fanout",
+                "emit-netlist",
+                "build-clock-tree"
+            ]
+        );
+        let summary = result.report.summary();
+        for name in names {
+            assert!(summary.contains(name), "{summary}");
+        }
+    }
+
+    #[test]
+    fn factoring_report_shows_the_xor_savings() {
+        let result = run_standard(PipelineOptions::default());
+        let factoring = &result.report.passes[0];
+        // The tree-lowering stage already reuses bit-identical subtrees (7
+        // XOR instead of the fully unshared 8); explicit factoring under the
+        // depth budget reaches the paper's 6.
+        assert_eq!(factoring.before.xor, 7);
+        assert_eq!(factoring.after.xor, 6);
+        assert_eq!(factoring.before.depth, 2);
+        assert_eq!(
+            factoring.after.depth, 2,
+            "sharing must not deepen the circuit"
+        );
+        assert!(
+            factoring.detail.contains("2 shared factors"),
+            "{}",
+            factoring.detail
+        );
+    }
+
+    #[test]
+    fn planned_costs_match_the_emitted_netlist_exactly() {
+        for discipline in [InputDiscipline::Hold, InputDiscipline::Align] {
+            let result = run_standard(PipelineOptions {
+                discipline,
+                ..Default::default()
+            });
+            let nl = &result.netlist;
+            let final_cost = result.report.final_cost();
+            assert_eq!(final_cost.xor, nl.count_cells(CellKind::Xor) as u64);
+            assert_eq!(final_cost.dff, nl.count_cells(CellKind::Dff) as u64);
+            assert_eq!(
+                final_cost.splitter,
+                nl.count_cells(CellKind::Splitter) as u64
+            );
+            assert_eq!(
+                final_cost.sfq_to_dc,
+                nl.count_cells(CellKind::SfqToDc) as u64
+            );
+            assert_eq!(final_cost.depth, nl.logic_depth());
+            // The plan-fanout stage predicted the same numbers before any
+            // cell existed — planning and emission must never drift apart.
+            let planned = result.report.passes[2].after;
+            assert_eq!(planned, final_cost, "discipline {discipline:?}");
+        }
+    }
+
+    #[test]
+    fn disabling_factoring_falls_back_to_plain_tree_lowering() {
+        let result = run_standard(PipelineOptions {
+            factoring: false,
+            ..Default::default()
+        });
+        assert_eq!(result.report.passes[0].detail, "disabled by options");
+        // Identical-subtree reuse during lowering still shares one gate
+        // (7 instead of the fully unshared 8 of the naive flow), but the
+        // depth-budgeted factoring win (6) requires the pass.
+        assert_eq!(result.netlist.count_cells(CellKind::Xor), 7);
+        assert!(drc::is_clean(&result.netlist));
+    }
+
+    #[test]
+    fn options_without_drivers_or_balancing_are_respected() {
+        let result = run_standard(PipelineOptions {
+            output_drivers: false,
+            balance_outputs: false,
+            ..Default::default()
+        });
+        let nl = &result.netlist;
+        assert_eq!(nl.count_cells(CellKind::SfqToDc), 0);
+        assert_eq!(
+            nl.count_cells(CellKind::Dff),
+            0,
+            "no pads without balancing"
+        );
+        let depths = nl.output_depths();
+        assert!(depths.contains(&0) && depths.contains(&2), "{depths:?}");
+    }
+
+    #[test]
+    fn netlist_verifier_failures_are_reported() {
+        let err = PassManager::standard(PipelineOptions::default())
+            .with_netlist_verifier(Box::new(|_, _| Err("simulated mismatch".to_string())))
+            .run("h84", &hamming84_generator())
+            .unwrap_err();
+        assert_eq!(err, PassError::Verifier("simulated mismatch".to_string()));
+        assert!(err.to_string().contains("simulated mismatch"));
+    }
+
+    #[test]
+    fn accepting_netlist_verifier_sees_the_final_netlist() {
+        let result = PassManager::standard(PipelineOptions::default())
+            .with_netlist_verifier(Box::new(|nl, g| {
+                if nl.outputs().len() == g.cols() {
+                    Ok(())
+                } else {
+                    Err("output count mismatch".to_string())
+                }
+            }))
+            .run("h84", &hamming84_generator());
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn a_broken_pass_is_caught_by_the_equivalence_check() {
+        struct CorruptingPass;
+        impl Pass for CorruptingPass {
+            fn name(&self) -> &'static str {
+                "corrupt"
+            }
+            fn run(&self, unit: &mut SynthUnit) -> Result<String, PassError> {
+                // Swap two terms of output 0 for a factor that does not
+                // cover them: functional corruption a structural check
+                // would miss.
+                let t = unit.ir.add_factor(0, 2);
+                let terms: Vec<SignalId> = unit.ir.output_terms(0).to_vec();
+                unit.ir.substitute(0, terms[0], terms[1], t);
+                Ok("corrupted".to_string())
+            }
+        }
+        let mut manager = PassManager::standard(PipelineOptions::default());
+        manager.passes.insert(0, Box::new(CorruptingPass));
+        let err = manager.run("h84", &hamming84_generator()).unwrap_err();
+        match err {
+            PassError::Equivalence { pass, error } => {
+                assert_eq!(pass, "corrupt");
+                assert_eq!(error.output, 0);
+            }
+            other => panic!("expected an equivalence error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn align_discipline_inserts_shared_alignment_dffs() {
+        // c1 = m1, c2 = m1+m2+m3: the 3-term tree pairs a depth-1 factor
+        // with a depth-0 input, which Align must pad through a DFF.
+        let g = BitMat::from_str_rows(&["11", "01", "01"]);
+        let hold = PassManager::standard(PipelineOptions::default())
+            .run("hold", &g)
+            .unwrap();
+        let align = PassManager::standard(PipelineOptions {
+            discipline: InputDiscipline::Align,
+            ..Default::default()
+        })
+        .run("align", &g)
+        .unwrap();
+        assert!(drc::is_clean(&hold.netlist));
+        assert!(drc::is_clean(&align.netlist));
+        assert_eq!(
+            align.netlist.count_cells(CellKind::Dff),
+            hold.netlist.count_cells(CellKind::Dff) + 1,
+            "one alignment DFF for the unbalanced operand"
+        );
+        assert_eq!(
+            align.netlist.count_cells(CellKind::Xor),
+            hold.netlist.count_cells(CellKind::Xor)
+        );
+    }
+
+    #[test]
+    fn planned_cost_histogram_and_jj_queries_work() {
+        use sfq_cells::CellLibrary;
+        let cost = PlannedCost {
+            xor: 6,
+            dff: 8,
+            splitter: 23,
+            sfq_to_dc: 8,
+            depth: 2,
+        };
+        let lib = CellLibrary::coldflux();
+        assert_eq!(cost.jj(&lib), 278, "the Hamming(8,4) Table II row");
+        assert_eq!(cost.histogram()[&CellKind::Xor], 6);
+    }
+}

@@ -42,10 +42,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod equivalence;
 pub mod fault;
 pub mod ppv;
 pub mod sim;
 
+pub use equivalence::{verify_encoder, EquivalenceConfig, EquivalenceMismatch};
 pub use fault::{CellFault, FailureMode, FaultMap};
 pub use ppv::{ChipSample, PpvModel};
 pub use sim::{GateLevelSim, Stimulus, Trace};

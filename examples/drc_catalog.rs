@@ -1,0 +1,43 @@
+//! CI gate: run the SFQ design-rule checks over every catalog netlist the
+//! synthesis pipeline produces, so a broken pass fails fast with the design
+//! and violation attached instead of surfacing as a subtle Fig. 5 shift.
+//!
+//! Run with `cargo run --release --example drc_catalog`; exits non-zero on
+//! any violation.
+
+use sfq_ecc::cells::CellLibrary;
+use sfq_ecc::encoders::EncoderDesign;
+use sfq_ecc::netlist::drc;
+
+fn main() {
+    let library = CellLibrary::coldflux();
+    let mut failed = false;
+    for design in EncoderDesign::build_catalog() {
+        let violations = drc::check(design.netlist());
+        let stats = design.stats(&library);
+        if violations.is_empty() {
+            println!(
+                "ok   {:<22} {:>5} cells {:>5} JJ depth {}",
+                design.name(),
+                stats.histogram.total(),
+                stats.cost.jj_count,
+                design.latency()
+            );
+        } else {
+            failed = true;
+            eprintln!(
+                "FAIL {:<22} {} violations:",
+                design.name(),
+                violations.len()
+            );
+            for violation in violations {
+                eprintln!("     {violation:?}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("catalog DRC failed");
+        std::process::exit(1);
+    }
+    println!("catalog DRC clean");
+}

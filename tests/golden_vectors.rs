@@ -24,6 +24,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use sfq_ecc::cells::CellLibrary;
 use sfq_ecc::ecc::{BlockCode, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, Uncoded};
 use sfq_ecc::gf2::BitVec;
 use std::path::PathBuf;
@@ -122,6 +123,62 @@ fn golden_dir() -> PathBuf {
         .join("golden")
 }
 
+/// Renders the synthesized-netlist cost fingerprint of every coded catalog
+/// member: one line per design with the optimized cell counts, JJ total,
+/// logic depth, and the naive-flow XOR/JJ baseline. Checked in under
+/// `tests/golden/` so a pass-pipeline change that silently regresses circuit
+/// cost fails like a codec regression would.
+fn render_cost_fingerprints() -> String {
+    use sfq_ecc::encoders::{table2_row_for, EncoderDesign};
+    use sfq_ecc::netlist::NetlistStats;
+    let lib = CellLibrary::coldflux();
+    let mut out = String::from(
+        "# synthesized-netlist cost fingerprints (regenerate with \
+         `cargo test --test golden_vectors -- --ignored regenerate_golden_files`)\n",
+    );
+    for design in EncoderDesign::build_catalog() {
+        let Some(naive) = design.naive_netlist() else {
+            continue; // the uncoded baseline has no encoder logic to cost
+        };
+        let row = table2_row_for(&design, &lib).with_naive(&NetlistStats::compute(&naive, &lib));
+        out.push_str(&format!(
+            "design {} xor {} dff {} spl {} sfqdc {} jj {} depth {} naive_xor {} naive_jj {}\n",
+            row.encoder.replace(' ', "_"),
+            row.xor_gates,
+            row.dffs,
+            row.splitters,
+            row.sfq_to_dc,
+            row.jj_count,
+            design.netlist().logic_depth(),
+            row.naive_xor_gates
+                .expect("with_naive populates the column"),
+            row.naive_jj_count.expect("with_naive populates the column"),
+        ));
+    }
+    out
+}
+
+const COST_FINGERPRINT_FILE: &str = "circuit_costs.txt";
+
+#[test]
+fn golden_cost_fingerprints_match_checked_in_file() {
+    let path = golden_dir().join(COST_FINGERPRINT_FILE);
+    let checked_in = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             `cargo test --test golden_vectors -- --ignored regenerate_golden_files`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        checked_in,
+        render_cost_fingerprints(),
+        "synthesized circuit costs changed. If the pass-pipeline change is \
+         intentional, regenerate tests/golden/ and review the cost diff like \
+         a codec diff."
+    );
+}
+
 #[test]
 fn golden_vectors_match_checked_in_files() {
     for (slug, _, computed) in golden_cases() {
@@ -186,4 +243,7 @@ fn regenerate_golden_files() {
         std::fs::write(&path, computed.render()).expect("write golden file");
         println!("wrote {}", path.display());
     }
+    let path = dir.join(COST_FINGERPRINT_FILE);
+    std::fs::write(&path, render_cost_fingerprints()).expect("write cost fingerprints");
+    println!("wrote {}", path.display());
 }
