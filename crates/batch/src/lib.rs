@@ -13,50 +13,138 @@
 //! units of superconducting QEC decoders (QECOOL, NEO-QEC), applied here to
 //! classical link codes.
 //!
-//! ## How decoding becomes branch-free
+//! ## How decoding becomes branch-free: column matching
 //!
 //! [`BatchCodec`] is built from any scalar [`BlockCode`] + [`HardDecoder`]
 //! whose hard decisions are **coset-invariant**: the correction applied to a
-//! received word depends only on its syndrome. This holds for every decoder
-//! in the `ecc` crate's `decode` path — syndrome decoders trivially, and the
-//! RM(1,3) fast-Hadamard decoder because it *detects* spectral ties instead
-//! of resolving them (the tie-break of `decode_best_effort` is not
-//! coset-invariant and is deliberately not offered in batch form).
+//! received word depends only on its syndrome. Construction compiles the
+//! decoder into a [`ColumnMatchProgram`]: a list of `(syndrome pattern,
+//! flip mask)` entries covering exactly the *correctable* syndromes. Batch
+//! decoding computes the `r = n − k` syndrome bit-slices, and per 64-message
+//! limb:
 //!
-//! Construction interrogates the scalar decoder once per syndrome value
-//! (2^(n−k) representative words) and records either "flip this error
-//! pattern" or "raise the error flag". Batch decoding then computes the
-//! syndrome lanes and, for each syndrome value `s`, forms the match mask
-//! `∧_t (s_t ? syn_t : ¬syn_t)` — the 64-message-wide indicator of "this
-//! message has syndrome `s`" — and XORs the tabled error pattern into the
-//! matching positions. Bit-exactness with the scalar path is enforced by the
-//! workspace's exhaustive equivalence tests.
+//! * a limb whose syndromes are all zero (the dominant case in Monte-Carlo
+//!   traffic) skips matching entirely;
+//! * the `2^min(4,r)` syndrome-*prefix* masks are built once per limb (one
+//!   shared AND-tree by successive halving, partitioning the lanes), and
+//!   the all-zero prefix mask yields the clean-word mask;
+//! * each entry starts from its prefix bucket's mask and matches only its
+//!   remaining high bits — an XNOR-AND-tree over the suffix slices
+//!   ([`gf2::and_xnor_reduce`]) — then XORs its flip mask into the matching
+//!   positions; matched lanes retire, and buckets with no lanes in play
+//!   skip all of their entries;
+//! * everything that is neither clean nor matched raises the error flag —
+//!   detected-uncorrectable syndromes are handled *by complement* and cost
+//!   nothing.
+//!
+//! How the program is built depends on the scalar decoder's declared
+//! [`SyndromeClass`]:
+//!
+//! * [`SyndromeClass::ColumnFlip`] decoders (every Hamming/SEC-DED-style
+//!   decoder in `ecc`, and the tie-detecting RM(1,3) decoder) are compiled
+//!   **directly from the columns of `H`** — one entry per codeword position,
+//!   verified with one scalar probe per position. Construction is `O(n · r)`
+//!   and per-limb decode is `O(n · r)` bit-ops, independent of `2^r`, which
+//!   is what lets the engine serve codes with redundancy far beyond the old
+//!   20-bit action-table limit (e.g. the catalog's Shortened Hamming(85,64)
+//!   with `r = 21`).
+//! * [`SyndromeClass::General`] decoders (e.g. majority-vote repetition) are
+//!   interrogated once per syndrome value, exactly like the old
+//!   syndrome-action table — still exact, but only tractable for small `r`.
+//!
+//! Bit-exactness with the scalar path is enforced by the workspace's
+//! exhaustive equivalence tests, and the RM(1,3) tie-break policy note
+//! applies unchanged: the batch engine tabulates the tie-*detecting*
+//! decoder (`decode`), not `decode_best_effort`.
+//!
+//! ## Allocation-free hot path
+//!
+//! Every batch operation has a buffer-reusing twin ([`BatchEncode::
+//! encode_batch_into`], [`BatchDecode::decode_batch_with`]) threaded through
+//! an [`ecc::BatchScratch`]; the Monte-Carlo drivers in `cryolink` keep one
+//! scratch per worker thread so the steady-state inner loop never touches
+//! the allocator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ecc::{
-    generator_right_inverse, BatchDecode, BatchDecoded, BatchEncode, BlockCode, DecodeOutcome,
-    Hamming74, Hamming84, HardDecoder, Repetition, Rm13, SecDed, Uncoded,
+    generator_right_inverse, BatchDecode, BatchDecoded, BatchEncode, BatchScratch, BlockCode,
+    DecodeOutcome, Hamming74, Hamming84, HardDecoder, Repetition, Rm13, SecDed, ShortenedHamming,
+    SyndromeClass, Uncoded,
 };
-use gf2::{BitMat, BitSlice64, BitVec};
+use gf2::{and_xnor_reduce, or_reduce, BitMat, BitSlice64, BitVec};
 
-/// Largest supported redundancy `n - k`: the syndrome-action table has
-/// `2^(n-k)` entries, so this caps it at one million.
-pub const MAX_REDUNDANCY: usize = 20;
-
-/// Largest supported codeword length: masks are single `u128`s, which covers
-/// every catalog code up to and beyond SEC-DED(72,64).
+/// Largest supported codeword length: syndrome patterns, column supports,
+/// and flip masks are single `u128`s. This is the batch engine's only size
+/// limit — the redundancy `n - k` is unconstrained.
 pub const MAX_BLOCK_LENGTH: usize = 128;
 
-/// What the scalar decoder does for one syndrome value.
+/// One compiled decode rule: when a word's syndrome equals `pattern`, XOR
+/// `flip` into it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct SyndromeAction {
+struct MatchEntry {
+    /// Syndrome value (bit `t` = syndrome lane `t`). Never zero — the zero
+    /// syndrome always means "accept" and is handled separately.
+    pattern: u128,
     /// Error pattern to XOR into the received word (bit `p` = codeword
-    /// position `p`). Zero for the zero syndrome.
+    /// position `p`). Never zero — a nonzero syndrome's correction flips at
+    /// least one bit.
     flip: u128,
-    /// `true` when the decoder raises the error flag instead of correcting.
-    detected: bool,
+}
+
+/// The compiled decoder: match entries for every *correctable* syndrome.
+/// The zero syndrome accepts, and any other unmatched syndrome is
+/// detected-uncorrectable by complement.
+///
+/// Entries are bucketed by the low [`ColumnMatchProgram::prefix_bits`] bits
+/// of their pattern. The decode kernel builds all `2^prefix_bits`
+/// prefix-match masks of a limb once (a shared AND-tree instead of
+/// per-entry re-computation), then each entry only matches its bucket's
+/// remaining high bits — and whole buckets with no matching lanes are
+/// skipped without touching their entries, which is the common case for
+/// sparse-error Monte-Carlo traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ColumnMatchProgram {
+    /// Number of low syndrome bits used as the bucket index
+    /// (`min(4, n - k)`, so the kernel's mask table fits a fixed array).
+    prefix_bits: usize,
+    /// Entries sorted by the low `prefix_bits` of their pattern.
+    entries: Vec<MatchEntry>,
+    /// `(prefix value, start, end)` ranges into `entries` — **non-empty
+    /// buckets only**, so the kernel never branches over prefix values no
+    /// entry uses.
+    buckets: Vec<(u8, u32, u32)>,
+}
+
+/// Upper bound of the per-limb prefix-mask table (`2^4`).
+const PREFIX_SLOTS: usize = 16;
+
+impl ColumnMatchProgram {
+    /// Buckets a finished entry list by syndrome prefix.
+    fn new(mut entries: Vec<MatchEntry>, redundancy: usize) -> Self {
+        let prefix_bits = redundancy.min(4);
+        debug_assert!(1 << prefix_bits <= PREFIX_SLOTS);
+        let prefix_mask = (1u128 << prefix_bits) - 1;
+        entries.sort_by_key(|e| e.pattern & prefix_mask);
+        let mut buckets = Vec::new();
+        let mut start = 0usize;
+        while start < entries.len() {
+            let prefix = entries[start].pattern & prefix_mask;
+            let end = start
+                + entries[start..]
+                    .iter()
+                    .take_while(|e| e.pattern & prefix_mask == prefix)
+                    .count();
+            buckets.push((prefix as u8, start as u32, end as u32));
+            start = end;
+        }
+        ColumnMatchProgram {
+            prefix_bits,
+            entries,
+            buckets,
+        }
+    }
 }
 
 /// A bit-sliced batch encoder/decoder for one short block code.
@@ -65,13 +153,12 @@ struct SyndromeAction {
 ///
 /// * the generator's column supports (for lane encoding),
 /// * the parity-check rows (for lane syndromes),
-/// * the per-syndrome decoder action table (for lane decoding),
+/// * the per-code [`ColumnMatchProgram`] (for lane decoding),
 /// * the pivot/transform pair of [`generator_right_inverse`] (for lane
 ///   message extraction).
 ///
 /// All masks are single `u128`s, so the code must satisfy `n ≤`
-/// [`MAX_BLOCK_LENGTH`] and `n - k ≤` [`MAX_REDUNDANCY`] — comfortably true
-/// for every code in this workspace, including the wide SEC-DED family.
+/// [`MAX_BLOCK_LENGTH`]; there is no constraint on the redundancy.
 #[derive(Debug, Clone)]
 pub struct BatchCodec {
     name: String,
@@ -81,8 +168,8 @@ pub struct BatchCodec {
     encode_masks: Vec<u128>,
     /// `syndrome_masks[t]`: support of parity-check row `t` over codeword bits.
     syndrome_masks: Vec<u128>,
-    /// Indexed by syndrome value (bit `t` = syndrome lane `t`).
-    actions: Vec<SyndromeAction>,
+    /// The compiled column-matching decode program.
+    program: ColumnMatchProgram,
     /// `extract_masks[j]`: support over codeword bits whose parity is message
     /// bit `j` (from the generator's right inverse).
     extract_masks: Vec<u128>,
@@ -91,22 +178,24 @@ pub struct BatchCodec {
 impl BatchCodec {
     /// Builds the batch engine for a scalar code + hard decoder.
     ///
+    /// The decoder's [`HardDecoder::syndrome_class`] selects the program
+    /// builder: `ColumnFlip` decoders compile straight from the columns of
+    /// `H` (no syndrome-space enumeration, so the redundancy is unlimited);
+    /// `General` decoders are interrogated once per syndrome value.
+    ///
     /// # Panics
-    /// Panics if the code exceeds the `n ≤ 128` / `n - k ≤ 20` limits, or if
-    /// the parity-check matrix does not have full row rank.
+    /// Panics if the code exceeds `n ≤ 128` (masks are single `u128`s), if
+    /// the parity-check matrix does not have full row rank, or if a
+    /// `ColumnFlip` decoder fails its per-column scalar probe.
     #[must_use]
     pub fn new<C: BlockCode + HardDecoder>(code: &C) -> Self {
         let (n, k) = (code.n(), code.k());
         assert!(
             n <= MAX_BLOCK_LENGTH,
-            "batch codec supports n <= {MAX_BLOCK_LENGTH} (got {n})"
+            "batch codec masks are u128: n <= {MAX_BLOCK_LENGTH} (got {n})"
         );
         assert!(k <= n, "k must not exceed n");
         let redundancy = n - k;
-        assert!(
-            redundancy <= MAX_REDUNDANCY,
-            "batch codec supports n - k <= {MAX_REDUNDANCY} (got {redundancy})"
-        );
 
         let g = code.generator();
         let encode_masks: Vec<u128> = (0..n).map(|j| column_mask(g, j)).collect();
@@ -114,7 +203,17 @@ impl BatchCodec {
         let h = code.parity_check();
         let syndrome_masks: Vec<u128> = (0..redundancy).map(|t| row_mask(h, t)).collect();
 
-        let actions = build_syndrome_actions(code);
+        let entries = if redundancy == 0 {
+            // No parity: every word is a codeword, nothing to correct or
+            // detect.
+            Vec::new()
+        } else {
+            match code.syndrome_class() {
+                SyndromeClass::ColumnFlip => column_flip_entries(code),
+                SyndromeClass::General => interrogated_entries(code),
+            }
+        };
+        let program = ColumnMatchProgram::new(entries, redundancy);
 
         let (pivots, transform) = generator_right_inverse(g);
         let extract_masks: Vec<u128> = (0..k)
@@ -133,7 +232,7 @@ impl BatchCodec {
             k,
             encode_masks,
             syndrome_masks,
-            actions,
+            program,
             extract_masks,
         }
     }
@@ -175,55 +274,125 @@ impl BatchCodec {
         Self::new(&SecDed::new(m))
     }
 
+    /// Batch engine for the wide Shortened Hamming(85,64) demonstration code
+    /// — 21 syndrome lanes, beyond any tabulable syndrome space.
+    #[must_use]
+    pub fn wide_hamming_85_64() -> Self {
+        Self::new(&ShortenedHamming::wide_85_64())
+    }
+
     /// Human-readable name, derived from the scalar code's.
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
     }
 
-    /// XORs, for each batch position whose syndrome matches, the tabled error
-    /// pattern into `flips`, and accumulates the flag/correction masks.
-    fn apply_syndrome_table(
+    /// Number of compiled match entries (one per correctable syndrome).
+    #[must_use]
+    pub fn program_len(&self) -> usize {
+        self.program.entries.len()
+    }
+
+    /// The column-matching decode kernel: one pass over the limbs, matching
+    /// each against the compiled program.
+    fn run_program(
         &self,
-        syndromes: &BitSlice64,
-        flips: &mut BitSlice64,
-        flagged: &mut [u64],
-        corrected: &mut [u64],
+        received: &BitSlice64,
+        scratch: &mut BatchScratch,
+        out: &mut BatchDecoded,
     ) {
         let redundancy = self.syndrome_masks.len();
-        let words = syndromes.words();
-        let tail = syndromes.tail_mask();
-        let mut lanes = vec![0u64; redundancy];
+        let words = received.words();
+        let tail = received.tail_mask();
+        let prefix_bits = self.program.prefix_bits;
+
+        self.syndrome_batch_into(received, &mut scratch.syndromes);
+        if scratch.gather.len() < redundancy {
+            scratch.gather.resize(redundancy, 0);
+        }
+
+        out.codewords.copy_from(received);
+        out.flagged.clear();
+        out.flagged.resize(words, 0);
+        out.corrected.clear();
+        out.corrected.resize(words, 0);
+
         for w in 0..words {
             let valid = if w + 1 == words { tail } else { u64::MAX };
-            for (t, lane) in lanes.iter_mut().enumerate() {
-                *lane = syndromes.lane(t)[w];
+            let gather = &mut scratch.gather[..redundancy];
+            scratch.syndromes.gather_word(w, gather);
+
+            // Fast path: a limb of all-zero syndromes (the common case for
+            // healthy chips over a clean channel) needs no matching at all.
+            if or_reduce(gather) == 0 {
+                continue;
             }
-            for (s, action) in self.actions.iter().enumerate() {
-                if action.flip == 0 && !action.detected {
-                    continue; // zero syndrome: nothing to do
+
+            // One shared AND-tree instead of per-entry prefix re-matching:
+            // masks[v] = lanes whose low `prefix_bits` syndrome bits equal
+            // `v`, built by successive halving into a fixed local table.
+            // The masks partition `valid`.
+            let mut masks = [0u64; PREFIX_SLOTS];
+            masks[0] = valid;
+            for (t, &slice) in gather.iter().take(prefix_bits).enumerate() {
+                let width = 1usize << t;
+                for i in 0..width {
+                    let m = masks[i];
+                    masks[i | width] = m & slice;
+                    masks[i] = m & !slice;
                 }
-                let mut mask = valid;
-                for (t, &lane) in lanes.iter().enumerate() {
-                    mask &= if (s >> t) & 1 == 1 { lane } else { !lane };
-                    if mask == 0 {
+            }
+            let suffix = &gather[prefix_bits..];
+
+            // Positions whose whole syndrome is zero: accepted as-is.
+            let clean = and_xnor_reduce(masks[0], suffix, 0);
+            let mut matched = 0u64;
+            for &(b, start, end) in &self.program.buckets {
+                // Lanes still in play for this bucket; matched lanes retire
+                // (patterns are distinct, so each lane matches at most one
+                // entry), and a lane-less bucket skips its entries outright.
+                let mut base = masks[b as usize];
+                if b == 0 {
+                    base &= !clean;
+                }
+                if base == 0 {
+                    continue;
+                }
+                for entry in &self.program.entries[start as usize..end as usize] {
+                    let m = and_xnor_reduce(base, suffix, entry.pattern >> prefix_bits);
+                    if m == 0 {
+                        continue;
+                    }
+                    matched |= m;
+                    base &= !m;
+                    let mut flip = entry.flip;
+                    while flip != 0 {
+                        let p = flip.trailing_zeros() as usize;
+                        out.codewords.lane_mut(p)[w] ^= m;
+                        flip &= flip - 1;
+                    }
+                    if base == 0 {
                         break;
                     }
                 }
-                if mask == 0 {
-                    continue;
-                }
-                if action.detected {
-                    flagged[w] |= mask;
-                } else {
-                    corrected[w] |= mask;
-                    let mut flip = action.flip;
-                    while flip != 0 {
-                        let p = flip.trailing_zeros() as usize;
-                        flips.lane_mut(p)[w] |= mask;
-                        flip &= flip - 1;
-                    }
-                }
+            }
+            out.corrected[w] = matched;
+            out.flagged[w] = valid & !clean & !matched;
+        }
+
+        // Message lanes: parity of the extraction support over the corrected
+        // codeword lanes, masked out at flagged positions.
+        out.messages.reset(self.k, received.batch());
+        for (j, &mask) in self.extract_masks.iter().enumerate() {
+            let mut m = mask;
+            while m != 0 {
+                let p = m.trailing_zeros() as usize;
+                out.messages.xor_lane_from(j, &out.codewords, p);
+                m &= m - 1;
+            }
+            let lane = out.messages.lane_mut(j);
+            for (l, &f) in lane.iter_mut().zip(out.flagged.iter()) {
+                *l &= !f;
             }
         }
     }
@@ -239,74 +408,60 @@ impl BatchEncode for BatchCodec {
     }
 
     fn encode_batch(&self, messages: &BitSlice64) -> BitSlice64 {
+        let mut out = BitSlice64::default();
+        self.encode_batch_into(messages, &mut out);
+        out
+    }
+
+    fn encode_batch_into(&self, messages: &BitSlice64, codewords: &mut BitSlice64) {
         assert_eq!(messages.bits(), self.k, "message lanes must equal k");
-        let mut out = BitSlice64::zeros(self.n, messages.batch());
+        codewords.reset(self.n, messages.batch());
         for (j, &mask) in self.encode_masks.iter().enumerate() {
             let mut m = mask;
             while m != 0 {
                 let i = m.trailing_zeros() as usize;
-                out.xor_lane_from(j, messages, i);
+                codewords.xor_lane_from(j, messages, i);
                 m &= m - 1;
             }
         }
-        out
     }
 }
 
 impl BatchDecode for BatchCodec {
     fn syndrome_batch(&self, received: &BitSlice64) -> BitSlice64 {
+        let mut out = BitSlice64::default();
+        self.syndrome_batch_into(received, &mut out);
+        out
+    }
+
+    fn syndrome_batch_into(&self, received: &BitSlice64, syndromes: &mut BitSlice64) {
         assert_eq!(received.bits(), self.n, "received lanes must equal n");
-        let mut out = BitSlice64::zeros(self.syndrome_masks.len(), received.batch());
+        syndromes.reset(self.syndrome_masks.len(), received.batch());
         for (t, &mask) in self.syndrome_masks.iter().enumerate() {
             let mut m = mask;
             while m != 0 {
                 let p = m.trailing_zeros() as usize;
-                out.xor_lane_from(t, received, p);
+                syndromes.xor_lane_from(t, received, p);
                 m &= m - 1;
             }
         }
-        out
     }
 
     fn decode_batch(&self, received: &BitSlice64) -> BatchDecoded {
+        let mut scratch = BatchScratch::new();
+        let mut out = BatchDecoded::empty();
+        self.decode_batch_with(received, &mut scratch, &mut out);
+        out
+    }
+
+    fn decode_batch_with(
+        &self,
+        received: &BitSlice64,
+        scratch: &mut BatchScratch,
+        out: &mut BatchDecoded,
+    ) {
         assert_eq!(received.bits(), self.n, "received lanes must equal n");
-        let words = received.words();
-        let syndromes = self.syndrome_batch(received);
-
-        let mut flips = BitSlice64::zeros(self.n, received.batch());
-        let mut flagged = vec![0u64; words];
-        let mut corrected = vec![0u64; words];
-        self.apply_syndrome_table(&syndromes, &mut flips, &mut flagged, &mut corrected);
-
-        // Corrected codewords: received ^ flips (flips are zero at flagged
-        // positions, so flagged words pass through unchanged).
-        let mut codewords = received.clone();
-        for p in 0..self.n {
-            codewords.xor_lane_from(p, &flips, p);
-        }
-
-        // Message lanes: parity of the extraction support over the corrected
-        // codeword lanes, masked out at flagged positions.
-        let mut messages = BitSlice64::zeros(self.k, received.batch());
-        for (j, &mask) in self.extract_masks.iter().enumerate() {
-            let mut m = mask;
-            while m != 0 {
-                let p = m.trailing_zeros() as usize;
-                messages.xor_lane_from(j, &codewords, p);
-                m &= m - 1;
-            }
-            let lane = messages.lane_mut(j);
-            for (l, &f) in lane.iter_mut().zip(flagged.iter()) {
-                *l &= !f;
-            }
-        }
-
-        BatchDecoded {
-            messages,
-            codewords,
-            flagged,
-            corrected,
-        }
+        self.run_program(received, scratch, out);
     }
 }
 
@@ -332,26 +487,81 @@ fn row_mask(h: &BitMat, t: usize) -> u128 {
     })
 }
 
-/// Interrogates the scalar decoder once per syndrome value and tabulates its
-/// action.
+/// Compiles a [`SyndromeClass::ColumnFlip`] decoder straight from the
+/// parity-check matrix: one entry per codeword position, matching the
+/// position's column and flipping that single bit. Detected syndromes are
+/// the complement and need no entries.
+///
+/// Construction cost is `O(n · r)` plus one scalar probe per position — the
+/// probe re-verifies the declared class against the actual decoder, so a
+/// code that wrongly claims `ColumnFlip` fails loudly here rather than
+/// producing a silently divergent batch engine.
+///
+/// # Panics
+/// Panics if `H` has a zero or duplicated column (the class needs
+/// `d_min ≥ 3`), or if the scalar decoder's response to a single-bit error
+/// is not "flip exactly that bit".
+fn column_flip_entries<C: BlockCode + HardDecoder>(code: &C) -> Vec<MatchEntry> {
+    let n = code.n();
+    let h = code.parity_check();
+    let mut entries: Vec<MatchEntry> = Vec::with_capacity(n);
+    for j in 0..n {
+        let pattern = h.col(j).to_u128();
+        assert_ne!(pattern, 0, "H column {j} is zero: not a ColumnFlip code");
+        assert!(
+            entries.iter().all(|e| e.pattern != pattern),
+            "H column {j} duplicates another column: not a ColumnFlip code"
+        );
+        // Probe: the scalar decoder must answer a single-bit error at `j`
+        // by flipping exactly `j` (i.e. decode e_j back to the zero word).
+        let mut e_j = BitVec::zeros(n);
+        e_j.set(j, true);
+        let decoded = code.decode(&e_j);
+        let corrected_to_zero = decoded
+            .codeword
+            .as_ref()
+            .is_some_and(|cw| cw.is_zero() && decoded.outcome.corrected());
+        assert!(
+            corrected_to_zero,
+            "{}: scalar decoder does not flip position {j} on syndrome H[:,{j}] — \
+             the decoder is not SyndromeClass::ColumnFlip",
+            code.name()
+        );
+        entries.push(MatchEntry {
+            pattern,
+            flip: 1u128 << j,
+        });
+    }
+    entries
+}
+
+/// Compiles a [`SyndromeClass::General`] decoder by interrogating it once
+/// per syndrome value and recording an entry for every syndrome it corrects
+/// (detected syndromes are the complement and need no entries).
 ///
 /// For each syndrome `s`, a representative received word with that syndrome
 /// is constructed from the row-reduced parity-check matrix: row-reducing
 /// `[H | I_{n-k}]` gives `[R | T]` with `R = T·H` and pivot columns `p_i`;
 /// the word `r = Σ_i (T·s)_i · e_{p_i}` satisfies `H·r = s`. The decoder's
-/// response to `r` — flip pattern or error flag — is recorded as the action
-/// for every word in that coset.
-fn build_syndrome_actions<C: BlockCode + HardDecoder>(code: &C) -> Vec<SyndromeAction> {
+/// response to `r` — flip pattern or error flag — is the action for every
+/// word in that coset.
+///
+/// # Panics
+/// Panics if `H` does not have full row rank, or if the redundancy exceeds
+/// 28 — this builder enumerates all `2^(n-k)` syndromes, which is a property
+/// of general coset decoders, not of the batch engine; wide-redundancy codes
+/// must provide a [`SyndromeClass::ColumnFlip`] decoder instead.
+fn interrogated_entries<C: BlockCode + HardDecoder>(code: &C) -> Vec<MatchEntry> {
     let n = code.n();
     let redundancy = n - code.k();
-    let table_len = 1usize << redundancy;
-    if redundancy == 0 {
-        // No parity: every word is a codeword, nothing to correct or detect.
-        return vec![SyndromeAction {
-            flip: 0,
-            detected: false,
-        }];
-    }
+    assert!(
+        redundancy <= 28,
+        "{}: general-class decoders are compiled by enumerating all 2^(n-k) syndromes, \
+         which is impractical at n-k = {redundancy}; implement SyndromeClass::ColumnFlip \
+         (or another structural class) for this decoder",
+        code.name()
+    );
+    let table_len = 1u64 << redundancy;
 
     let h = code.parity_check();
     let augmented = h.hconcat(&BitMat::identity(redundancy));
@@ -361,39 +571,40 @@ fn build_syndrome_actions<C: BlockCode + HardDecoder>(code: &C) -> Vec<SyndromeA
         pivots.iter().all(|&p| p < n),
         "H pivots must be data columns"
     );
+    // Row `i` of the transform `T`, as a BitVec for the dot products below.
+    let t_rows: Vec<BitVec> = (0..redundancy)
+        .map(|i| (0..redundancy).map(|t| reduced.get(i, n + t)).collect())
+        .collect();
 
-    (0..table_len as u64)
-        .map(|s| {
-            let syndrome = BitVec::from_u64(redundancy, s);
-            // a = T · s, then r = Σ a_i e_{p_i}.
-            let mut representative = BitVec::zeros(n);
-            for (i, &p) in pivots.iter().enumerate() {
-                let t_row: BitVec = (0..redundancy).map(|t| reduced.get(i, n + t)).collect();
-                if t_row.dot(&syndrome) {
-                    representative.set(p, true);
-                }
+    let mut entries = Vec::new();
+    for s in 1..table_len {
+        let syndrome = BitVec::from_u64(redundancy, s);
+        // a = T · s, then r = Σ a_i e_{p_i}.
+        let mut representative = BitVec::zeros(n);
+        for (i, &p) in pivots.iter().enumerate() {
+            if t_rows[i].dot(&syndrome) {
+                representative.set(p, true);
             }
-            debug_assert_eq!(code.syndrome(&representative), syndrome);
+        }
+        debug_assert_eq!(code.syndrome(&representative), syndrome);
 
-            let decoded = code.decode(&representative);
-            match decoded.outcome {
-                DecodeOutcome::DetectedUncorrectable => SyndromeAction {
-                    flip: 0,
-                    detected: true,
-                },
-                _ => {
-                    let codeword = decoded
-                        .codeword
-                        .expect("non-detected decode must produce a codeword");
-                    let flip = (&representative ^ &codeword).to_u128();
-                    SyndromeAction {
-                        flip,
-                        detected: false,
-                    }
-                }
+        let decoded = code.decode(&representative);
+        match decoded.outcome {
+            DecodeOutcome::DetectedUncorrectable => {} // handled by complement
+            _ => {
+                let codeword = decoded
+                    .codeword
+                    .expect("non-detected decode must produce a codeword");
+                let flip = (&representative ^ &codeword).to_u128();
+                debug_assert_ne!(flip, 0, "nonzero syndrome must flip something");
+                entries.push(MatchEntry {
+                    pattern: u128::from(s),
+                    flip,
+                });
             }
-        })
-        .collect()
+        }
+    }
+    entries
 }
 
 #[cfg(test)]
@@ -559,9 +770,72 @@ mod tests {
     }
 
     #[test]
+    fn column_flip_codes_compile_to_n_entries() {
+        // ColumnFlip programs have exactly one entry per codeword position,
+        // independent of the syndrome-space size.
+        assert_eq!(BatchCodec::hamming74().program_len(), 7);
+        assert_eq!(BatchCodec::hamming84().program_len(), 8);
+        assert_eq!(BatchCodec::rm13().program_len(), 8);
+        assert_eq!(BatchCodec::sec_ded(6).program_len(), 72);
+        assert_eq!(BatchCodec::wide_hamming_85_64().program_len(), 85);
+        // The r = 0 degenerate case has nothing to match.
+        assert_eq!(BatchCodec::uncoded(4).program_len(), 0);
+        // General-class codes keep interrogated entries (correctable
+        // syndromes only): the (8,4) factor-2 repetition code corrects
+        // nothing (every disagreement is a tie), the (6,2) factor-3 code
+        // corrects every nonzero syndrome.
+        assert_eq!(BatchCodec::repetition(4, 2).program_len(), 0);
+        assert_eq!(BatchCodec::repetition(2, 3).program_len(), 15);
+    }
+
+    #[test]
+    fn scratch_reuse_across_codes_and_batch_sizes_is_bit_exact() {
+        // One scratch + output pair threaded through decodes of different
+        // codes and batch shapes must reproduce the allocating path exactly.
+        let mut scratch = BatchScratch::new();
+        let mut out = BatchDecoded::empty();
+        let mut rng = StdRng::seed_from_u64(0x5C8A7C4);
+        for codec in [
+            BatchCodec::sec_ded(6),
+            BatchCodec::hamming84(),
+            BatchCodec::wide_hamming_85_64(),
+            BatchCodec::hamming74(),
+        ] {
+            for batch_size in [5usize, 64, 131] {
+                let words: Vec<BitVec> = (0..batch_size)
+                    .map(|_| {
+                        (0..codec.n())
+                            .map(|_| rng.random::<u64>() & 1 == 1)
+                            .collect::<BitVec>()
+                    })
+                    .collect();
+                let batch = BitSlice64::pack(&words);
+                let reference = codec.decode_batch(&batch);
+                codec.decode_batch_with(&batch, &mut scratch, &mut out);
+                assert_eq!(out.messages, reference.messages, "{}", codec.name());
+                assert_eq!(out.codewords, reference.codewords, "{}", codec.name());
+                assert_eq!(out.flagged, reference.flagged, "{}", codec.name());
+                assert_eq!(out.corrected, reference.corrected, "{}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_buffers_bit_exactly() {
+        let codec = BatchCodec::sec_ded(4);
+        let mut buffer = BitSlice64::default();
+        for (batch_size, seed) in [(130usize, 1u64), (7, 2), (64, 3)] {
+            let messages: Vec<BitVec> = random_messages(16, batch_size, seed);
+            let batch = BitSlice64::pack(&messages);
+            codec.encode_batch_into(&batch, &mut buffer);
+            assert_eq!(buffer, codec.encode_batch(&batch));
+        }
+    }
+
+    #[test]
     fn secded_72_64_batch_corrects_singles_and_flags_doubles() {
-        // The widest catalog member: 72 lanes (beyond one u64 mask), 8-bit
-        // syndrome table. Messages are 64-bit, drawn from a seeded RNG.
+        // The widest SEC-DED member: 72 lanes (beyond one u64 mask), 8
+        // syndrome lanes. Messages are 64-bit, drawn from a seeded RNG.
         let codec = BatchCodec::sec_ded(6);
         assert_eq!((codec.n(), codec.k()), (72, 64));
         let mut rng = StdRng::seed_from_u64(0x7264);
@@ -621,7 +895,8 @@ mod tests {
 
     #[test]
     fn shortened_hamming_3832_works_in_batch_form() {
-        // Exercises the 6-bit-redundancy table and 38-bit lanes.
+        // Exercises 6 syndrome lanes and 38-bit words through the ColumnFlip
+        // builder.
         let scalar = ecc::ShortenedHamming3832::new();
         let codec = BatchCodec::new(&scalar);
         let mut rng = StdRng::seed_from_u64(5);
@@ -637,6 +912,38 @@ mod tests {
         let decoded = codec.decode_batch(&received);
         for (i, m) in messages.iter().enumerate() {
             assert!(!decoded.is_flagged(i));
+            assert_eq!(decoded.messages.extract(i), *m, "msg {i}");
+        }
+    }
+
+    #[test]
+    fn wide_hamming_85_64_roundtrips_beyond_the_old_redundancy_limit() {
+        // n - k = 21 > 20: impossible under the old syndrome-action table
+        // (its 2^21-entry build was rejected); the column-matching engine
+        // compiles 85 entries and decodes exactly like the scalar path.
+        let scalar = ShortenedHamming::wide_85_64();
+        let codec = BatchCodec::wide_hamming_85_64();
+        assert_eq!((codec.n(), codec.k()), (85, 64));
+        let mut rng = StdRng::seed_from_u64(0x8564);
+        let messages: Vec<BitVec> = (0..100)
+            .map(|_| BitVec::from_u64(64, rng.random::<u64>()))
+            .collect();
+        let clean = codec.encode_batch(&BitSlice64::pack(&messages));
+        let decoded = codec.decode_batch(&clean);
+        assert_eq!(decoded.flagged_count(), 0);
+        assert_eq!(decoded.messages.unpack(), messages);
+
+        // Single errors are corrected; a parity-pair double is flagged by
+        // both paths.
+        let mut received = clean.clone();
+        for i in 0..100 {
+            let pos = rng.random_range(0..85usize);
+            received.set(i, pos, !received.get(i, pos));
+        }
+        let decoded = codec.decode_batch(&received);
+        for (i, m) in messages.iter().enumerate() {
+            let scalar_decoded = scalar.decode(&received.extract(i));
+            assert_eq!(Some(decoded.messages.extract(i)), scalar_decoded.message);
             assert_eq!(decoded.messages.extract(i), *m, "msg {i}");
         }
     }

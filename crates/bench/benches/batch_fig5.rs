@@ -9,7 +9,7 @@
 
 use bench::banner;
 use criterion::{criterion_group, criterion_main, Criterion};
-use cryolink::{BatchLink, ChannelConfig, CryoLink, Fig5Experiment};
+use cryolink::{BatchLink, BatchLinkContext, ChannelConfig, CryoLink, Fig5Experiment};
 use ecc::{BatchDecode, BatchEncode, BlockCode, Hamming84, HardDecoder};
 use encoders::{EncoderDesign, EncoderKind};
 use gf2::{BitSlice64, BitVec};
@@ -100,7 +100,8 @@ fn print_comparison() {
         messages.len()
     });
 
-    let batch_link = BatchLink::new(&design, &chip.faults, ChannelConfig::ideal());
+    let context = BatchLinkContext::new(&design);
+    let batch_link = BatchLink::with_chip(&design, &context, &chip.faults, ChannelConfig::ideal());
     let batch_rate = throughput(|| {
         let mut rng = StdRng::seed_from_u64(9);
         let batch = batch_link.random_messages(100, &mut rng);

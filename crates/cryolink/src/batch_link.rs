@@ -4,10 +4,21 @@
 //! decode, classify — through the bit-sliced batch codec of the `sfq-batch`
 //! crate instead of the scalar gate-level path. One fabricated chip's fault
 //! map is condensed into a set of correlated error sources (see
-//! [`BatchLink::new`]), errors are injected 64 messages per `u64` limb, and
-//! outcomes are counted with popcounts. On the paper's 8-bit codes this is
-//! orders of magnitude faster per message than pulse-level simulation, which
-//! is what makes million-chip sweeps tractable.
+//! [`BatchLink::rebind`]), errors are injected 64 messages per `u64` limb,
+//! and outcomes are counted with popcounts. On the paper's 8-bit codes this
+//! is orders of magnitude faster per message than pulse-level simulation,
+//! which is what makes million-chip sweeps tractable.
+//!
+//! ## Zero-allocation chip loop
+//!
+//! Everything that depends only on the *design* — the batch codec, the
+//! per-node fan-out cones, the pipeline depth — lives in a
+//! [`BatchLinkContext`] built once per Monte-Carlo run. A [`BatchLink`]
+//! borrows the context and holds only the per-chip state (the condensed
+//! error sources), which [`BatchLink::rebind`] rebuilds in place for each
+//! new chip; together with the [`LinkScratch`] buffers threaded through
+//! [`BatchLink::transmit_batch_with`], the steady-state chip loop performs
+//! no heap allocation beyond the fault-map sampling itself.
 //!
 //! ## Relation to the scalar path
 //!
@@ -34,7 +45,7 @@
 //! the scalar link would have guessed at.
 
 use crate::channel::ChannelConfig;
-use ecc::{BatchDecode, BatchEncode};
+use ecc::{BatchDecode, BatchDecoded, BatchEncode, BatchScratch};
 use encoders::EncoderDesign;
 use gf2::BitSlice64;
 use rand::Rng;
@@ -72,34 +83,129 @@ impl BatchLinkStats {
     }
 }
 
-/// One correlated error source: a faulty cell and the output channels its
-/// malfunctions reach.
-#[derive(Debug, Clone)]
+/// One correlated error source: a faulty cell, its effective per-word flip
+/// probability, and which of the precomputed cone maps names the channels it
+/// reaches. The channel lists themselves live in the shared
+/// [`BatchLinkContext`] — rebinding a link to a new chip copies no lists.
+#[derive(Debug, Clone, Copy)]
 struct FaultSource {
-    /// Effective per-word flip probability of the cell (`q/2`: a dropped or
-    /// spurious pulse corrupts the affected channels for one of the two
-    /// nominal bit values).
+    /// Effective per-word flip probability of the cell.
     prob: f64,
-    /// Output channel indices whose fan-in cone contains the cell; one draw
-    /// flips all of them together.
-    channels: Vec<usize>,
+    /// Netlist node index of the faulty cell.
+    node: usize,
+    /// `true` → the spurious-pulse (data-port-only) cone applies; `false` →
+    /// the full data+clock cone.
+    data_only: bool,
+}
+
+/// Everything the batch driver precomputes from a *design* (as opposed to a
+/// *chip*): the bit-sliced codec, the per-node fan-out cones, and the
+/// pipeline cycle count. Build one per Monte-Carlo run and share it across
+/// every chip and worker thread.
+pub struct BatchLinkContext {
+    codec: BatchCodec,
+    cones: FaultCones,
+    /// Sampling cycles (`latency + 1`).
+    cycles: usize,
+}
+
+impl BatchLinkContext {
+    /// Precomputes the context for one design.
+    #[must_use]
+    pub fn new(design: &EncoderDesign) -> Self {
+        Self::with_codec(design, batch_codec_for(design))
+    }
+
+    /// Like [`BatchLinkContext::new`] with an externally built codec.
+    #[must_use]
+    pub fn with_codec(design: &EncoderDesign, codec: BatchCodec) -> Self {
+        BatchLinkContext {
+            codec,
+            cones: FaultCones::of(design.netlist()),
+            cycles: design.latency() + 1,
+        }
+    }
+
+    /// The bit-sliced codec of the design.
+    #[must_use]
+    pub fn codec(&self) -> &BatchCodec {
+        &self.codec
+    }
+
+    /// The output channels a source reaches.
+    fn channels_of(&self, source: &FaultSource) -> &[usize] {
+        if source.data_only {
+            &self.cones.data_only[source.node]
+        } else {
+            &self.cones.full[source.node]
+        }
+    }
+}
+
+/// Reusable buffers for the batch link's transmit-decode loop: the received
+/// batch, the decode output, and the codec scratch. One per worker thread.
+pub struct LinkScratch {
+    received: BitSlice64,
+    decoded: BatchDecoded,
+    codec: BatchScratch,
+}
+
+impl Default for LinkScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinkScratch {
+    /// Fresh, empty buffers; they are shaped on first use and only grow.
+    #[must_use]
+    pub fn new() -> Self {
+        LinkScratch {
+            received: BitSlice64::default(),
+            decoded: BatchDecoded::empty(),
+            codec: BatchScratch::new(),
+        }
+    }
 }
 
 /// One encoder chip driven through the bit-sliced batch path.
 pub struct BatchLink<'a> {
     design: &'a EncoderDesign,
-    codec: BatchCodec,
-    /// Correlated per-faulty-cell error sources of this chip.
+    ctx: &'a BatchLinkContext,
+    /// Correlated per-faulty-cell error sources of the bound chip.
     sources: Vec<FaultSource>,
     /// Independent per-channel crossover probability of the cable/receiver.
     crossover: f64,
-    /// Marginal per-channel flip probabilities (chip faults XOR-composed with
-    /// the cable), kept for reporting and sanity tests.
-    flip_probs: Vec<f64>,
 }
 
 impl<'a> BatchLink<'a> {
-    /// Builds a batch link for a design and one sampled chip.
+    /// A link over a fault-free chip and an ideal channel; bind a real chip
+    /// with [`BatchLink::rebind`].
+    #[must_use]
+    pub fn new(design: &'a EncoderDesign, ctx: &'a BatchLinkContext) -> Self {
+        BatchLink {
+            design,
+            ctx,
+            sources: Vec::new(),
+            crossover: 0.0,
+        }
+    }
+
+    /// Builds a link already bound to one sampled chip.
+    #[must_use]
+    pub fn with_chip(
+        design: &'a EncoderDesign,
+        ctx: &'a BatchLinkContext,
+        faults: &FaultMap,
+        channel: ChannelConfig,
+    ) -> Self {
+        let mut link = Self::new(design, ctx);
+        link.rebind(faults, channel);
+        link
+    }
+
+    /// Re-binds this link to a new chip + channel, rebuilding the condensed
+    /// error sources in place (the `sources` buffer is reused).
     ///
     /// Every faulty cell of the chip becomes a correlated error source whose
     /// per-message firing probability depends on its failure mode:
@@ -120,95 +226,51 @@ impl<'a> BatchLink<'a> {
     /// cone for spurious (an extra edge on a clock port evaluates an empty
     /// cell, which emits nothing). Channel noise is injected independently
     /// per channel at the cable's crossover probability.
-    #[must_use]
-    pub fn new(design: &'a EncoderDesign, faults: &FaultMap, channel: ChannelConfig) -> Self {
-        Self::with_codec(design, batch_codec_for(design), faults, channel)
-    }
-
-    /// Like [`BatchLink::new`] but reuses an already-built codec — the codec
-    /// depends only on the design, so Monte-Carlo loops build it once and
-    /// clone it per chip instead of re-deriving the syndrome tables.
-    #[must_use]
-    pub fn with_codec(
-        design: &'a EncoderDesign,
-        codec: BatchCodec,
-        faults: &FaultMap,
-        channel: ChannelConfig,
-    ) -> Self {
-        let crossover = channel.crossover_probability();
-        let netlist = design.netlist();
-        let cones = DownstreamCones::of(netlist);
-        let cycles = design.latency() + 1;
+    pub fn rebind(&mut self, faults: &FaultMap, channel: ChannelConfig) {
+        self.crossover = channel.crossover_probability();
+        let cones = &self.ctx.cones;
+        let cycles = self.ctx.cycles;
+        self.sources.clear();
         // `iter_faulty` yields nodes in index order, which fixes the RNG
         // draw order of `transmit_batch` deterministically.
-        let sources: Vec<FaultSource> = faults
-            .iter_faulty()
-            .filter_map(|(id, fault)| {
-                let q = fault.activation_failure_prob;
-                let (prob, channels) = match fault.mode {
-                    // A dropped (or inverted) pulse is only visible on the
-                    // one cycle the data transits the cell, and only for one
-                    // of the two nominal bit values. Dropped *clock* pulses
-                    // corrupt too (held flux is released late), so the full
-                    // data+clock cone is affected.
-                    FailureMode::DropPulse | FailureMode::Invert => {
-                        (0.5 * q, cones.full[id.0].clone())
-                    }
-                    // A spurious emission only corrupts where it can inject a
-                    // *data* pulse (an extra edge on a clock port evaluates
-                    // an empty cell, which emits nothing). The pulse-level
-                    // simulator rolls spurious cells once per cycle
-                    // (combinational ones via the per-cycle activity step,
-                    // clocked ones at every clock edge), and the toggling
-                    // SFQ-to-DC levels record the *parity* of the extra
-                    // pulses: P(odd of Binomial(c, q)) = (1 − (1−2q)^c) / 2.
-                    FailureMode::SpuriousPulse => {
-                        // Only fires early enough to reach the outputs by the
-                        // sampling cycle count: a pulse from a cell at
-                        // clocked depth `d` needs `latency − d` further
-                        // stages, so of the `latency + 1` rolls, `d + 1`
-                        // arrive in time.
-                        let rolls = (cones.depth[id.0] + 1).min(cycles);
-                        let prob = 0.5 * (1.0 - (1.0 - 2.0 * q.min(0.5)).powi(rolls as i32));
-                        (prob, cones.data_only[id.0].clone())
-                    }
-                };
-                if channels.is_empty() {
-                    return None;
+        for (id, fault) in faults.iter_faulty() {
+            let q = fault.activation_failure_prob;
+            let (prob, data_only) = match fault.mode {
+                // A dropped (or inverted) pulse is only visible on the
+                // one cycle the data transits the cell, and only for one
+                // of the two nominal bit values. Dropped *clock* pulses
+                // corrupt too (held flux is released late), so the full
+                // data+clock cone is affected.
+                FailureMode::DropPulse | FailureMode::Invert => (0.5 * q, false),
+                // A spurious emission only corrupts where it can inject a
+                // *data* pulse (an extra edge on a clock port evaluates
+                // an empty cell, which emits nothing). The pulse-level
+                // simulator rolls spurious cells once per cycle
+                // (combinational ones via the per-cycle activity step,
+                // clocked ones at every clock edge), and the toggling
+                // SFQ-to-DC levels record the *parity* of the extra
+                // pulses: P(odd of Binomial(c, q)) = (1 − (1−2q)^c) / 2.
+                FailureMode::SpuriousPulse => {
+                    // Only fires early enough to reach the outputs by the
+                    // sampling cycle count: a pulse from a cell at
+                    // clocked depth `d` needs `latency − d` further
+                    // stages, so of the `latency + 1` rolls, `d + 1`
+                    // arrive in time.
+                    let rolls = (cones.depth[id.0] + 1).min(cycles);
+                    let prob = 0.5 * (1.0 - (1.0 - 2.0 * q.min(0.5)).powi(rolls as i32));
+                    (prob, true)
                 }
-                Some(FaultSource { prob, channels })
-            })
-            .collect();
-
-        let n = netlist.outputs().len();
-        let flip_probs = (0..n)
-            .map(|j| {
-                let mut p = 0.0f64;
-                for source in &sources {
-                    if source.channels.contains(&j) {
-                        p = xor_compose(p, source.prob);
-                    }
-                }
-                xor_compose(p, crossover)
-            })
-            .collect();
-        BatchLink {
-            design,
-            codec,
-            sources,
-            crossover,
-            flip_probs,
+            };
+            let source = FaultSource {
+                prob,
+                node: id.0,
+                data_only,
+            };
+            if self.ctx.channels_of(&source).is_empty() {
+                continue;
+            }
+            self.sources.push(source);
         }
-    }
-
-    /// A batch link over a fault-free chip and an ideal channel.
-    #[must_use]
-    pub fn ideal(design: &'a EncoderDesign) -> Self {
-        Self::new(
-            design,
-            &FaultMap::healthy(design.netlist()),
-            ChannelConfig::ideal(),
-        )
     }
 
     /// The design this link carries.
@@ -220,13 +282,26 @@ impl<'a> BatchLink<'a> {
     /// The bit-sliced codec in use.
     #[must_use]
     pub fn codec(&self) -> &BatchCodec {
-        &self.codec
+        self.ctx.codec()
     }
 
-    /// Per-output-channel flip probabilities of this chip + cable.
+    /// Marginal per-channel flip probabilities of the bound chip + cable
+    /// (chip faults XOR-composed with the cable), computed on demand for
+    /// reporting and sanity tests — the hot path never needs them.
     #[must_use]
-    pub fn flip_probabilities(&self) -> &[f64] {
-        &self.flip_probs
+    pub fn flip_probabilities(&self) -> Vec<f64> {
+        let n = self.codec().n();
+        (0..n)
+            .map(|j| {
+                let mut p = 0.0f64;
+                for source in &self.sources {
+                    if self.ctx.channels_of(source).contains(&j) {
+                        p = xor_compose(p, source.prob);
+                    }
+                }
+                xor_compose(p, self.crossover)
+            })
+            .collect()
     }
 
     /// Draws a uniform batch of `batch` random `k`-bit messages.
@@ -235,26 +310,42 @@ impl<'a> BatchLink<'a> {
     /// lanes are simply random limbs (tail-masked).
     #[must_use]
     pub fn random_messages<R: Rng + ?Sized>(&self, batch: usize, rng: &mut R) -> BitSlice64 {
-        let mut messages = BitSlice64::zeros(self.codec.k(), batch);
+        let mut messages = BitSlice64::default();
+        self.random_messages_into(batch, rng, &mut messages);
+        messages
+    }
+
+    /// Like [`BatchLink::random_messages`], but re-shapes a caller-provided
+    /// buffer in place (same RNG stream).
+    pub fn random_messages_into<R: Rng + ?Sized>(
+        &self,
+        batch: usize,
+        rng: &mut R,
+        messages: &mut BitSlice64,
+    ) {
+        messages.reset(self.codec().k(), batch);
         let tail = messages.tail_mask();
         let words = messages.words();
-        for bit in 0..self.codec.k() {
+        for bit in 0..self.codec().k() {
             let lane = messages.lane_mut(bit);
             for (w, limb) in lane.iter_mut().enumerate() {
                 let mask = if w + 1 == words { tail } else { u64::MAX };
                 *limb = rng.random::<u64>() & mask;
             }
         }
-        messages
     }
 
-    /// Transmits a batch of messages end to end and classifies every outcome.
-    pub fn transmit_batch<R: Rng + ?Sized>(
+    /// Transmits a batch of messages end to end and classifies every
+    /// outcome, reusing the caller's [`LinkScratch`] buffers.
+    pub fn transmit_batch_with<R: Rng + ?Sized>(
         &self,
         messages: &BitSlice64,
         rng: &mut R,
+        scratch: &mut LinkScratch,
     ) -> BatchLinkStats {
-        let mut received = self.codec.encode_batch(messages);
+        let codec = self.codec();
+        codec.encode_batch_into(messages, &mut scratch.received);
+        let received = &mut scratch.received;
         let words = received.words();
         let tail = received.tail_mask();
 
@@ -266,13 +357,14 @@ impl<'a> BatchLink<'a> {
             if source.prob <= 0.0 {
                 continue;
             }
+            let channels = self.ctx.channels_of(source);
             for w in 0..words {
                 let valid = if w + 1 == words { tail } else { u64::MAX };
                 let mask = bernoulli_limb(rng, source.prob) & valid;
                 if mask == 0 {
                     continue;
                 }
-                for &channel in &source.channels {
+                for &channel in channels {
                     received.lane_mut(channel)[w] ^= mask;
                 }
             }
@@ -281,7 +373,7 @@ impl<'a> BatchLink<'a> {
         // Independent cable/receiver noise: one Bernoulli limb per
         // (channel, word).
         if self.crossover > 0.0 {
-            for bit in 0..self.codec.n() {
+            for bit in 0..codec.n() {
                 let lane = received.lane_mut(bit);
                 for (w, limb) in lane.iter_mut().enumerate() {
                     let mask = if w + 1 == words { tail } else { u64::MAX };
@@ -290,7 +382,8 @@ impl<'a> BatchLink<'a> {
             }
         }
 
-        let decoded = self.codec.decode_batch(&received);
+        codec.decode_batch_with(received, &mut scratch.codec, &mut scratch.decoded);
+        let decoded = &scratch.decoded;
 
         // wrong = any message lane differs (flagged lanes are zeroed in the
         // decode result, so restrict to unflagged positions).
@@ -299,7 +392,7 @@ impl<'a> BatchLink<'a> {
             let valid = if w + 1 == words { tail } else { u64::MAX };
             let flagged = decoded.flagged[w] & valid;
             let mut wrong = 0u64;
-            for bit in 0..self.codec.k() {
+            for bit in 0..codec.k() {
                 wrong |= decoded.messages.lane(bit)[w] ^ messages.lane(bit)[w];
             }
             let silent = wrong & !flagged & valid;
@@ -308,6 +401,18 @@ impl<'a> BatchLink<'a> {
             stats.correct += (valid & !flagged & !silent).count_ones() as usize;
         }
         stats
+    }
+
+    /// Transmits a batch of messages end to end and classifies every outcome
+    /// (allocating convenience wrapper over
+    /// [`BatchLink::transmit_batch_with`]).
+    pub fn transmit_batch<R: Rng + ?Sized>(
+        &self,
+        messages: &BitSlice64,
+        rng: &mut R,
+    ) -> BatchLinkStats {
+        let mut scratch = LinkScratch::new();
+        self.transmit_batch_with(messages, rng, &mut scratch)
     }
 }
 
@@ -321,11 +426,12 @@ pub fn batch_codec_for(design: &EncoderDesign) -> BatchCodec {
         EncoderKind::Hamming84 => BatchCodec::hamming84(),
         EncoderKind::Rm13 => BatchCodec::rm13(),
         EncoderKind::SecDed(m) => BatchCodec::sec_ded(usize::from(m)),
+        EncoderKind::WideHamming8564 => BatchCodec::wide_hamming_85_64(),
     }
 }
 
 /// Per-node downstream output channels, under two notions of reachability.
-struct DownstreamCones {
+struct FaultCones {
     /// Channels reachable forward through **any** port (data or clock).
     full: Vec<Vec<usize>>,
     /// Channels reachable forward through **data** ports only.
@@ -335,7 +441,7 @@ struct DownstreamCones {
     depth: Vec<usize>,
 }
 
-impl DownstreamCones {
+impl FaultCones {
     /// Computes both cone maps with one backward DFS per output over driver
     /// adjacencies built in a single pass over the connection list. The
     /// netlist's own reverse-driver index covers the *full* adjacency, but
@@ -398,7 +504,7 @@ impl DownstreamCones {
             depth_of(id, netlist, &drivers_full, &mut depth);
         }
 
-        DownstreamCones {
+        FaultCones {
             full: walk(&drivers_full),
             data_only: walk(&drivers_data),
             depth: depth.into_iter().map(|d| d.unwrap_or(0)).collect(),
@@ -449,7 +555,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for kind in EncoderKind::ALL {
             let design = EncoderDesign::build(kind);
-            let link = BatchLink::ideal(&design);
+            let ctx = BatchLinkContext::new(&design);
+            let link = BatchLink::new(&design, &ctx);
             let messages = link.random_messages(500, &mut rng);
             let stats = link.transmit_batch(&messages, &mut rng);
             assert_eq!(stats.total(), 500);
@@ -460,21 +567,15 @@ mod tests {
     #[test]
     fn flip_probabilities_track_channel_noise() {
         let design = EncoderDesign::build(EncoderKind::Hamming84);
-        let clean = BatchLink::new(
-            &design,
-            &FaultMap::healthy(design.netlist()),
-            ChannelConfig::ideal(),
-        );
-        let noisy = BatchLink::new(
-            &design,
-            &FaultMap::healthy(design.netlist()),
-            ChannelConfig::with_snr_db(8.0),
-        );
+        let ctx = BatchLinkContext::new(&design);
+        let healthy = FaultMap::healthy(design.netlist());
+        let clean = BatchLink::with_chip(&design, &ctx, &healthy, ChannelConfig::ideal());
+        let noisy = BatchLink::with_chip(&design, &ctx, &healthy, ChannelConfig::with_snr_db(8.0));
         assert_eq!(clean.flip_probabilities().len(), 8);
         for (&c, &n) in clean
             .flip_probabilities()
             .iter()
-            .zip(noisy.flip_probabilities())
+            .zip(&noisy.flip_probabilities())
         {
             assert!(c < 1e-9, "ideal channel must be almost noiseless");
             assert!(n > 1e-3, "noisy channel must flip bits");
@@ -498,8 +599,10 @@ mod tests {
     #[test]
     fn noisy_channel_produces_flags_and_errors() {
         let design = EncoderDesign::build(EncoderKind::Hamming84);
-        let link = BatchLink::new(
+        let ctx = BatchLinkContext::new(&design);
+        let link = BatchLink::with_chip(
             &design,
+            &ctx,
             &FaultMap::healthy(design.netlist()),
             ChannelConfig::with_snr_db(9.0),
         );
@@ -533,7 +636,9 @@ mod tests {
             }
         }
 
-        let batch_link = BatchLink::new(&design, &FaultMap::healthy(design.netlist()), channel);
+        let ctx = BatchLinkContext::new(&design);
+        let batch_link =
+            BatchLink::with_chip(&design, &ctx, &FaultMap::healthy(design.netlist()), channel);
         let messages = batch_link.random_messages(trials, &mut rng);
         let stats = batch_link.transmit_batch(&messages, &mut rng);
 
@@ -548,8 +653,10 @@ mod tests {
     #[test]
     fn counting_policies_partition_the_batch() {
         let design = EncoderDesign::build(EncoderKind::Hamming84);
-        let link = BatchLink::new(
+        let ctx = BatchLinkContext::new(&design);
+        let link = BatchLink::with_chip(
             &design,
+            &ctx,
             &FaultMap::healthy(design.netlist()),
             ChannelConfig::with_snr_db(8.0),
         );
@@ -559,5 +666,39 @@ mod tests {
         assert_eq!(stats.erroneous(false), stats.silent + stats.flagged);
         assert_eq!(stats.erroneous(true), stats.silent);
         assert_eq!(stats.total(), 5000);
+    }
+
+    #[test]
+    fn rebind_reuses_buffers_and_matches_fresh_construction() {
+        // Driving the same chip sequence through one rebound link and
+        // through per-chip fresh links must give identical statistics under
+        // identical RNG streams.
+        use sfq_cells::CellLibrary;
+        use sfq_sim::PpvModel;
+
+        let design = EncoderDesign::build(EncoderKind::Hamming84);
+        let ctx = BatchLinkContext::new(&design);
+        let library = CellLibrary::coldflux();
+        let model = PpvModel::paper_defaults();
+        let channel = ChannelConfig::ideal();
+
+        let mut rebound = BatchLink::new(&design, &ctx);
+        let mut scratch = LinkScratch::new();
+        let mut messages = BitSlice64::default();
+        for chip_index in 0..12u64 {
+            let mut rng_a = StdRng::seed_from_u64(chip_index);
+            let chip = model.sample_chip(design.netlist(), &library, &mut rng_a);
+            rebound.rebind(&chip.faults, channel);
+            rebound.random_messages_into(200, &mut rng_a, &mut messages);
+            let a = rebound.transmit_batch_with(&messages, &mut rng_a, &mut scratch);
+
+            let mut rng_b = StdRng::seed_from_u64(chip_index);
+            let chip = model.sample_chip(design.netlist(), &library, &mut rng_b);
+            let fresh = BatchLink::with_chip(&design, &ctx, &chip.faults, channel);
+            let msgs = fresh.random_messages(200, &mut rng_b);
+            let b = fresh.transmit_batch(&msgs, &mut rng_b);
+
+            assert_eq!(a, b, "chip {chip_index}");
+        }
     }
 }

@@ -29,10 +29,10 @@ pub mod link;
 pub mod montecarlo;
 pub mod waveform;
 
-pub use batch_link::{BatchLink, BatchLinkStats};
+pub use batch_link::{batch_codec_for, BatchLink, BatchLinkContext, BatchLinkStats, LinkScratch};
 pub use channel::{ChannelConfig, CryoCable};
 pub use link::{CryoLink, LinkOutcome, TransmissionResult};
 pub use montecarlo::{
-    paper_zero_error_probabilities, wilson_interval, ErrorCounting, Fig5Curve, Fig5Experiment,
-    Fig5Result,
+    default_thread_count, paper_zero_error_probabilities, wilson_interval, ErrorCounting,
+    Fig5Curve, Fig5Experiment, Fig5Result,
 };

@@ -47,7 +47,10 @@ pub struct Fig5Experiment {
     /// Base RNG seed; chip `i` uses `seed + i` so runs are reproducible and
     /// trivially parallelizable.
     pub seed: u64,
-    /// Number of worker threads (1 = run serially).
+    /// Number of worker threads (1 = run serially). The constructors default
+    /// this to [`default_thread_count`] (the machine's available
+    /// parallelism); set it explicitly to override. Per-chip results are
+    /// bit-identical regardless of the value.
     pub threads: usize,
 }
 
@@ -62,7 +65,7 @@ impl Fig5Experiment {
             channel: ChannelConfig::ideal(),
             counting: ErrorCounting::SilentOnly,
             seed: 0x5f5_ecc,
-            threads: 4,
+            threads: default_thread_count(),
         }
     }
 
@@ -72,7 +75,6 @@ impl Fig5Experiment {
         Fig5Experiment {
             chips: 120,
             messages_per_chip: 50,
-            threads: 2,
             ..Self::paper_setup()
         }
     }
@@ -94,7 +96,6 @@ impl Fig5Experiment {
             chips: 80,
             messages_per_chip: 25,
             seed: 0x0726_4ecc,
-            threads: 4,
             ..Self::paper_setup()
         }
     }
@@ -122,22 +123,45 @@ impl Fig5Experiment {
     /// throughput; the scalar path remains the reference oracle.
     #[must_use]
     pub fn run_design_batched(&self, design: &EncoderDesign, library: &CellLibrary) -> Fig5Curve {
-        // The codec depends only on the design; build it once and clone the
-        // precomputed tables per chip instead of re-deriving them.
-        let codec = crate::batch_link::batch_codec_for(design);
-        let errors_per_chip = parallel_chip_map(self.chips, self.threads, &|chip_index| {
-            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(chip_index));
-            let chip = self.ppv.sample_chip(design.netlist(), library, &mut rng);
-            let link = crate::batch_link::BatchLink::with_codec(
-                design,
-                codec.clone(),
-                &chip.faults,
-                self.channel,
-            );
-            let messages = link.random_messages(self.messages_per_chip, &mut rng);
-            let stats = link.transmit_batch(&messages, &mut rng);
-            stats.erroneous(self.counting == ErrorCounting::SilentOnly)
-        });
+        use crate::batch_link::{BatchLink, BatchLinkContext, LinkScratch};
+        use gf2::BitSlice64;
+
+        // Everything that depends only on the design — codec, fan-out
+        // cones, pipeline depth — is computed once and shared by every
+        // worker; each worker keeps one rebindable link plus reusable
+        // message/decode buffers, so the per-chip loop allocates nothing
+        // beyond the sampled fault map itself.
+        let context = BatchLinkContext::new(design);
+        struct Worker<'a> {
+            link: BatchLink<'a>,
+            messages: BitSlice64,
+            scratch: LinkScratch,
+        }
+        let errors_per_chip = parallel_chip_map(
+            self.chips,
+            self.threads,
+            &|| Worker {
+                link: BatchLink::new(design, &context),
+                messages: BitSlice64::default(),
+                scratch: LinkScratch::new(),
+            },
+            &|chip_index, worker| {
+                let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(chip_index));
+                let chip = self.ppv.sample_chip(design.netlist(), library, &mut rng);
+                worker.link.rebind(&chip.faults, self.channel);
+                worker.link.random_messages_into(
+                    self.messages_per_chip,
+                    &mut rng,
+                    &mut worker.messages,
+                );
+                let stats = worker.link.transmit_batch_with(
+                    &worker.messages,
+                    &mut rng,
+                    &mut worker.scratch,
+                );
+                stats.erroneous(self.counting == ErrorCounting::SilentOnly)
+            },
+        );
         Fig5Curve::from_error_counts(
             design.kind(),
             design.name().to_string(),
@@ -180,7 +204,7 @@ impl Fig5Experiment {
     }
 
     fn simulate_chips(&self, design: &EncoderDesign, library: &CellLibrary) -> Vec<usize> {
-        parallel_chip_map(self.chips, self.threads, &|chip| {
+        parallel_chip_map(self.chips, self.threads, &|| (), &|chip, _worker| {
             self.simulate_one_chip(design, library, chip)
         })
     }
@@ -228,20 +252,35 @@ fn random_message<R: Rng + ?Sized>(k: usize, rng: &mut R) -> BitVec {
     }
 }
 
+/// The default Monte-Carlo worker-thread count: the machine's available
+/// parallelism, falling back to 1 when it cannot be queried. Experiment
+/// configurations keep an explicit `threads` override; per-chip results are
+/// bit-identical regardless of the count (each chip derives its own RNG from
+/// its index).
+#[must_use]
+pub fn default_thread_count() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Maps chip indices `0..chips` through `per_chip` with the experiment's
-/// chunked worker-thread layout. Per-chip results are deterministic
-/// regardless of `threads` because each chip derives its own RNG from its
-/// index.
-fn parallel_chip_map(
+/// chunked worker-thread layout. Each worker thread owns one state value
+/// from `make_worker` (scratch buffers, rebindable links, …), threaded
+/// through every chip it processes — this is what keeps the batched hot
+/// path allocation-free. Per-chip results are deterministic regardless of
+/// `threads` because each chip derives its own RNG from its index and the
+/// worker state carries no chip-to-chip information.
+fn parallel_chip_map<S>(
     chips: usize,
     threads: usize,
-    per_chip: &(dyn Fn(u64) -> usize + Sync),
+    make_worker: &(dyn Fn() -> S + Sync),
+    per_chip: &(dyn Fn(u64, &mut S) -> usize + Sync),
 ) -> Vec<usize> {
     let threads = threads.max(1).min(chips.max(1));
     let mut results = vec![0usize; chips];
     if threads <= 1 || chips == 0 {
+        let mut worker = make_worker();
         for (chip, slot) in results.iter_mut().enumerate() {
-            *slot = per_chip(chip as u64);
+            *slot = per_chip(chip as u64, &mut worker);
         }
         return results;
     }
@@ -249,8 +288,9 @@ fn parallel_chip_map(
     crossbeam::scope(|scope| {
         for (t, slice) in results.chunks_mut(chunk).enumerate() {
             scope.spawn(move |_| {
+                let mut worker = make_worker();
                 for (i, slot) in slice.iter_mut().enumerate() {
-                    *slot = per_chip((t * chunk + i) as u64);
+                    *slot = per_chip((t * chunk + i) as u64, &mut worker);
                 }
             });
         }

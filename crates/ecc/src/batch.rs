@@ -13,6 +13,33 @@
 
 use gf2::BitSlice64;
 
+/// Reusable working memory for the batch codec hot path.
+///
+/// Decoding a batch needs temporaries — syndrome bit-slices and a per-limb
+/// lane-gather buffer — that would otherwise be allocated per call. Monte-
+/// Carlo loops construct one `BatchScratch` per worker and thread it through
+/// [`BatchDecode::decode_batch_with`]; the buffers are re-shaped in place
+/// ([`BitSlice64::reset`]) and only ever grow, so the steady-state inner
+/// loop touches no allocator at all.
+///
+/// The fields are public working storage: implementations may use them
+/// freely between calls, and callers must not rely on their contents.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// `(n-k)`-lane syndrome slices of the batch being decoded.
+    pub syndromes: BitSlice64,
+    /// Per-limb gather buffer (one limb per syndrome lane).
+    pub gather: Vec<u64>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Batch encoding of `k`-bit messages into `n`-bit codewords.
 pub trait BatchEncode {
     /// Codeword length `n` in bits.
@@ -26,6 +53,17 @@ pub trait BatchEncode {
     /// # Panics
     /// Panics if `messages.bits() != self.k()`.
     fn encode_batch(&self, messages: &BitSlice64) -> BitSlice64;
+
+    /// Like [`BatchEncode::encode_batch`], but writes into a caller-provided
+    /// buffer (re-shaped in place) instead of allocating. The default
+    /// falls back to the allocating method; high-throughput implementations
+    /// override it.
+    ///
+    /// # Panics
+    /// Panics if `messages.bits() != self.k()`.
+    fn encode_batch_into(&self, messages: &BitSlice64, codewords: &mut BitSlice64) {
+        *codewords = self.encode_batch(messages);
+    }
 }
 
 /// Batch hard-decision decoding of `n`-bit received words.
@@ -41,11 +79,37 @@ pub trait BatchDecode: BatchEncode {
     /// Panics if `received.bits() != self.n()`.
     fn syndrome_batch(&self, received: &BitSlice64) -> BitSlice64;
 
+    /// Like [`BatchDecode::syndrome_batch`], but writes into a caller-provided
+    /// buffer. The default falls back to the allocating method.
+    ///
+    /// # Panics
+    /// Panics if `received.bits() != self.n()`.
+    fn syndrome_batch_into(&self, received: &BitSlice64, syndromes: &mut BitSlice64) {
+        *syndromes = self.syndrome_batch(received);
+    }
+
     /// Hard-decodes a batch of received words.
     ///
     /// # Panics
     /// Panics if `received.bits() != self.n()`.
     fn decode_batch(&self, received: &BitSlice64) -> BatchDecoded;
+
+    /// Like [`BatchDecode::decode_batch`], but reuses caller-provided scratch
+    /// and output buffers so a steady-state decode loop performs no
+    /// allocation. The default ignores the scratch and falls back to the
+    /// allocating method; high-throughput implementations override it.
+    ///
+    /// # Panics
+    /// Panics if `received.bits() != self.n()`.
+    fn decode_batch_with(
+        &self,
+        received: &BitSlice64,
+        scratch: &mut BatchScratch,
+        out: &mut BatchDecoded,
+    ) {
+        let _ = scratch;
+        *out = self.decode_batch(received);
+    }
 }
 
 /// Result of decoding one batch: per-message codeword/message estimates plus
@@ -67,6 +131,18 @@ pub struct BatchDecoded {
 }
 
 impl BatchDecoded {
+    /// An empty result, ready to be passed to
+    /// [`BatchDecode::decode_batch_with`] (which re-shapes it in place).
+    #[must_use]
+    pub fn empty() -> Self {
+        BatchDecoded {
+            messages: BitSlice64::default(),
+            codewords: BitSlice64::default(),
+            flagged: Vec::new(),
+            corrected: Vec::new(),
+        }
+    }
+
     /// Returns `true` if message `i` raised the error flag.
     ///
     /// # Panics

@@ -3,9 +3,10 @@
 //! shortened (38,32) code used by the prior-art SFQ encoder of Peng et al.
 //! (reference [14] of the paper).
 
-use crate::decoder::Decoded;
+use crate::decoder::{Decoded, SyndromeClass};
 use crate::{validate_code_matrices, BlockCode, HardDecoder};
 use gf2::{BitMat, BitVec};
+use std::collections::HashMap;
 
 /// The generator matrix of the extended Hamming(8,4) code, exactly Eq. (1) of
 /// the paper (rows are messages bits m1..m4, columns are codeword bits c1..c8).
@@ -132,6 +133,10 @@ impl HardDecoder for Hamming74 {
             None => Decoded::detected(),
         }
     }
+
+    fn syndrome_class(&self) -> SyndromeClass {
+        SyndromeClass::ColumnFlip
+    }
 }
 
 /// The extended Hamming(8,4) code of Eq. (1), `d_min = 4` — the paper's
@@ -241,6 +246,13 @@ impl HardDecoder for Hamming84 {
         }
         // Even parity, nonzero syndrome: an even (≥2) number of errors.
         Decoded::detected()
+    }
+
+    /// Extended-Hamming decoding is exactly column matching against `H`:
+    /// single errors reproduce their column, doubles land on even-overall
+    /// syndromes that match no column and are detected.
+    fn syndrome_class(&self) -> SyndromeClass {
+        SyndromeClass::ColumnFlip
     }
 }
 
@@ -356,6 +368,10 @@ impl HardDecoder for HammingCode {
             None => Decoded::detected(),
         }
     }
+
+    fn syndrome_class(&self) -> SyndromeClass {
+        SyndromeClass::ColumnFlip
+    }
 }
 
 /// The (38,32) linear block code of the prior-art SFQ error-correction encoder
@@ -446,6 +462,223 @@ impl HardDecoder for ShortenedHamming3832 {
             }
         }
         Decoded::detected()
+    }
+
+    fn syndrome_class(&self) -> SyndromeClass {
+        SyndromeClass::ColumnFlip
+    }
+}
+
+/// A parameterized shortened Hamming code with (optionally) replicated
+/// parity: `k` data bits protected by `r = base_r × copies` check bits
+/// (`n = k + r`, `d_min = 3`), single-error-correcting with detection of any
+/// other nonzero syndrome.
+///
+/// The construction generalizes [`ShortenedHamming3832`]: data position `i`
+/// is assigned the `i`-th non-power-of-two column code `c_i ∈ {3, 5, 6, 7,
+/// 9, …}` of the base Hamming code with `base_r` parity bits, replicated
+/// `copies` times across independent `base_r`-bit parity fields
+/// (`v_i = c_i | c_i << base_r | …`), and the layout is systematic:
+///
+/// ```text
+/// [ d_0 … d_{k-1} | p_0 … p_{r-1} ]      p_t = ⊕ { d_i : bit t of v_i is 1 }
+/// ```
+///
+/// All columns of `H` are distinct and nonzero (replicated data codes have
+/// weight ≥ 2·copies, parity columns are unit vectors), so `d_min = 3`
+/// regardless of the replication factor. The redundancy is therefore a free
+/// parameter, deliberately *not* tied to the information-theoretic minimum:
+/// [`ShortenedHamming::wide_85_64`] spends `r = 3 × 7 = 21` check bits on a
+/// 64-bit word — far beyond the 8 a (72,64) SEC-DED code needs — which makes
+/// it the workspace's demonstration that the batch engine handles
+/// redundancies `n − k > 20`, where a `2^(n-k)`-entry syndrome table could
+/// never be built. Its decoder is pure column matching
+/// ([`SyndromeClass::ColumnFlip`]): a `HashMap` from column value to
+/// position replaces any table indexed by syndrome value.
+#[derive(Debug, Clone)]
+pub struct ShortenedHamming {
+    k: usize,
+    r: usize,
+    g: BitMat,
+    h: BitMat,
+    name: String,
+    /// Column value (syndrome as integer) → codeword position.
+    column_of: HashMap<u64, usize>,
+}
+
+impl ShortenedHamming {
+    /// Constructs the shortened Hamming code with `k` data bits and
+    /// `base_r × copies` check bits.
+    ///
+    /// # Panics
+    /// Panics if the parameters are out of range (`base_r < 2`, `copies <
+    /// 1`, `base_r × copies > 63`, `k = 0`), the base code is too short
+    /// (`k > 2^base_r − base_r − 1`), or `k` is too small to give every base
+    /// check bit a data source (which would leave constant-zero parity bits
+    /// — not an error-correction code worth building circuits for).
+    #[must_use]
+    pub fn new(k: usize, base_r: usize, copies: usize) -> Self {
+        assert!(base_r >= 2, "base check-bit count must be at least 2");
+        assert!(copies >= 1, "at least one parity copy");
+        let r = base_r * copies;
+        assert!(r <= 63, "total check-bit count must be at most 63");
+        assert!(k >= 1, "at least one data bit");
+        let n = k + r;
+
+        // Base column codes of the data positions: the first k
+        // non-power-of-two values (the parity positions take the powers of
+        // two).
+        let base_codes: Vec<u64> = (3..(1u64 << base_r))
+            .filter(|v| !v.is_power_of_two())
+            .take(k)
+            .collect();
+        assert_eq!(
+            base_codes.len(),
+            k,
+            "base Hamming({}, {}) too short for k={k}",
+            (1u64 << base_r) - 1,
+            (1u64 << base_r) - 1 - base_r as u64,
+        );
+        for t in 0..base_r {
+            assert!(
+                base_codes.iter().any(|c| (c >> t) & 1 == 1),
+                "column codes leave base check bit {t} unused (k={k} too small \
+                 for base_r={base_r})"
+            );
+        }
+        // Replicate each base code across the `copies` parity fields.
+        let codes: Vec<u64> = base_codes
+            .iter()
+            .map(|&c| (0..copies).fold(0u64, |v, j| v | (c << (j * base_r))))
+            .collect();
+
+        // Systematic generator [ I_k | P ] and parity check [ Pᵀ | I_r ].
+        let mut g = BitMat::zeros(k, n);
+        let mut h = BitMat::zeros(r, n);
+        for (i, &v) in codes.iter().enumerate() {
+            g.set(i, i, true);
+            for t in 0..r {
+                if (v >> t) & 1 == 1 {
+                    g.set(i, k + t, true);
+                    h.set(t, i, true);
+                }
+            }
+        }
+        for t in 0..r {
+            h.set(t, k + t, true);
+        }
+        validate_code_matrices(&g, &h);
+
+        let column_of = (0..n)
+            .map(|pos| {
+                let value = if pos < k {
+                    codes[pos]
+                } else {
+                    1u64 << (pos - k)
+                };
+                (value, pos)
+            })
+            .collect();
+
+        ShortenedHamming {
+            k,
+            r,
+            g,
+            h,
+            name: format!("Shortened Hamming({n},{k})"),
+            column_of,
+        }
+    }
+
+    /// The wide demonstration member: 64 data bits, 3 × 7 = 21 check bits —
+    /// the first catalog code whose redundancy exceeds the old batch-engine
+    /// action-table limit of 20.
+    #[must_use]
+    pub fn wide_85_64() -> Self {
+        Self::new(64, 7, 3)
+    }
+
+    /// Number of check bits `r = n − k`.
+    #[must_use]
+    pub fn check_bits(&self) -> usize {
+        self.r
+    }
+
+    /// Extracts the message from a codeword: the code is systematic, so the
+    /// message is the first `k` positions.
+    #[must_use]
+    pub fn extract_message(&self, codeword: &BitVec) -> BitVec {
+        codeword.slice(0..self.k)
+    }
+}
+
+impl BlockCode for ShortenedHamming {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn n(&self) -> usize {
+        self.k + self.r
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+    fn generator(&self) -> &BitMat {
+        &self.g
+    }
+    fn parity_check(&self) -> &BitMat {
+        &self.h
+    }
+    fn min_distance(&self) -> usize {
+        // Structural lower bound: all columns of H are nonzero and pairwise
+        // distinct (distinct integers by construction), so no codeword of
+        // weight ≤ 2 exists. For k ≥ 3 the bound is met: data codes 3 and 5
+        // XOR to 6, the column code of the third data position, giving a
+        // weight-3 codeword. With fewer data bits no such triple exists and
+        // replicated parity pushes the distance higher; those codebooks
+        // have at most 3 nonzero words, so enumerate them. Verified in
+        // tests.
+        if self.k >= 3 {
+            3
+        } else {
+            (1u64..(1 << self.k))
+                .map(|m| self.encode(&BitVec::from_u64(self.k, m)).weight())
+                .min()
+                .expect("at least one nonzero codeword")
+        }
+    }
+    fn message_of(&self, codeword: &BitVec) -> Option<BitVec> {
+        if self.is_codeword(codeword) {
+            Some(self.extract_message(codeword))
+        } else {
+            None
+        }
+    }
+}
+
+impl HardDecoder for ShortenedHamming {
+    /// Column-matching syndrome decoding: zero syndrome → accept; syndrome
+    /// equal to a column of `H` → flip that position; anything else →
+    /// detected but uncorrectable.
+    fn decode(&self, received: &BitVec) -> Decoded {
+        assert_eq!(received.len(), self.n(), "received word length mismatch");
+        let syndrome = self.syndrome(received).to_u64();
+        if syndrome == 0 {
+            let msg = self.extract_message(received);
+            return Decoded::clean(received.clone(), msg);
+        }
+        match self.column_of.get(&syndrome) {
+            Some(&pos) => {
+                let mut corrected = received.clone();
+                corrected.flip(pos);
+                let msg = self.extract_message(&corrected);
+                Decoded::corrected(corrected, msg, 1)
+            }
+            None => Decoded::detected(),
+        }
+    }
+
+    fn syndrome_class(&self) -> SyndromeClass {
+        SyndromeClass::ColumnFlip
     }
 }
 
@@ -641,6 +874,90 @@ mod tests {
             let d = code.decode(&r);
             assert!(d.message_is(&msg), "failed at pos {pos}");
         }
+    }
+
+    #[test]
+    fn shortened_family_parameters_and_roundtrip() {
+        for (k, base_r, copies) in [(4usize, 3usize, 1usize), (8, 4, 1), (32, 6, 2), (64, 7, 3)] {
+            let r = base_r * copies;
+            let code = ShortenedHamming::new(k, base_r, copies);
+            assert_eq!((code.n(), code.k()), (k + r, k));
+            assert_eq!(code.check_bits(), r);
+            assert_eq!(code.name(), format!("Shortened Hamming({},{k})", k + r));
+            assert_eq!(code.syndrome_class(), SyndromeClass::ColumnFlip);
+            let msg: BitVec = (0..k).map(|i| i % 3 == 0).collect();
+            let cw = code.encode(&msg);
+            assert_eq!(cw.slice(0..k), msg, "systematic");
+            assert_eq!(code.message_of(&cw), Some(msg));
+        }
+    }
+
+    #[test]
+    fn wide_85_64_corrects_singles_and_flags_non_column_syndromes() {
+        let code = ShortenedHamming::wide_85_64();
+        assert_eq!((code.n(), code.k(), code.check_bits()), (85, 64, 21));
+        let msg = BitVec::from_u64(64, 0xDEAD_BEEF_0123_4567);
+        let cw = code.encode(&msg);
+        for pos in [0usize, 17, 63, 64, 84] {
+            let mut r = cw.clone();
+            r.flip(pos);
+            let d = code.decode(&r);
+            assert!(d.message_is(&msg), "pos {pos}");
+            assert_eq!(d.codeword, Some(cw.clone()));
+        }
+        // Two flipped parity bits XOR to a two-bit syndrome confined to one
+        // parity field; every data column repeats its base code across all
+        // three fields, so the syndrome matches no column of H — detected.
+        let mut r = cw.clone();
+        r.flip(64 + 20);
+        r.flip(64 + 19);
+        assert_eq!(
+            code.decode(&r).outcome,
+            crate::DecodeOutcome::DetectedUncorrectable
+        );
+    }
+
+    #[test]
+    fn wide_85_64_has_distinct_nonzero_columns() {
+        let code = ShortenedHamming::wide_85_64();
+        let h = code.parity_check();
+        let mut cols: Vec<u64> = (0..code.n()).map(|c| h.col(c).to_u64()).collect();
+        cols.sort_unstable();
+        assert!(cols[0] != 0, "no zero column");
+        cols.dedup();
+        assert_eq!(cols.len(), 85, "columns pairwise distinct (d_min = 3)");
+        assert_eq!(code.min_distance(), 3);
+        // The structural weight-3 codeword: data codes 3 ^ 5 = 6.
+        let mut msg = BitVec::zeros(64);
+        msg.set(0, true);
+        msg.set(1, true);
+        msg.set(2, true);
+        assert_eq!(code.encode(&msg).weight(), 3);
+    }
+
+    #[test]
+    fn shortened_family_min_distance_is_exact_below_three_data_bits() {
+        // k ≥ 3: the structural weight-3 codeword exists regardless of the
+        // replication factor.
+        assert_eq!(ShortenedHamming::new(3, 3, 2).min_distance(), 3);
+        // k = 2, doubled parity: rows have weight 1 + 2·2 = 5 and the pair
+        // sums to weight 2 + 2·2 = 6, so d_min is 5, not the generic 3.
+        assert_eq!(ShortenedHamming::new(2, 3, 2).min_distance(), 5);
+        assert_eq!(ShortenedHamming::new(2, 3, 1).min_distance(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn shortened_family_rejects_overlong_k() {
+        let _ = ShortenedHamming::new(5, 3, 1); // (7,4) base has only 4 data columns
+    }
+
+    #[test]
+    #[should_panic(expected = "unused")]
+    fn shortened_family_rejects_unused_check_bits() {
+        // k = 1 uses only column code 3 = 0b011, leaving base check bit 2
+        // with no data source — a constant-zero parity bit.
+        let _ = ShortenedHamming::new(1, 3, 1);
     }
 
     #[test]

@@ -347,6 +347,17 @@ impl HardDecoder for Rm13 {
     fn decode_best_effort(&self, received: &BitVec) -> Decoded {
         self.inner.decode_best_effort(received)
     }
+
+    /// The tie-*detecting* FHT decoder of the (8,4) instance is column
+    /// matching in disguise: the 16 cosets split into the zero coset, the 8
+    /// single-error cosets (unique spectral maximum → flip that position),
+    /// and 7 weight-2 cosets whose spectra always tie → detected. This does
+    /// **not** hold for wider RM(1,m) codes (their ML decoders correct
+    /// multi-bit errors), which is why the generic [`ReedMuller`] keeps the
+    /// `General` default.
+    fn syndrome_class(&self) -> crate::SyndromeClass {
+        crate::SyndromeClass::ColumnFlip
+    }
 }
 
 impl SoftDecoder for Rm13 {

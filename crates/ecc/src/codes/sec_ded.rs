@@ -227,6 +227,13 @@ impl HardDecoder for SecDed {
             None => Decoded::detected(),
         }
     }
+
+    /// The decision rule above *is* column matching against `H` (the
+    /// syndrome table is keyed by column values), so the batch engine may
+    /// compile this decoder without enumerating syndromes.
+    fn syndrome_class(&self) -> crate::SyndromeClass {
+        crate::SyndromeClass::ColumnFlip
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,33 @@ impl DecodeOutcome {
     }
 }
 
+/// How a hard decoder's decision depends on the syndrome — the contract that
+/// lets batch engines compile the decoder into lane operations without
+/// enumerating the `2^(n-k)` syndrome space.
+///
+/// Every decoder in this crate is *coset-invariant* (the correction depends
+/// only on the syndrome); this enum refines that with the shape of the map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyndromeClass {
+    /// Textbook single-error syndrome decoding with detection fallback:
+    ///
+    /// * zero syndrome → accept the word;
+    /// * syndrome equal to column `j` of the parity-check matrix → flip
+    ///   position `j`;
+    /// * any other syndrome → [`DecodeOutcome::DetectedUncorrectable`].
+    ///
+    /// Batch engines exploit this to match syndromes against the `n` columns
+    /// of `H` directly (`O(n · (n-k))` bit-ops per limb), with construction
+    /// cost independent of `2^(n-k)` — this is what admits codes with large
+    /// redundancy. For perfect codes the fallback arm is simply unreachable.
+    ColumnFlip,
+    /// Any other coset-invariant map (e.g. majority-vote repetition decoding,
+    /// whose corrections flip several bits at once). Batch engines must
+    /// interrogate the decoder once per syndrome value, which is only
+    /// tractable for small `n - k`.
+    General,
+}
+
 /// Result of decoding one received word.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Decoded {

@@ -43,13 +43,14 @@ pub mod decoder;
 pub mod weight;
 
 pub use analysis::{CodeAnalysis, DecodingPolicy, ErrorPatternStats};
-pub use batch::{BatchDecode, BatchDecoded, BatchEncode};
+pub use batch::{BatchDecode, BatchDecoded, BatchEncode, BatchScratch};
+pub use codes::hamming::ShortenedHamming;
 pub use codes::hamming::{Hamming74, Hamming84, HammingCode, ShortenedHamming3832};
 pub use codes::reed_muller::{ReedMuller, Rm13};
 pub use codes::repetition::Repetition;
 pub use codes::sec_ded::{SecDed, SECDED_MAX_M, SECDED_MIN_M};
 pub use codes::uncoded::Uncoded;
-pub use decoder::{DecodeOutcome, Decoded};
+pub use decoder::{DecodeOutcome, Decoded, SyndromeClass};
 
 use gf2::{BitMat, BitVec};
 
@@ -162,6 +163,18 @@ pub trait HardDecoder: BlockCode {
     /// # Panics
     /// Panics if `received.len() != self.n()`.
     fn decode(&self, received: &BitVec) -> Decoded;
+
+    /// The shape of this decoder's syndrome → action map (see
+    /// [`SyndromeClass`]). The conservative default is
+    /// [`SyndromeClass::General`]; decoders that implement textbook
+    /// single-error correction with detection fallback should override this
+    /// to [`SyndromeClass::ColumnFlip`] so batch engines can compile them
+    /// without enumerating the syndrome space. Batch/scalar equivalence is
+    /// enforced by the workspace's exhaustive tests, and batch construction
+    /// re-verifies the column arm with one scalar probe per position.
+    fn syndrome_class(&self) -> SyndromeClass {
+        SyndromeClass::General
+    }
 
     /// Best-effort decoding: like [`HardDecoder::decode`] but ambiguous
     /// received words are resolved with a deterministic tie-break instead of

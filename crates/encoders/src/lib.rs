@@ -45,7 +45,9 @@ pub mod table2;
 
 pub use table2::{catalog_table_rows, paper_table2, table2_row_for, table2_rows, Table2Row};
 
-use ecc::{BlockCode, Decoded, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, Uncoded};
+use ecc::{
+    BlockCode, Decoded, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, ShortenedHamming, Uncoded,
+};
 use gf2::{BitMat, BitVec};
 use serde::{Deserialize, Serialize};
 use sfq_cells::CellLibrary;
@@ -76,6 +78,11 @@ pub enum EncoderKind {
     /// [`ecc::SECDED_MIN_M`]`..=`[`ecc::SECDED_MAX_M`]); synthesized with
     /// the generic generator-matrix flow rather than a hand-drawn schematic.
     SecDed(u8),
+    /// The wide Shortened Hamming(85,64) demonstration code: 21 check bits —
+    /// the first catalog member whose redundancy exceeds the batch engine's
+    /// old 20-bit action-table limit, decodable only by column matching.
+    /// Synthesized with the generic generator-matrix flow.
+    WideHamming8564,
 }
 
 impl EncoderKind {
@@ -88,12 +95,14 @@ impl EncoderKind {
         EncoderKind::None,
     ];
 
-    /// Every buildable design: the paper's four plus the SEC-DED family from
-    /// (13,8) up to (72,64).
+    /// Every buildable design: the paper's four, the SEC-DED family from
+    /// (13,8) up to (72,64), and the wide Shortened Hamming(85,64)
+    /// demonstration code.
     #[must_use]
     pub fn catalog() -> Vec<EncoderKind> {
         let mut kinds = Self::ALL.to_vec();
         kinds.extend((3..=ecc::SECDED_MAX_M as u8).map(EncoderKind::SecDed));
+        kinds.push(EncoderKind::WideHamming8564);
         kinds
     }
 
@@ -110,6 +119,7 @@ impl EncoderKind {
                 let k = 1usize << m;
                 format!("SEC-DED({},{k})", k + usize::from(*m) + 2)
             }
+            EncoderKind::WideHamming8564 => "Shortened Hamming(85,64)".to_string(),
         }
     }
 
@@ -143,6 +153,7 @@ impl EncoderKind {
                 let k = 1usize << m;
                 format!("secded_{}_{k}_encoder", k + usize::from(*m) + 2)
             }
+            EncoderKind::WideHamming8564 => "shamming_85_64_encoder".to_string(),
         }
     }
 }
@@ -154,6 +165,7 @@ enum ReferenceCode {
     Hamming84(Hamming84),
     Rm13(Rm13),
     SecDed(SecDed),
+    WideHamming(ShortenedHamming),
 }
 
 impl ReferenceCode {
@@ -164,6 +176,7 @@ impl ReferenceCode {
             ReferenceCode::Hamming84(c) => c.encode(message),
             ReferenceCode::Rm13(c) => c.encode(message),
             ReferenceCode::SecDed(c) => c.encode(message),
+            ReferenceCode::WideHamming(c) => c.encode(message),
         }
     }
 
@@ -177,6 +190,7 @@ impl ReferenceCode {
             // decoder with spectral tie-breaking.
             ReferenceCode::Rm13(c) => c.decode_best_effort(received),
             ReferenceCode::SecDed(c) => c.decode(received),
+            ReferenceCode::WideHamming(c) => c.decode(received),
         }
     }
 
@@ -187,6 +201,7 @@ impl ReferenceCode {
             ReferenceCode::Hamming84(c) => c.n(),
             ReferenceCode::Rm13(c) => c.n(),
             ReferenceCode::SecDed(c) => c.n(),
+            ReferenceCode::WideHamming(c) => c.n(),
         }
     }
 
@@ -197,6 +212,7 @@ impl ReferenceCode {
             ReferenceCode::Hamming84(c) => c.k(),
             ReferenceCode::Rm13(c) => c.k(),
             ReferenceCode::SecDed(c) => c.k(),
+            ReferenceCode::WideHamming(c) => c.k(),
         }
     }
 
@@ -207,6 +223,7 @@ impl ReferenceCode {
             ReferenceCode::Hamming84(c) => c.generator(),
             ReferenceCode::Rm13(c) => c.generator(),
             ReferenceCode::SecDed(c) => c.generator(),
+            ReferenceCode::WideHamming(c) => c.generator(),
         }
     }
 }
@@ -243,6 +260,9 @@ impl EncoderDesign {
             EncoderKind::Hamming84 => ReferenceCode::Hamming84(Hamming84::new()),
             EncoderKind::Rm13 => ReferenceCode::Rm13(Rm13::new()),
             EncoderKind::SecDed(m) => ReferenceCode::SecDed(SecDed::new(usize::from(m))),
+            EncoderKind::WideHamming8564 => {
+                ReferenceCode::WideHamming(ShortenedHamming::wide_85_64())
+            }
         };
         let (netlist, synthesis_report) = match &code {
             ReferenceCode::None(_) => (no_encoder::build_netlist(), None),
@@ -583,15 +603,50 @@ mod tests {
     #[test]
     fn catalog_enumerates_paper_designs_and_secded_family() {
         let catalog = EncoderKind::catalog();
-        assert_eq!(catalog.len(), 8);
+        assert_eq!(catalog.len(), 9);
         for kind in EncoderKind::ALL {
             assert!(catalog.contains(&kind));
         }
         for m in 3u8..=6 {
             assert!(catalog.contains(&EncoderKind::SecDed(m)));
         }
+        assert!(catalog.contains(&EncoderKind::WideHamming8564));
         assert_eq!(EncoderKind::SecDed(6).name(), "SEC-DED(72,64)");
-        assert_eq!(EncoderDesign::build_catalog().len(), 8);
+        assert_eq!(
+            EncoderKind::WideHamming8564.name(),
+            "Shortened Hamming(85,64)"
+        );
+        assert_eq!(EncoderDesign::build_catalog().len(), 9);
+    }
+
+    #[test]
+    fn wide_hamming_design_encodes_correctly_at_gate_level() {
+        use rand::SeedableRng;
+        let design = EncoderDesign::build(EncoderKind::WideHamming8564);
+        assert_eq!((design.n(), design.k()), (85, 64));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x8564_0001);
+        for _ in 0..4 {
+            let msg = seeded_message(64, &mut rng);
+            assert_eq!(
+                design.encode_gate_level(&msg),
+                design.encode_reference(&msg)
+            );
+        }
+        // Single errors correct; a non-column syndrome is flagged.
+        let msg = seeded_message(64, &mut rng);
+        let cw = design.encode_reference(&msg);
+        for pos in [0usize, 40, 64, 84] {
+            let mut r = cw.clone();
+            r.flip(pos);
+            assert_eq!(design.decode(&r).message, Some(msg.clone()), "pos {pos}");
+        }
+        let mut r = cw.clone();
+        r.flip(64 + 20);
+        r.flip(64 + 19);
+        assert_eq!(
+            design.decode(&r).outcome,
+            ecc::DecodeOutcome::DetectedUncorrectable
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod slice;
 pub mod vec;
 
 pub use mat::BitMat;
-pub use slice::BitSlice64;
+pub use slice::{and_xnor_reduce, or_reduce, BitSlice64};
 pub use vec::BitVec;
 
 /// Number of bits stored per limb.

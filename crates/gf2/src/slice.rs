@@ -197,6 +197,91 @@ impl BitSlice64 {
     pub fn count_ones(&self) -> usize {
         self.lanes.iter().map(|l| l.count_ones() as usize).sum()
     }
+
+    /// Re-shapes the batch in place to `bits × batch`, zeroing every lane.
+    ///
+    /// Reuses the existing limb allocation when it is large enough, which is
+    /// what lets scratch buffers survive across Monte-Carlo iterations
+    /// without touching the allocator.
+    pub fn reset(&mut self, bits: usize, batch: usize) {
+        let words = batch.div_ceil(LIMB_BITS);
+        self.bits = bits;
+        self.batch = batch;
+        self.words = words;
+        self.lanes.clear();
+        self.lanes.resize(bits * words, 0);
+    }
+
+    /// Makes `self` a copy of `src` in place, reusing the limb allocation.
+    pub fn copy_from(&mut self, src: &BitSlice64) {
+        self.bits = src.bits;
+        self.batch = src.batch;
+        self.words = src.words;
+        self.lanes.clear();
+        self.lanes.extend_from_slice(&src.lanes);
+    }
+
+    /// Gathers limb `word` of every lane into `out[0..self.bits()]` — the
+    /// transposed access pattern of word-at-a-time decode kernels, done once
+    /// per limb instead of once per (entry, lane) pair.
+    ///
+    /// # Panics
+    /// Panics if `word >= self.words()` or `out` is shorter than `bits`.
+    #[inline]
+    pub fn gather_word(&self, word: usize, out: &mut [u64]) {
+        assert!(word < self.words, "word {word} out of range");
+        assert!(out.len() >= self.bits, "gather buffer too small");
+        for (bit, slot) in out.iter_mut().enumerate().take(self.bits) {
+            *slot = self.lanes[bit * self.words + word];
+        }
+    }
+}
+
+/// AND-reduction of XNOR matches across bit-slices: starting from `init`,
+/// folds `acc &= if pattern bit t { slices[t] } else { !slices[t] }` over all
+/// slices, returning the 64-wide indicator of "this position's bits equal
+/// `pattern`". Early-exits when the accumulator empties, which is the common
+/// case for non-matching patterns.
+///
+/// This is the inner kernel of the column-matching batch decoder: `slices`
+/// are the syndrome bit-slices of one limb and `pattern` is a column of the
+/// parity-check matrix.
+///
+/// # Panics
+/// Panics if more than 128 slices are passed (patterns are `u128`s).
+#[inline]
+#[must_use]
+pub fn and_xnor_reduce(init: u64, slices: &[u64], pattern: u128) -> u64 {
+    assert!(slices.len() <= 128, "patterns are u128: at most 128 slices");
+    let mut acc = init;
+    for (t, &slice) in slices.iter().enumerate() {
+        acc &= if (pattern >> t) & 1 == 1 {
+            slice
+        } else {
+            !slice
+        };
+        if acc == 0 {
+            return 0;
+        }
+    }
+    acc
+}
+
+/// OR-reduction across bit-slices: the 64-wide indicator of "any of these
+/// bits is set". Used as the all-zero-syndrome fast path of the batch
+/// decoder.
+#[inline]
+#[must_use]
+pub fn or_reduce(slices: &[u64]) -> u64 {
+    slices.iter().fold(0, |acc, &s| acc | s)
+}
+
+impl Default for BitSlice64 {
+    /// An empty `0 × 0` batch — the natural initial state of reusable
+    /// scratch buffers, re-shaped on first use via [`BitSlice64::reset`].
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
 }
 
 impl fmt::Debug for BitSlice64 {
@@ -299,5 +384,67 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn pack_rejects_ragged_input() {
         let _ = BitSlice64::pack(&[BitVec::zeros(3), BitVec::zeros(4)]);
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes_in_place() {
+        let mut s = BitSlice64::pack(&sample_batch(8, 100));
+        s.reset(5, 70);
+        assert_eq!((s.bits(), s.batch(), s.words()), (5, 70, 2));
+        assert_eq!(s.count_ones(), 0);
+        // Growing past the old allocation still works.
+        s.reset(16, 300);
+        assert_eq!((s.bits(), s.batch(), s.words()), (16, 300, 5));
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = BitSlice64::pack(&sample_batch(7, 130));
+        let mut dst = BitSlice64::zeros(1, 1);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn gather_word_collects_lane_limbs() {
+        let s = BitSlice64::pack(&sample_batch(6, 100));
+        let mut out = vec![0u64; 6];
+        for w in 0..s.words() {
+            s.gather_word(w, &mut out);
+            for (bit, &limb) in out.iter().enumerate() {
+                assert_eq!(limb, s.lane(bit)[w], "word {w} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_xnor_reduce_matches_per_position_equality() {
+        let vectors = sample_batch(5, 64);
+        let s = BitSlice64::pack(&vectors);
+        let mut slices = vec![0u64; 5];
+        s.gather_word(0, &mut slices);
+        for pattern in 0u128..32 {
+            let mask = and_xnor_reduce(u64::MAX, &slices, pattern);
+            for (i, v) in vectors.iter().enumerate() {
+                let value = (0..5).fold(0u128, |acc, b| acc | (u128::from(v.get(b)) << b));
+                assert_eq!(
+                    (mask >> i) & 1 == 1,
+                    value == pattern,
+                    "pattern {pattern:05b} position {i}"
+                );
+            }
+        }
+        // The init mask gates the result.
+        assert_eq!(and_xnor_reduce(0, &slices, 3), 0);
+        // Zero slices: every position matches the (empty) pattern.
+        assert_eq!(and_xnor_reduce(u64::MAX, &[], 0), u64::MAX);
+    }
+
+    #[test]
+    fn or_reduce_is_any_bit_set() {
+        assert_eq!(or_reduce(&[]), 0);
+        assert_eq!(or_reduce(&[0, 0]), 0);
+        assert_eq!(or_reduce(&[0b100, 0b001]), 0b101);
     }
 }

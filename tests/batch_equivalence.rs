@@ -9,14 +9,15 @@
 //! same correction status. Randomized multi-limb batches with a seeded RNG
 //! cover batch sizes beyond one limb and higher-weight errors.
 
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sfq_ecc::batch::BatchCodec;
 use sfq_ecc::ecc::{
-    BatchDecode, BatchEncode, BlockCode, DecodeOutcome, Hamming74, Hamming84, HardDecoder,
-    Repetition, Rm13, SecDed, Uncoded,
+    validate_code_matrices, BatchDecode, BatchEncode, BlockCode, DecodeOutcome, Decoded, Hamming74,
+    Hamming84, HardDecoder, Repetition, Rm13, SecDed, ShortenedHamming, SyndromeClass, Uncoded,
 };
-use sfq_ecc::gf2::{BitSlice64, BitVec, WeightPatterns};
+use sfq_ecc::gf2::{BitMat, BitSlice64, BitVec, WeightPatterns};
 
 /// Every codeword corrupted with every error pattern of weight 0, 1, or 2.
 fn low_weight_corpus<C: BlockCode>(code: &C) -> Vec<BitVec> {
@@ -252,6 +253,244 @@ fn secded_family_random_words_agree_with_scalar_decode() {
             })
             .collect();
         assert_wide_batch_matches_scalar(&code, &words);
+    }
+}
+
+/// Like [`assert_wide_batch_matches_scalar`] for any wide code (shared by
+/// the SEC-DED family and the r > 20 Shortened Hamming demonstration code).
+fn assert_batch_matches_scalar_on<C: BlockCode + HardDecoder>(code: &C, received: &[BitVec]) {
+    let codec = BatchCodec::new(code);
+    let batch = BitSlice64::pack(received);
+    let syndromes = codec.syndrome_batch(&batch);
+    let decoded = codec.decode_batch(&batch);
+    for (i, word) in received.iter().enumerate() {
+        assert_eq!(
+            syndromes.extract(i),
+            code.syndrome(word),
+            "{}: syndrome mismatch at word {i}",
+            code.name()
+        );
+        let scalar = code.decode(word);
+        match scalar.outcome {
+            DecodeOutcome::DetectedUncorrectable => {
+                assert!(
+                    decoded.is_flagged(i),
+                    "{}: word {i} should be flagged",
+                    code.name()
+                );
+            }
+            outcome => {
+                assert!(
+                    !decoded.is_flagged(i),
+                    "{}: word {i} wrongly flagged",
+                    code.name()
+                );
+                assert_eq!(
+                    Some(decoded.messages.extract(i)),
+                    scalar.message,
+                    "{}: word {i} message mismatch",
+                    code.name()
+                );
+                assert_eq!(
+                    Some(decoded.codewords.extract(i)),
+                    scalar.codeword,
+                    "{}: word {i} codeword mismatch",
+                    code.name()
+                );
+                assert_eq!(
+                    decoded.is_corrected(i),
+                    matches!(outcome, DecodeOutcome::Corrected { .. }),
+                    "{}: word {i} correction status mismatch",
+                    code.name()
+                );
+            }
+        }
+    }
+}
+
+/// Acceptance sweep for the r > 20 catalog member: every 0- and 1-bit error
+/// pattern of every sampled Shortened Hamming(85,64) codeword decodes
+/// bit-exactly to the scalar result. This is the pattern the old
+/// action-table engine rejected outright (`n - k = 21 > 20`).
+#[test]
+fn shortened_hamming_85_64_batch_is_bit_exact_on_all_zero_and_one_bit_patterns() {
+    let code = ShortenedHamming::wide_85_64();
+    assert_eq!(code.n() - code.k(), 21, "the point is r > 20");
+    let mut rng = StdRng::seed_from_u64(0x8564_0101);
+    let mut received = Vec::new();
+    for _ in 0..6 {
+        let msg = BitVec::from_u64(64, rng.random::<u64>());
+        let cw = code.encode(&msg);
+        received.push(cw.clone());
+        for pos in 0..85 {
+            let mut r = cw.clone();
+            r.flip(pos);
+            received.push(r);
+        }
+    }
+    // 6 x (1 + 85) = 516 words, 8.1 limbs: exercises the tail mask too.
+    assert_batch_matches_scalar_on(&code, &received);
+}
+
+/// Two-bit patterns on the wide r > 20 member: the code has d_min = 3, so
+/// doubles are detected *or* miscorrected — either way, batch and scalar
+/// must agree word for word.
+#[test]
+fn shortened_hamming_85_64_batch_matches_scalar_on_two_bit_patterns() {
+    let code = ShortenedHamming::wide_85_64();
+    let mut rng = StdRng::seed_from_u64(0x8564_0202);
+    let msg = BitVec::from_u64(64, rng.random::<u64>());
+    let cw = code.encode(&msg);
+    let mut received = Vec::new();
+    for a in 0..85 {
+        for b in (a + 1)..85 {
+            let mut r = cw.clone();
+            r.flip(a);
+            r.flip(b);
+            received.push(r);
+        }
+    }
+    assert_eq!(received.len(), 3570); // C(85,2)
+    assert_batch_matches_scalar_on(&code, &received);
+}
+
+/// Randomized multi-limb agreement for the wide member, arbitrary error
+/// weights.
+#[test]
+fn shortened_hamming_85_64_random_words_agree_with_scalar_decode() {
+    let code = ShortenedHamming::wide_85_64();
+    let mut rng = StdRng::seed_from_u64(0x8564_0303);
+    let words: Vec<BitVec> = (0..300)
+        .map(|_| {
+            (0..code.n())
+                .map(|_| rng.random::<u64>() & 1 == 1)
+                .collect()
+        })
+        .collect();
+    assert_batch_matches_scalar_on(&code, &words);
+}
+
+/// A test-local single-error-correcting code over a *random* parity-check
+/// matrix `H = [C | I_r]`: `k` distinct random non-power-of-two nonzero
+/// column codes, systematic generator, and an independently written scalar
+/// decoder (linear column scan, no shared lookup structure with the batch
+/// engine).
+struct RandomSecCode {
+    k: usize,
+    r: usize,
+    g: BitMat,
+    h: BitMat,
+}
+
+impl RandomSecCode {
+    fn new(k: usize, r: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut codes: Vec<u64> = Vec::with_capacity(k);
+        while codes.len() < k {
+            let v = rng.random::<u64>() & ((1u64 << r) - 1);
+            if v == 0 || v.is_power_of_two() || codes.contains(&v) {
+                continue;
+            }
+            codes.push(v);
+        }
+        let n = k + r;
+        let mut g = BitMat::zeros(k, n);
+        let mut h = BitMat::zeros(r, n);
+        for (i, &v) in codes.iter().enumerate() {
+            g.set(i, i, true);
+            for t in 0..r {
+                if (v >> t) & 1 == 1 {
+                    g.set(i, k + t, true);
+                    h.set(t, i, true);
+                }
+            }
+        }
+        for t in 0..r {
+            h.set(t, k + t, true);
+        }
+        validate_code_matrices(&g, &h);
+        RandomSecCode { k, r, g, h }
+    }
+}
+
+impl BlockCode for RandomSecCode {
+    fn name(&self) -> &str {
+        "random-sec"
+    }
+    fn n(&self) -> usize {
+        self.k + self.r
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+    fn generator(&self) -> &BitMat {
+        &self.g
+    }
+    fn parity_check(&self) -> &BitMat {
+        &self.h
+    }
+    fn message_of(&self, codeword: &BitVec) -> Option<BitVec> {
+        if self.is_codeword(codeword) {
+            Some(codeword.slice(0..self.k))
+        } else {
+            None
+        }
+    }
+}
+
+impl HardDecoder for RandomSecCode {
+    fn decode(&self, received: &BitVec) -> Decoded {
+        let syndrome = self.syndrome(received);
+        if syndrome.is_zero() {
+            return Decoded::clean(received.clone(), received.slice(0..self.k));
+        }
+        for pos in 0..self.n() {
+            if self.h.col(pos) == syndrome {
+                let mut corrected = received.clone();
+                corrected.flip(pos);
+                let msg = corrected.slice(0..self.k);
+                return Decoded::corrected(corrected, msg, 1);
+            }
+        }
+        Decoded::detected()
+    }
+
+    fn syndrome_class(&self) -> SyndromeClass {
+        SyndromeClass::ColumnFlip
+    }
+}
+
+proptest! {
+    /// Random parity-check matrices with redundancies up to 24 (well past
+    /// the old 20-bit action-table limit) decode identically scalar-vs-batch
+    /// on random received words of arbitrary error weight.
+    #[test]
+    fn random_parity_checks_up_to_r24_decode_identically(
+        k in 2usize..=32,
+        r in 6usize..=24,
+        seed in any::<u64>(),
+    ) {
+        let code = RandomSecCode::new(k, r, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+        let words: Vec<BitVec> = (0..80)
+            .map(|_| {
+                (0..code.n())
+                    .map(|_| rng.random::<u64>() & 1 == 1)
+                    .collect()
+            })
+            .collect();
+        // Plus guaranteed-clean and single-error words so the correct arm is
+        // always exercised.
+        let mut corpus = words;
+        let msg: BitVec = (0..k).map(|_| rng.random::<u64>() & 1 == 1).collect();
+        let cw = code.encode(&msg);
+        corpus.push(cw.clone());
+        for pos in [0, code.k(), code.n() - 1] {
+            let mut w = cw.clone();
+            w.flip(pos);
+            corpus.push(w);
+        }
+        assert_batch_matches_scalar_on(&code, &corpus);
     }
 }
 

@@ -25,7 +25,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sfq_ecc::cells::CellLibrary;
-use sfq_ecc::ecc::{BlockCode, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, Uncoded};
+use sfq_ecc::ecc::{
+    BlockCode, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, ShortenedHamming, Uncoded,
+};
 use sfq_ecc::gf2::BitVec;
 use std::path::PathBuf;
 
@@ -107,6 +109,11 @@ fn golden_cases() -> Vec<(&'static str, Box<dyn HardDecoder>, GoldenFile)> {
         ("secded_22_16", Box::new(SecDed::new(4)), 0x2216),
         ("secded_39_32", Box::new(SecDed::new(5)), 0x3932),
         ("secded_72_64", Box::new(SecDed::new(6)), 0x7264),
+        (
+            "shamming_85_64",
+            Box::new(ShortenedHamming::wide_85_64()),
+            0x8564,
+        ),
     ];
     codes
         .into_iter()
@@ -205,6 +212,11 @@ fn golden_vectors_match_checked_in_files() {
 /// decodes cleanly back to its stored message with the *current* decoders.
 #[test]
 fn golden_codewords_decode_to_their_messages() {
+    assert_eq!(
+        golden_cases().len(),
+        9,
+        "every catalog code carries golden vectors"
+    );
     for (slug, code, golden) in golden_cases() {
         assert_eq!(golden.encodings.len(), 8, "{slug}");
         for (msg, cw) in &golden.encodings {

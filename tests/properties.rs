@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use sfq_ecc::ecc::{
     generator_right_inverse, BlockCode, DecodeOutcome, Hamming74, Hamming84, HardDecoder,
-    ReedMuller, Rm13, SecDed, Uncoded,
+    ReedMuller, Rm13, SecDed, ShortenedHamming, Uncoded,
 };
 use sfq_ecc::encoders::{EncoderDesign, EncoderKind};
 use sfq_ecc::gf2::{BitMat, BitSlice64, BitVec};
@@ -26,6 +26,7 @@ fn catalog_codes() -> Vec<Box<dyn HardDecoder>> {
     for m in 3..=6 {
         codes.push(Box::new(SecDed::new(m)));
     }
+    codes.push(Box::new(ShortenedHamming::wide_85_64()));
     codes
 }
 

@@ -36,8 +36,9 @@ fn every_small_catalog_netlist_is_exhaustively_bit_exact() {
     assert_eq!(exhaustive_codes, 6);
 }
 
-/// The wide members: zero, all-ones, every unit vector, walking adjacent
-/// pairs, and 256 seeded random messages each.
+/// The wide members — SEC-DED(39,32), SEC-DED(72,64), and the r > 20
+/// Shortened Hamming(85,64): zero, all-ones, every unit vector, walking
+/// adjacent pairs, and 256 seeded random messages each.
 #[test]
 fn wide_secded_members_are_bit_exact_on_structured_and_random_sweeps() {
     let config = EquivalenceConfig {
@@ -45,8 +46,12 @@ fn wide_secded_members_are_bit_exact_on_structured_and_random_sweeps() {
         random_samples: 256,
         ..Default::default()
     };
-    for m in [5u8, 6] {
-        let design = EncoderDesign::build(EncoderKind::SecDed(m));
+    for kind in [
+        EncoderKind::SecDed(5),
+        EncoderKind::SecDed(6),
+        EncoderKind::WideHamming8564,
+    ] {
+        let design = EncoderDesign::build(kind);
         assert!(design.k() > config.exhaustive_limit_k);
         let checked = verify_encoder(design.netlist(), design.generator(), &config)
             .unwrap_or_else(|mis| panic!("{}: {mis}", design.name()));
