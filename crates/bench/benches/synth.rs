@@ -1,16 +1,23 @@
 //! Synthesis-pipeline benchmark: regenerates the naive-vs-optimized circuit
 //! costs of every coded catalog member, times the pipeline, and emits
 //! `BENCH_synth.json` at the workspace root (per-code XOR/DFF/SPL/JJ/depth
-//! before and after the passes, plus the per-pass deltas) so CI and the
-//! roadmap can track cost regressions numerically.
+//! before and after the passes, the chosen schedule, the Paar-factoring
+//! middle point, the per-pass deltas, and the `depth_slack` latency/area
+//! Pareto sweep) so CI and the roadmap can track cost regressions
+//! numerically.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ecc::BlockCode;
 use encoders::{EncoderDesign, EncoderKind};
 use sfq_cells::CellLibrary;
+use sfq_netlist::pass::Schedule;
 use sfq_netlist::NetlistStats;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// Slack range of the emitted Pareto sweep (matches the golden fingerprint
+/// file `tests/golden/pareto_front.txt`).
+const PARETO_MAX_SLACK: usize = 2;
 
 fn json_cost(stats: &NetlistStats, depth: usize) -> String {
     use sfq_cells::CellKind;
@@ -57,16 +64,51 @@ fn synth_report_json() -> String {
                 report.after.depth,
             );
         }
+        let paar = design
+            .schedule_plan()
+            .expect("coded design carries a schedule plan")
+            .candidates
+            .iter()
+            .find(|c| c.schedule == Schedule::default())
+            .expect("the Paar schedule is always a candidate")
+            .planned;
+        let mut pareto = String::new();
+        for point in design.pareto_sweep(&library, PARETO_MAX_SLACK) {
+            let _ = write!(
+                pareto,
+                "{}{{\"slack\": {}, \"schedule\": \"{}\", \"depth\": {}, \"xor\": {}, \
+                 \"dff\": {}, \"spl\": {}, \"jj\": {}, \"front\": {}}}",
+                if pareto.is_empty() { "" } else { ", " },
+                point.depth_slack,
+                point.schedule.label(),
+                point.planned.depth,
+                point.planned.xor,
+                point.planned.dff,
+                point.planned.splitter,
+                point.jj,
+                point.on_front,
+            );
+        }
+        let schedule = design
+            .schedule_plan()
+            .expect("coded design carries a schedule plan")
+            .chosen
+            .label();
         designs.push(format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"k\": {}, \"naive\": {}, \"optimized\": {}, \
-             \"jj_saving_pct\": {:.2}, \"passes\": [{}]}}",
+            "    {{\"name\": \"{}\", \"n\": {}, \"k\": {}, \"schedule\": \"{}\", \
+             \"naive\": {}, \"paar\": {{\"xor\": {}, \"jj\": {}}}, \"optimized\": {}, \
+             \"jj_saving_pct\": {:.2}, \"passes\": [{}], \"pareto\": [{}]}}",
             design.name(),
             design.n(),
             design.k(),
+            schedule,
             json_cost(&naive, naive_netlist.logic_depth()),
+            paar.xor,
+            paar.jj(&library),
             json_cost(&optimized, design.netlist().logic_depth()),
             saving,
-            passes
+            passes,
+            pareto
         ));
     }
     format!("{{\n  \"designs\": [\n{}\n  ]\n}}\n", designs.join(",\n"))

@@ -51,7 +51,10 @@ use ecc::{
 use gf2::{BitMat, BitVec};
 use serde::{Deserialize, Serialize};
 use sfq_cells::CellLibrary;
-use sfq_netlist::pass::{InputDiscipline, PassManager, PipelineOptions, PipelineReport};
+use sfq_netlist::pass::{
+    pareto_sweep, InputDiscipline, ParetoPoint, PassManager, PipelineOptions, PipelineReport,
+    SchedulePlan, SynthPlanner,
+};
 use sfq_netlist::{synth, Netlist, NetlistStats};
 use sfq_sim::equivalence::{self, EquivalenceConfig};
 use sfq_sim::{FaultMap, GateLevelSim, Stimulus, Trace};
@@ -141,6 +144,45 @@ impl EncoderKind {
         }
     }
 
+    /// The generator matrix of this design's reference code, without
+    /// building the circuit (used by schedule planning and the Pareto
+    /// sweep). The uncoded baseline's generator is the identity.
+    #[must_use]
+    pub fn generator(&self) -> BitMat {
+        reference_code(*self).generator().clone()
+    }
+
+    /// The `depth_slack` latency/area Pareto sweep of this design under a
+    /// cell library (see [`sfq_netlist::pass::pareto_sweep`]): one planned
+    /// point per slack value, with the (encoding latency, JJ count) Pareto
+    /// front marked. Returns an empty sweep for the uncoded baseline, which
+    /// has no logic to synthesize.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use encoders::EncoderKind;
+    /// use sfq_cells::CellLibrary;
+    ///
+    /// let points = EncoderKind::Hamming84.pareto_sweep(&CellLibrary::coldflux(), 2);
+    /// assert_eq!(points.len(), 3);
+    /// // Slack 0 is the paper's operating point: latency never regresses.
+    /// assert!(points[0].on_front);
+    /// assert_eq!(points[0].planned.depth, 2);
+    /// ```
+    #[must_use]
+    pub fn pareto_sweep(&self, library: &CellLibrary, max_slack: usize) -> Vec<ParetoPoint> {
+        if *self == EncoderKind::None {
+            return Vec::new();
+        }
+        pareto_sweep(
+            &self.generator(),
+            &self.pipeline_options(),
+            library,
+            max_slack,
+        )
+    }
+
     /// The netlist name the pipeline gives this design.
     #[must_use]
     pub fn netlist_name(&self) -> String {
@@ -155,6 +197,18 @@ impl EncoderKind {
             }
             EncoderKind::WideHamming8564 => "shamming_85_64_encoder".to_string(),
         }
+    }
+}
+
+/// Builds the reference code implementation behind an encoder kind.
+fn reference_code(kind: EncoderKind) -> ReferenceCode {
+    match kind {
+        EncoderKind::None => ReferenceCode::None(Uncoded::new(4)),
+        EncoderKind::Hamming74 => ReferenceCode::Hamming74(Hamming74::new()),
+        EncoderKind::Hamming84 => ReferenceCode::Hamming84(Hamming84::new()),
+        EncoderKind::Rm13 => ReferenceCode::Rm13(Rm13::new()),
+        EncoderKind::SecDed(m) => ReferenceCode::SecDed(SecDed::new(usize::from(m))),
+        EncoderKind::WideHamming8564 => ReferenceCode::WideHamming(ShortenedHamming::wide_85_64()),
     }
 }
 
@@ -238,42 +292,54 @@ pub struct EncoderDesign {
     code: ReferenceCode,
     latency: usize,
     synthesis_report: Option<PipelineReport>,
+    schedule_plan: Option<SchedulePlan>,
 }
 
 impl EncoderDesign {
-    /// Builds one of the catalog's encoder designs.
+    /// Builds one of the catalog's encoder designs against the paper's
+    /// ColdFlux cell library.
     ///
     /// Every coded design is synthesized from its generator matrix by the
-    /// optimizing pass pipeline ([`sfq_netlist::pass::PassManager`]) with the
-    /// per-design [`EncoderKind::pipeline_options`], and the resulting
-    /// netlist is simulation-checked against the reference code before it is
-    /// accepted. The uncoded baseline keeps its trivial hand-built data path.
+    /// cost-model-driven pass pipeline (a
+    /// [`sfq_netlist::pass::SynthPlanner`] prices every [`Schedule`]
+    /// candidate and the [`sfq_netlist::pass::PassManager`] runs the
+    /// cheapest) with the per-design [`EncoderKind::pipeline_options`], and
+    /// the resulting netlist is simulation-checked against the reference
+    /// code before it is accepted. The uncoded baseline keeps its trivial
+    /// hand-built data path.
+    ///
+    /// [`Schedule`]: sfq_netlist::pass::Schedule
     ///
     /// # Panics
     /// Panics if the pipeline breaks functional equivalence — a synthesis
     /// bug, caught here rather than in a downstream experiment.
     #[must_use]
     pub fn build(kind: EncoderKind) -> Self {
-        let code = match kind {
-            EncoderKind::None => ReferenceCode::None(Uncoded::new(4)),
-            EncoderKind::Hamming74 => ReferenceCode::Hamming74(Hamming74::new()),
-            EncoderKind::Hamming84 => ReferenceCode::Hamming84(Hamming84::new()),
-            EncoderKind::Rm13 => ReferenceCode::Rm13(Rm13::new()),
-            EncoderKind::SecDed(m) => ReferenceCode::SecDed(SecDed::new(usize::from(m))),
-            EncoderKind::WideHamming8564 => {
-                ReferenceCode::WideHamming(ShortenedHamming::wide_85_64())
-            }
-        };
-        let (netlist, synthesis_report) = match &code {
-            ReferenceCode::None(_) => (no_encoder::build_netlist(), None),
+        Self::build_with_library(kind, &CellLibrary::coldflux())
+    }
+
+    /// Builds a design with schedule planning priced against a specific
+    /// cell library: libraries with different DFF/splitter cost ratios can
+    /// legitimately pick different factoring and tree-shaping schedules
+    /// (compare [`EncoderDesign::schedule_plan`] across libraries).
+    ///
+    /// # Panics
+    /// Panics if the pipeline breaks functional equivalence.
+    #[must_use]
+    pub fn build_with_library(kind: EncoderKind, library: &CellLibrary) -> Self {
+        let code = reference_code(kind);
+        let (netlist, synthesis_report, schedule_plan) = match &code {
+            ReferenceCode::None(_) => (no_encoder::build_netlist(), None, None),
             _ => {
-                let result = PassManager::standard(kind.pipeline_options())
+                let planner = SynthPlanner::new(kind.pipeline_options(), library);
+                let plan = planner.plan(code.generator());
+                let result = PassManager::with_schedule(kind.pipeline_options(), plan.chosen)
                     .with_netlist_verifier(equivalence::verifier(EquivalenceConfig::quick()))
                     .run(&kind.netlist_name(), code.generator())
                     .unwrap_or_else(|e| {
                         panic!("synthesis pipeline failed for {}: {e}", kind.name())
                     });
-                (result.netlist, Some(result.report))
+                (result.netlist, Some(result.report), Some(plan))
             }
         };
         let latency = netlist.logic_depth();
@@ -286,6 +352,7 @@ impl EncoderDesign {
             code,
             latency,
             synthesis_report,
+            schedule_plan,
         }
     }
 
@@ -298,6 +365,23 @@ impl EncoderDesign {
 
     /// Builds every member of [`EncoderKind::catalog`], including the
     /// synthesized SEC-DED family.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use encoders::{EncoderDesign, EncoderKind};
+    ///
+    /// let catalog = EncoderDesign::build_catalog();
+    /// assert_eq!(catalog.len(), EncoderKind::catalog().len());
+    /// // Every coded member was synthesized by the cost-driven pipeline
+    /// // and carries its schedule plan; the uncoded baseline has no logic.
+    /// for design in &catalog {
+    ///     assert_eq!(
+    ///         design.schedule_plan().is_some(),
+    ///         design.kind() != EncoderKind::None,
+    ///     );
+    /// }
+    /// ```
     #[must_use]
     pub fn build_catalog() -> Vec<EncoderDesign> {
         EncoderKind::catalog()
@@ -330,6 +414,21 @@ impl EncoderDesign {
     #[must_use]
     pub fn synthesis_report(&self) -> Option<&PipelineReport> {
         self.synthesis_report.as_ref()
+    }
+
+    /// The schedule-planning outcome behind this design: every priced
+    /// [`Schedule`](sfq_netlist::pass::Schedule) candidate and the winner
+    /// the pipeline ran (`None` for the uncoded baseline).
+    #[must_use]
+    pub fn schedule_plan(&self) -> Option<&SchedulePlan> {
+        self.schedule_plan.as_ref()
+    }
+
+    /// The `depth_slack` latency/area Pareto sweep of this design (see
+    /// [`EncoderKind::pareto_sweep`]).
+    #[must_use]
+    pub fn pareto_sweep(&self, library: &CellLibrary, max_slack: usize) -> Vec<ParetoPoint> {
+        self.kind.pareto_sweep(library, max_slack)
     }
 
     /// The generator matrix of the reference code.

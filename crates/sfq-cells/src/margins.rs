@@ -2,7 +2,8 @@
 //! fault model.
 //!
 //! SFQ circuits are designed to tolerate circuit-parameter deviations of
-//! ±20–30 % of nominal (references [12], [13] of the paper). A cell operates
+//! ±20–30 % of nominal (references \[12\], \[13\] of the paper). A cell
+//! operates
 //! correctly as long as every one of its parameters (junction critical
 //! currents, inductances, bias resistances) stays inside its critical margin;
 //! when a sampled deviation exceeds the margin the cell malfunctions — it

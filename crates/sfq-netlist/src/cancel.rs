@@ -1,0 +1,1447 @@
+//! Cancellation-aware XOR factoring (Boyar–Peralta style).
+//!
+//! [`GreedyFactoringPass`](crate::pass::GreedyFactoringPass) is
+//! *cancellation-free*: it only extracts a factor `a ⊕ b` where both `a` and
+//! `b` are literal terms of an equation, so every rewrite shrinks a term
+//! list by replacing two terms with one and no signal's support ever
+//! overlaps a sibling's. That restriction is what leaves the SEC-DED(72,64)
+//! encoder at 144 XOR against a ~120 structural lower bound: the best known
+//! straight-line programs for dense GF(2) parity systems *reuse* big shared
+//! sums and subtract the difference back out (`x ⊕ x = 0`), which a
+//! cancellation-free search can never express.
+//!
+//! [`CancellationFactoringPass`] lifts the restriction. It works on the
+//! *support* level (each signal's GF(2) footprint over the message bits,
+//! packed into a `u128` word) and greedily applies three rewrite families to
+//! the per-output term lists, all under the same depth budget as the Paar
+//! pass:
+//!
+//! * **free rewrites** — a subset of 2–4 terms whose supports XOR to the
+//!   support of an *existing* signal (or to zero) collapses onto that signal
+//!   at zero gate cost;
+//! * **pair factors** — the classic Paar move, generalized to match by
+//!   support rather than by signal identity;
+//! * **cancelling factors** — a new gate `v = x ⊕ y` built from any two
+//!   existing signals whose combined support equals the XOR of *three or
+//!   four* terms of one or more equations; each use replaces that subset
+//!   with the single signal `v`, which is exactly the Boyar–Peralta "use a
+//!   known sum and cancel the overlap" step.
+//!
+//! The search is a *bounded-distance* heuristic: rewrites look at subsets of
+//! at most [`MAX_SUBSET`] terms and constructor candidates at distance one
+//! gate, rather than solving the (NP-hard) minimum straight-line program.
+//! Candidate scoring is lazy — while plain pair sharing still pays well the
+//! pass behaves exactly like a support-level Paar and skips the subset
+//! enumeration entirely, so the expensive cancellation search only runs on
+//! the small residual systems where it matters.
+//!
+//! When no rewrite earns anything, the pass performs one **cost-neutral
+//! lowering step**: it combines the two shallowest terms of the largest
+//! depth-critical equation into an explicit factor. A term list of `s`
+//! signals needs `s − 1` joins no matter what, so the move is free — but it
+//! *materializes* a partial sum as a reusable signal, which is what lets a
+//! later rewrite express another equation as `big-shared-sum ⊕ small
+//! correction`. (This mirrors how Boyar–Peralta's algorithm only ever
+//! reasons about fully materialized signals.) Lowering is restricted to
+//! equations already at the maximum achievable depth, so the
+//! [`TreeBalancePass`](crate::pass::TreeBalancePass) pad-elision shaping of
+//! the shallower equations is untouched.
+//!
+//! Every rewrite is re-verified by the pass manager through
+//! [`ParityIr::verify_against`], whose support expansion is exact XOR and
+//! therefore models cancellation faithfully; the catalog additionally
+//! gate-level-simulates every synthesized netlist against its reference
+//! code.
+
+use crate::ir::{ParityIr, SignalId};
+use crate::pass::{Pass, PassError, SynthUnit};
+use std::collections::HashMap;
+
+/// Largest term subset a cancellation rewrite may replace at once.
+///
+/// Subsets of two are ordinary sharing, three and four are the cancelling
+/// rewrites. Five and beyond cost `O(|terms|^5)` to enumerate and almost
+/// never survive the depth budget; bounding the distance here is what keeps
+/// the pass polynomial and fast.
+pub const MAX_SUBSET: usize = 4;
+
+/// Term lists longer than this skip the 3/4-subset enumeration (pairs are
+/// always scored). Long lists appear only in the early dense phase, where no
+/// useful constructor signals exist yet anyway; bounding the enumeration
+/// keeps the pass near the Paar pass's cost on wide codes.
+pub const SUBSET_DEC_CAP: usize = 18;
+
+/// Term lists longer than this skip the 4-subset enumeration (cubic vs
+/// quartic growth — quads are the most expensive and rarest rewrites).
+pub const QUAD_DEC_CAP: usize = 12;
+
+/// How many top rectangle candidates get a full mask-level rollout before
+/// one is chosen (see `best_rectangle`).
+pub const RECT_ROLLOUT_WIDTH: usize = 8;
+
+/// Total corrections a rectangle may spend (see `best_rectangle`): elements
+/// missing from this many taker term lists in total may still join the
+/// shared sum, with the missing targets toggling the element back in.
+pub const CORRECTION_CAP: i64 = 2;
+
+/// At a full stall, at most this many subset supports get the O(|signals|)
+/// companion scan (ranked by potential gain) — the scan is the pass's most
+/// expensive tier and its candidates are rare, so a bounded sweep keeps the
+/// worst-case cost linear in the signal count.
+pub const COMPANION_SCAN_CAP: usize = 64;
+
+/// One subset occurrence behind a candidate support: which output it is in,
+/// the `Σ 2^depth` its terms contribute (for O(1) feasibility checks), and
+/// the joins saved by replacing it with a single signal.
+#[derive(Debug, Clone, Copy)]
+struct SubsetUse {
+    output: usize,
+    removed: u128,
+    gain: i64,
+}
+
+/// Widest message word the pass supports: supports are packed into `u128`.
+/// Wider codes fall back to the cancellation-free pipeline (the pass
+/// becomes a no-op and says so in its report).
+pub const MAX_SUPPORT_BITS: usize = 128;
+
+/// Cancellation-aware factoring pass; drop-in replacement for
+/// [`GreedyFactoringPass`](crate::pass::GreedyFactoringPass) in the
+/// pipeline's factoring slot (selected by
+/// [`Schedule`](crate::pass::Schedule)).
+pub struct CancellationFactoringPass;
+
+impl Pass for CancellationFactoringPass {
+    fn name(&self) -> &'static str {
+        "factor-cancellation"
+    }
+
+    fn run(&self, unit: &mut SynthUnit) -> Result<String, PassError> {
+        if !unit.options.factoring {
+            return Ok("disabled by options".to_string());
+        }
+        if unit.ir.k() > MAX_SUPPORT_BITS {
+            return Ok(format!(
+                "skipped: k = {} exceeds the {MAX_SUPPORT_BITS}-bit support word",
+                unit.ir.k()
+            ));
+        }
+        let budget = unit.ir.depth_budget() + unit.options.depth_slack;
+        let outcome = factor_with_cancellation(&mut unit.ir, budget);
+        Ok(format!(
+            "{} factors ({} cancelling), {} free rewrites, {} dead factors pruned (depth budget {budget})",
+            outcome.gates, outcome.cancelling, outcome.free_rewrites, outcome.pruned
+        ))
+    }
+}
+
+/// What [`factor_with_cancellation`] did, for the pass report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CancellationOutcome {
+    /// Factors created (shared pairs and cancelling sums).
+    pub gates: usize,
+    /// Factors whose operands overlap in support (true cancellation).
+    pub cancelling: usize,
+    /// Rewrites that used an existing signal at zero gate cost.
+    pub free_rewrites: usize,
+    /// Dead factors removed by the final liveness sweep.
+    pub pruned: usize,
+}
+
+/// Runs the bounded-distance cancellation-aware factoring over the IR's
+/// term lists in place.
+///
+/// The search is a *portfolio of two deterministic arrangements*: one takes
+/// every rectangle tie lexicographically, the other arbitrates ties with a
+/// mask-level greedy rollout (see `best_rectangle`). Neither dominates —
+/// the rollout wins on the narrow SEC-DED members, the lexicographic
+/// arrangement on the widest — so both run and the cheaper program is
+/// kept (ties go to the lexicographic arrangement).
+///
+/// Results for factor-free input IRs are memoized process-wide: the search
+/// is deterministic in `(term lists, budget)`, and the same catalog
+/// generators are synthesized many times per process (schedule planning
+/// prices this pass before the pipeline runs it, and test suites rebuild
+/// the catalog per module), so repeat calls are clone-cheap.
+///
+/// # Panics
+/// Panics if `ir.k()` exceeds [`MAX_SUPPORT_BITS`] (the pass wrapper guards
+/// this and skips instead).
+pub fn factor_with_cancellation(ir: &mut ParityIr, budget: usize) -> CancellationOutcome {
+    use std::sync::{Mutex, OnceLock};
+    type CacheKey = (usize, Vec<u128>, usize);
+    static CACHE: OnceLock<Mutex<HashMap<CacheKey, (ParityIr, CancellationOutcome)>>> =
+        OnceLock::new();
+
+    let key = ir.factors().is_empty().then(|| {
+        let columns: Vec<u128> = (0..ir.num_outputs())
+            .map(|j| {
+                ir.output_terms(j)
+                    .iter()
+                    .map(|&t| 1u128 << t)
+                    .fold(0, |acc, bit| acc | bit)
+            })
+            .collect();
+        (ir.k(), columns, budget)
+    });
+    if let Some(key) = &key {
+        let cache = CACHE
+            .get_or_init(Mutex::default)
+            .lock()
+            .expect("cache lock");
+        if let Some((cached, outcome)) = cache.get(key) {
+            *ir = cached.clone();
+            return *outcome;
+        }
+    }
+    let mut best: Option<(ParityIr, CancellationOutcome)> = None;
+    for rollout_ties in [false, true] {
+        let mut candidate = ir.clone();
+        let outcome = factor_arrangement(&mut candidate, budget, rollout_ties);
+        if best
+            .as_ref()
+            .is_none_or(|(b, _)| candidate.xor_count() < b.xor_count())
+        {
+            best = Some((candidate, outcome));
+        }
+    }
+    let (winner, outcome) = best.expect("both arrangements ran");
+    *ir = winner;
+    if let Some(key) = key {
+        CACHE
+            .get_or_init(Mutex::default)
+            .lock()
+            .expect("cache lock")
+            .insert(key, (ir.clone(), outcome));
+    }
+    outcome
+}
+
+/// One deterministic arrangement of the factoring search (see
+/// [`factor_with_cancellation`]).
+fn factor_arrangement(ir: &mut ParityIr, budget: usize, rollout_ties: bool) -> CancellationOutcome {
+    let mut state = State::new(ir, budget, rollout_ties);
+    // Safety valve: every step strictly shrinks the term lists or adds a
+    // distinct new support, both of which are bounded; the cap only guards
+    // against a future broken edit looping forever.
+    let max_steps = 4 * state.decs.iter().map(Vec::len).sum::<usize>() + 64;
+    for _ in 0..max_steps {
+        if !state.step() {
+            break;
+        }
+    }
+    for (j, dec) in state.decs.iter().enumerate() {
+        state.ir.set_output_terms(j, dec.clone());
+    }
+    state.outcome.pruned = state.ir.retain_live_factors();
+    state.outcome
+}
+
+/// A scored candidate gate: its support, how to build it, and what it earns.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    support: u128,
+    /// Constructor operands (existing signals).
+    ctor: (SignalId, SignalId),
+    /// Depth the new gate would have.
+    depth: usize,
+    /// Net gates saved if applied (uses weighted by subset size, minus the
+    /// one gate the candidate costs).
+    net: i64,
+    /// Occurrence-frequency of the constructor operands across all term
+    /// lists — the Paar pass's secondary criterion: among equal-net
+    /// candidates, committing the *rare* signals first keeps the widely
+    /// shared ones available for later, larger extractions.
+    freq: usize,
+}
+
+struct State<'a> {
+    ir: &'a mut ParityIr,
+    budget: usize,
+    /// Support word per signal.
+    supports: Vec<u128>,
+    /// First signal carrying each support (later duplicates are only created
+    /// when they are strictly shallower).
+    by_support: HashMap<u128, SignalId>,
+    /// Current term list per output, sorted ascending.
+    decs: Vec<Vec<SignalId>>,
+    /// `Σ 2^depth(term)` per output — `achievable_depth ≤ budget` is exactly
+    /// `sum ≤ 2^budget`, so feasibility checks are O(1).
+    sums: Vec<u128>,
+    /// Supports whose candidate gate was created but applied nowhere (a
+    /// scoring/apply disagreement); never re-proposed.
+    banned: std::collections::HashSet<u128>,
+    /// Incrementally maintained constructor index: every support reachable
+    /// as the XOR of two existing canonical signals, with its shallowest
+    /// (then smallest) constructor pair. Kept up to date by
+    /// `register_pairs_of` so stall-time scoring never rescans all pairs.
+    reachable: HashMap<u128, (SignalId, SignalId, usize)>,
+    /// Whether rectangle ties are arbitrated by the mask-level rollout.
+    rollout_ties: bool,
+    /// Consecutive full stalls whose companion scan found nothing, and the
+    /// number of full stalls seen — used to back the expensive scan off.
+    companion_dry: (u32, u32),
+    outcome: CancellationOutcome,
+}
+
+impl<'a> State<'a> {
+    fn new(ir: &'a mut ParityIr, budget: usize, rollout_ties: bool) -> Self {
+        assert!(ir.k() <= MAX_SUPPORT_BITS, "support word too narrow");
+        let supports: Vec<u128> = ir
+            .supports()
+            .iter()
+            .map(|s| {
+                let mut word = 0u128;
+                for i in 0..s.len() {
+                    if s.get(i) {
+                        word |= 1 << i;
+                    }
+                }
+                word
+            })
+            .collect();
+        let mut by_support = HashMap::with_capacity(supports.len() * 2);
+        for (id, &s) in supports.iter().enumerate() {
+            by_support.entry(s).or_insert(id);
+        }
+        let decs: Vec<Vec<SignalId>> = (0..ir.num_outputs())
+            .map(|j| ir.output_terms(j).to_vec())
+            .collect();
+        let sums = decs
+            .iter()
+            .map(|dec| dec.iter().map(|&t| 1u128 << ir.depth(t)).sum())
+            .collect();
+        let mut state = State {
+            ir,
+            budget,
+            supports,
+            by_support,
+            decs,
+            sums,
+            banned: std::collections::HashSet::new(),
+            reachable: HashMap::new(),
+            rollout_ties,
+            companion_dry: (0, 0),
+            outcome: CancellationOutcome::default(),
+        };
+        for v in 0..state.supports.len() {
+            state.register_pairs_of(v);
+        }
+        state
+    }
+
+    fn depth_bit(&self, signal: SignalId) -> u128 {
+        1u128 << self.ir.depth(signal)
+    }
+
+    /// Toggles `signal` in output `j`'s term list (XOR-set semantics: adding
+    /// a signal that is already present removes it, because `x ⊕ x = 0`).
+    fn toggle(&mut self, j: usize, signal: SignalId) {
+        let bit = self.depth_bit(signal);
+        match self.decs[j].binary_search(&signal) {
+            Ok(pos) => {
+                self.decs[j].remove(pos);
+                self.sums[j] -= bit;
+            }
+            Err(pos) => {
+                self.decs[j].insert(pos, signal);
+                self.sums[j] += bit;
+            }
+        }
+    }
+
+    /// Would replacing `subset` of output `j` by one signal of depth
+    /// `depth` keep the output within the depth budget? (Conservative when
+    /// the replacement is already a term — the toggle then removes it and
+    /// the true sum is lower still.)
+    fn feasible(&self, j: usize, subset: &[SignalId], depth: usize) -> bool {
+        let removed: u128 = subset.iter().map(|&t| self.depth_bit(t)).sum();
+        self.sums[j] - removed + (1u128 << depth) <= 1u128 << self.budget
+    }
+
+    /// Removing `subset` outright (a zero-sum collapse) is always feasible;
+    /// this mirrors [`State::feasible`] for the `support == 0` case.
+    fn apply_collapse(&mut self, j: usize, subset: &[SignalId]) {
+        for &t in subset {
+            self.toggle(j, t);
+        }
+        assert!(!self.decs[j].is_empty(), "output {j} lost all terms");
+    }
+
+    /// Creates (or reuses) the gate for `candidate` and rewrites every
+    /// matching subset in every output. Returns the number of terms saved.
+    fn apply_candidate(&mut self, candidate: Candidate) -> usize {
+        let (a, b) = candidate.ctor;
+        let v = self.get_or_create_gate(a, b);
+        let mut saved = 0;
+        for j in 0..self.decs.len() {
+            saved += self.rewrite_with(j, v);
+        }
+        saved
+    }
+
+    /// Applies every feasible rewrite of output `j` that replaces a subset
+    /// XOR-ing to `v`'s support by `v` itself, then every companion rewrite
+    /// (subset → `{v, w}` with `w` existing). Returns the number of terms
+    /// saved.
+    fn rewrite_with(&mut self, j: usize, v: SignalId) -> usize {
+        let target = self.supports[v];
+        let vdepth = self.ir.depth(v);
+        let mut saved = 0;
+        while let Some(subset) = self.find_subset(j, target, Some(v)) {
+            if !self.feasible(j, &subset, vdepth) {
+                break;
+            }
+            let before = self.decs[j].len();
+            for &t in &subset {
+                self.toggle(j, t);
+            }
+            self.toggle(j, v);
+            assert!(!self.decs[j].is_empty(), "output {j} lost all terms");
+            saved += before - self.decs[j].len();
+        }
+        while let Some((subset, w)) = self.find_companion_subset(j, v) {
+            let before = self.decs[j].len();
+            for &t in &subset {
+                self.toggle(j, t);
+            }
+            self.toggle(j, v);
+            self.toggle(j, w);
+            assert!(!self.decs[j].is_empty(), "output {j} lost all terms");
+            saved += before - self.decs[j].len();
+        }
+        saved
+    }
+
+    /// First 3/4-term subset `U` of output `j` with `⊕U = supp(v) ⊕
+    /// supp(w)` for some existing signal `w ∉ U` (depth-feasibly), in
+    /// deterministic order.
+    fn find_companion_subset(&self, j: usize, v: SignalId) -> Option<(Vec<SignalId>, SignalId)> {
+        if self.decs[j].len() > SUBSET_DEC_CAP {
+            return None;
+        }
+        let target = self.supports[v];
+        let vdepth = self.ir.depth(v);
+        let dec: Vec<SignalId> = self.decs[j].iter().copied().filter(|&t| t != v).collect();
+        let n = dec.len();
+        let check = |subset: &[SignalId], xor: u128| -> Option<(Vec<SignalId>, SignalId)> {
+            let w = *self.by_support.get(&(xor ^ target))?;
+            if w == v || subset.contains(&w) {
+                return None;
+            }
+            let removed: u128 = subset.iter().map(|&t| self.depth_bit(t)).sum();
+            let added = (1u128 << vdepth) + self.depth_bit(w);
+            if self.sums[j] - removed + added <= 1u128 << self.budget {
+                Some((subset.to_vec(), w))
+            } else {
+                None
+            }
+        };
+        for x in 0..n {
+            let sx = self.supports[dec[x]];
+            for y in (x + 1)..n {
+                let sxy = sx ^ self.supports[dec[y]];
+                for z in (y + 1)..n {
+                    let sxyz = sxy ^ self.supports[dec[z]];
+                    if let Some(found) = check(&[dec[x], dec[y], dec[z]], sxyz) {
+                        return Some(found);
+                    }
+                    if MAX_SUBSET < 4 {
+                        continue;
+                    }
+                    for &du in &dec[z + 1..] {
+                        let s4 = sxyz ^ self.supports[du];
+                        if let Some(found) = check(&[dec[x], dec[y], dec[z], du], s4) {
+                            return Some(found);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// First subset of 2..=[`MAX_SUBSET`] terms of output `j` (excluding
+    /// `skip`) whose supports XOR to `target`, in deterministic index order.
+    fn find_subset(&self, j: usize, target: u128, skip: Option<SignalId>) -> Option<Vec<SignalId>> {
+        let dec: Vec<SignalId> = self.decs[j]
+            .iter()
+            .copied()
+            .filter(|&t| Some(t) != skip)
+            .collect();
+        let n = dec.len();
+        for x in 0..n {
+            let sx = self.supports[dec[x]];
+            for y in (x + 1)..n {
+                if sx ^ self.supports[dec[y]] == target {
+                    return Some(vec![dec[x], dec[y]]);
+                }
+            }
+        }
+        for x in 0..n {
+            let sx = self.supports[dec[x]];
+            for y in (x + 1)..n {
+                let sxy = sx ^ self.supports[dec[y]];
+                for z in (y + 1)..n {
+                    if sxy ^ self.supports[dec[z]] == target {
+                        return Some(vec![dec[x], dec[y], dec[z]]);
+                    }
+                }
+            }
+        }
+        if MAX_SUBSET >= 4 {
+            for x in 0..n {
+                let sx = self.supports[dec[x]];
+                for y in (x + 1)..n {
+                    let sxy = sx ^ self.supports[dec[y]];
+                    for z in (y + 1)..n {
+                        let sxyz = sxy ^ self.supports[dec[z]];
+                        for w in (z + 1)..n {
+                            if sxyz ^ self.supports[dec[w]] == target {
+                                return Some(vec![dec[x], dec[y], dec[z], dec[w]]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Finds the best *rectangle*: a target subset `J` (as a bit mask over
+    /// outputs) and the set `I` of signals currently appearing in every term
+    /// list of `J`. Replacing `I` by its one shared sum in all of `J` saves
+    /// `(|I| − 1) · (|J| − 1)` gates — the `|I| > 2` generalization of the
+    /// Paar pair that pair-greedy fragments. With at most `2^outputs` target
+    /// subsets the mining is exact over `J` (outputs beyond 16 are not
+    /// enumerated; real parity systems have ≤ a dozen dense rows).
+    fn best_rectangle(&self) -> Option<(Vec<usize>, Vec<SignalId>, i64)> {
+        let dense: Vec<usize> = (0..self.decs.len())
+            .filter(|&j| self.decs[j].len() >= 2)
+            .collect();
+        if dense.len() < 2 || dense.len() > 16 {
+            return None;
+        }
+        // Participation mask of every signal over the dense outputs.
+        let mut masks: HashMap<SignalId, u32> = HashMap::new();
+        for (bit, &j) in dense.iter().enumerate() {
+            for &t in &self.decs[j] {
+                *masks.entry(t).or_insert(0) |= 1 << bit;
+            }
+        }
+        // Depth of a balanced fold of `count` leaves no deeper than
+        // `max_leaf`, as a `2^depth` capacity bit.
+        let fold_depth_bit = |count: usize, max_leaf: u128| -> u128 {
+            let mut bit = max_leaf.max(1);
+            let mut n = count;
+            while n > 1 {
+                bit <<= 1;
+                n = n.div_ceil(2);
+            }
+            bit
+        };
+        let cap = 1u128 << self.budget;
+        let mut candidates: Vec<(i64, u32, Vec<SignalId>, Vec<usize>)> = Vec::new();
+        for subset in 3u32..(1 << dense.len()) {
+            let width = i64::from(subset.count_ones());
+            if width < 2 {
+                continue;
+            }
+            // Majority inclusion with a bounded correction budget: an
+            // element in `c` of the `width` targets contributes
+            // `2c − width − 1` to the saving — it is removed from `c` term
+            // lists and toggled back in as a *correction* in the `width − c`
+            // others, which is sound because `x ⊕ x = 0`. Exact rectangles
+            // are the `c = width` special case. Corrections are capped
+            // ([`CORRECTION_CAP`]): an unbounded majority sum saves more in
+            // one step but scrambles the residual system so badly that the
+            // later exact extractions lose more than it gained.
+            let mut partial: Vec<(i64, SignalId)> = Vec::new();
+            let mut members: Vec<SignalId> = Vec::new();
+            let mut saving = -(width - 1);
+            for (&t, &mask) in &masks {
+                let c = i64::from((mask & subset).count_ones());
+                if c == width {
+                    members.push(t);
+                    saving += width - 1;
+                } else if 2 * c > width + 1 {
+                    partial.push((width - c, t));
+                }
+            }
+            partial.sort_unstable();
+            let mut correction_budget = CORRECTION_CAP;
+            for &(corrections, t) in &partial {
+                if corrections > correction_budget {
+                    break;
+                }
+                correction_budget -= corrections;
+                members.push(t);
+                saving += width - 2 * corrections - 1;
+            }
+            if members.len() < 2 || saving < 1 {
+                continue;
+            }
+            members.sort_unstable();
+            let max_leaf = members
+                .iter()
+                .map(|&t| self.depth_bit(t))
+                .max()
+                .unwrap_or(1);
+            let added = fold_depth_bit(members.len(), max_leaf);
+            // Every target of the subset must stay within its depth budget:
+            // members it holds leave its tree, corrections and the shared
+            // sum enter it.
+            let takers: Vec<usize> = dense
+                .iter()
+                .enumerate()
+                .filter(|&(bit, _)| subset & (1 << bit) != 0)
+                .map(|(_, &j)| j)
+                .collect();
+            let all_feasible = takers.iter().all(|&j| {
+                let mut sum = self.sums[j] + added;
+                for &t in &members {
+                    let bit = self.depth_bit(t);
+                    if self.decs[j].binary_search(&t).is_ok() {
+                        sum -= bit;
+                    } else {
+                        sum += bit;
+                    }
+                }
+                sum <= cap
+            });
+            if !all_feasible {
+                continue;
+            }
+            // Deterministic collection: candidates carry their myopic
+            // saving; the cascade-aware selection happens below.
+            candidates.push((saving, subset, members, takers));
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        // Deterministic ranking: saving, then the wider member set, then the
+        // lexicographically smallest member list.
+        candidates.sort_by(|a, b| {
+            (b.0, b.2.len(), std::cmp::Reverse(&b.2)).cmp(&(
+                a.0,
+                a.2.len(),
+                std::cmp::Reverse(&a.2),
+            ))
+        });
+        if !self.rollout_ties {
+            let (saving, _, members, takers) = candidates.swap_remove(0);
+            return Some((takers, members, saving));
+        }
+        // Greedy-by-saving alone can walk into cascade traps: a merged
+        // two-target rectangle may "steal" elements that a wider rectangle
+        // would have shared with a third target, losing more later than the
+        // merge gains now. In the tie-arbitrating arrangement, candidates
+        // tied on myopic saving are ranked by rolling the mask-level greedy
+        // out to exhaustion — the best *cascade* wins, not the best step.
+        // (The rollout ignores the pair tier and depth, so it only
+        // arbitrates decisions the myopic score cannot.)
+        let top_saving = candidates[0].0;
+        candidates.retain(|c| c.0 == top_saving);
+        candidates.truncate(RECT_ROLLOUT_WIDTH);
+        let outputs = dense.len() as u32;
+        let mut best: Option<(i64, usize)> = None;
+        for (idx, (saving, subset, members, _)) in candidates.iter().enumerate() {
+            let score = if candidates.len() == 1 {
+                *saving
+            } else {
+                let mut after: Vec<u32> = Vec::with_capacity(masks.len() + 1);
+                for (&t, &mask) in &masks {
+                    let mask = if members.binary_search(&t).is_ok() {
+                        mask ^ subset
+                    } else {
+                        mask
+                    };
+                    if mask != 0 {
+                        after.push(mask);
+                    }
+                }
+                after.push(*subset);
+                saving + rollout_saving(after, outputs)
+            };
+            if best.is_none_or(|(bs, _)| score > bs) {
+                best = Some((score, idx));
+            }
+        }
+        let (_, idx) = best.expect("candidates is non-empty");
+        let (saving, _, members, takers) = candidates.swap_remove(idx);
+        Some((takers, members, saving))
+    }
+
+    /// Extracts a rectangle found by [`State::best_rectangle`]: folds the
+    /// member signals into one balanced shared sum (reusing existing gates
+    /// where supports match) and substitutes it into every taker output.
+    fn extract_rectangle(&mut self, takers: &[usize], members: &[SignalId]) {
+        // Huffman fold: always combine within the two shallowest depth
+        // classes (depth-optimal, so the feasibility pre-check holds).
+        // Among admissible pairs prefer one whose gate already exists (free
+        // cross-rectangle sharing), then the smallest ids.
+        let mut pool: Vec<SignalId> = members.to_vec();
+        while pool.len() > 1 {
+            pool.sort_by_key(|&t| (self.ir.depth(t), t));
+            let (d1, d2) = (self.ir.depth(pool[0]), self.ir.depth(pool[1]));
+            let admissible = |s: &Self, x: SignalId, y: SignalId| {
+                let mut d = [s.ir.depth(x), s.ir.depth(y)];
+                d.sort_unstable();
+                d == [d1, d2]
+            };
+            let mut chosen = (pool[0], pool[1]);
+            'search: for (xi, &x) in pool.iter().enumerate() {
+                for &y in &pool[xi + 1..] {
+                    if !admissible(self, x, y) {
+                        continue;
+                    }
+                    let support = self.supports[x] ^ self.supports[y];
+                    if self
+                        .by_support
+                        .get(&support)
+                        .is_some_and(|&w| self.ir.depth(w) <= d2 + 1)
+                    {
+                        chosen = (x, y);
+                        break 'search;
+                    }
+                }
+            }
+            pool.retain(|&t| t != chosen.0 && t != chosen.1);
+            if self.supports[chosen.0] == self.supports[chosen.1] {
+                continue; // equal supports cancel outright
+            }
+            let joined = self.get_or_create_gate(chosen.0, chosen.1);
+            if let Some(pos) = pool.iter().position(|&t| t == joined) {
+                pool.remove(pos); // joined ⊕ joined = 0
+            } else {
+                pool.push(joined);
+            }
+        }
+        let sum = pool.first().copied();
+        for &j in takers {
+            for &t in members {
+                self.toggle(j, t);
+            }
+            if let Some(sum) = sum {
+                self.toggle(j, sum);
+            }
+            assert!(!self.decs[j].is_empty(), "output {j} lost all terms");
+        }
+    }
+
+    /// Returns the signal `a ⊕ b`, reusing an existing equal-support signal
+    /// when it is no deeper than a fresh gate would be.
+    fn get_or_create_gate(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let support = self.supports[a] ^ self.supports[b];
+        let depth = self.ir.depth(a).max(self.ir.depth(b)) + 1;
+        if let Some(&w) = self.by_support.get(&support) {
+            if self.ir.depth(w) <= depth {
+                return w;
+            }
+        }
+        let v = self.ir.add_factor(a, b);
+        self.supports.push(support);
+        self.by_support.entry(support).or_insert(v);
+        self.outcome.gates += 1;
+        if self.supports[a] & self.supports[b] != 0 {
+            self.outcome.cancelling += 1;
+        }
+        self.register_pairs_of(v);
+        v
+    }
+
+    /// Extends the incremental constructor index with every pair formed by
+    /// `v` and an existing canonical signal (see `State::reachable`).
+    fn register_pairs_of(&mut self, v: SignalId) {
+        let sv = self.supports[v];
+        let dv = self.ir.depth(v);
+        for x in 0..self.supports.len() {
+            if x == v {
+                continue;
+            }
+            let sx = self.supports[x];
+            if self.by_support.get(&sx) != Some(&x) {
+                continue;
+            }
+            let s = sv ^ sx;
+            if s == 0 {
+                continue;
+            }
+            let depth = dv.max(self.ir.depth(x)) + 1;
+            let pair = (v.min(x), v.max(x));
+            match self.reachable.entry(s) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (ex, ey, ed) = *e.get();
+                    if (depth, pair) < (ed, (ex, ey)) {
+                        e.insert((pair.0, pair.1, depth));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((pair.0, pair.1, depth));
+                }
+            }
+        }
+    }
+
+    /// One greedy step. Returns `false` when no profitable rewrite remains.
+    fn step(&mut self) -> bool {
+        if self.apply_free_rewrites() {
+            return true;
+        }
+        let rectangle = self.best_rectangle();
+        let rect_saving = rectangle.as_ref().map_or(0, |(_, _, s)| *s);
+        let pair_cands = self.score_pairs();
+        let best_pair = best_candidate(&pair_cands);
+        // Rectangles first: a wide shared sum saves (|I|−1)(|J|−1) at once,
+        // and taking the pair tier first would fragment it.
+        if rect_saving >= 2 && rect_saving > best_pair.map_or(0, |c| c.net) {
+            let (takers, members, _) = rectangle.expect("saving implies a rectangle");
+            self.extract_rectangle(&takers, &members);
+            return true;
+        }
+        // Lazy staging: while plain support-level sharing still earns ≥ 2
+        // gates per step there is no point paying for subset enumeration —
+        // this keeps the dense early phase as cheap as the Paar pass.
+        if let Some(c) = best_pair {
+            if c.net >= 2 {
+                self.apply_candidate(c);
+                return true;
+            }
+        }
+        if rect_saving >= 1 {
+            let (takers, members, _) = rectangle.expect("saving implies a rectangle");
+            self.extract_rectangle(&takers, &members);
+            return true;
+        }
+        let subsets = self.subset_xors();
+        let subset_cands = self.score_subsets(&pair_cands, &subsets);
+        let best = match (best_pair, best_candidate(&subset_cands)) {
+            (Some(p), Some(s)) => Some(if better(&s, &p) { s } else { p }),
+            (p, s) => p.or(s),
+        };
+        if let Some(c) = best {
+            if c.net >= 1 {
+                self.apply_scored(c);
+                return true;
+            }
+        }
+        // Full stall: pay for the companion search — replace 3–4 terms by
+        // {new gate, existing signal}, the depth-feasible "shared sum ⊕
+        // correction" shape of Boyar–Peralta rewrites.
+        // The companion scan is the most expensive tier and its rewrites
+        // are rare; after two fruitless scans it backs off to every fourth
+        // full stall (lowering steps in between still feed it fresh
+        // materialized sums to cancel against).
+        self.companion_dry.1 += 1;
+        if self.companion_dry.0 < 2 || self.companion_dry.1.is_multiple_of(4) {
+            let companion_cands = self.score_companions(&subsets);
+            match best_candidate(&companion_cands) {
+                Some(c) if c.net >= 1 => {
+                    self.companion_dry.0 = 0;
+                    self.apply_scored(c);
+                    return true;
+                }
+                _ => self.companion_dry.0 += 1,
+            }
+        }
+        self.lower_one()
+    }
+
+    /// Applies a scored candidate; if the apply pass disagrees with the
+    /// scoring (no rewrite landed), bans the support so the candidate is
+    /// never re-proposed — the dead gate is cleaned up by the final
+    /// liveness sweep.
+    fn apply_scored(&mut self, candidate: Candidate) {
+        if self.apply_candidate(candidate) == 0 {
+            self.banned.insert(candidate.support);
+        }
+    }
+
+    /// Achievable depth of output `j` from its cached `Σ 2^depth`.
+    fn achievable(&self, j: usize) -> usize {
+        let mut depth = 0;
+        while (1u128 << depth) < self.sums[j] {
+            depth += 1;
+        }
+        depth
+    }
+
+    /// Cost-neutral lowering: combines the two shallowest terms of the
+    /// largest depth-critical term list into a factor (total gate count is
+    /// unchanged — the join was owed anyway — but the partial sum becomes a
+    /// signal later rewrites can cancel against). Returns `false` when every
+    /// depth-critical output is fully lowered, which ends the pass.
+    fn lower_one(&mut self) -> bool {
+        let max_depth = (0..self.decs.len())
+            .map(|j| self.achievable(j))
+            .max()
+            .unwrap_or(0);
+        let Some(j) = (0..self.decs.len())
+            .filter(|&j| self.decs[j].len() >= 2 && self.achievable(j) == max_depth)
+            .max_by_key(|&j| self.decs[j].len())
+        else {
+            return false;
+        };
+        // Two shallowest terms, smallest ids among equal depths (the term
+        // list is sorted by id, so a stable selection on depth suffices).
+        let mut terms: Vec<SignalId> = self.decs[j].clone();
+        terms.sort_by_key(|&t| (self.ir.depth(t), t));
+        let (a, b) = (terms[0].min(terms[1]), terms[0].max(terms[1]));
+        let depth = self.ir.depth(a).max(self.ir.depth(b)) + 1;
+        self.apply_candidate(Candidate {
+            support: self.supports[a] ^ self.supports[b],
+            ctor: (a, b),
+            depth,
+            net: 0,
+            freq: 0,
+        });
+        true
+    }
+
+    /// Collapses every subset that already equals an existing signal (or
+    /// zero) — pure wins that cost no gate. Returns whether any fired.
+    fn apply_free_rewrites(&mut self) -> bool {
+        let mut any = false;
+        for j in 0..self.decs.len() {
+            'rescan: loop {
+                let dec = &self.decs[j];
+                if dec.len() < 2 {
+                    break;
+                }
+                for x in 0..dec.len() {
+                    for y in (x + 1)..dec.len() {
+                        let (c, d) = (dec[x], dec[y]);
+                        let s = self.supports[c] ^ self.supports[d];
+                        if s == 0 {
+                            self.apply_collapse(j, &[c, d]);
+                            self.outcome.free_rewrites += 1;
+                            any = true;
+                            continue 'rescan;
+                        }
+                        if let Some(&w) = self.by_support.get(&s) {
+                            if w != c && w != d && self.feasible(j, &[c, d], self.ir.depth(w)) {
+                                // Replacement first: the collapse assert
+                                // must see the rewritten term list.
+                                self.toggle(j, w);
+                                self.apply_collapse(j, &[c, d]);
+                                self.outcome.free_rewrites += 1;
+                                any = true;
+                                continue 'rescan;
+                            }
+                        }
+                    }
+                }
+                // Larger free subsets only pay off (and stay affordable)
+                // once the term lists are short.
+                if dec.len() <= SUBSET_DEC_CAP {
+                    if let Some((subset, w)) = self.find_free_subset(j) {
+                        if let Some(w) = w {
+                            self.toggle(j, w);
+                        }
+                        self.apply_collapse(j, &subset);
+                        self.outcome.free_rewrites += 1;
+                        any = true;
+                        continue 'rescan;
+                    }
+                }
+                break;
+            }
+        }
+        any
+    }
+
+    /// A free subset of size 3..=[`MAX_SUBSET`]: XORs to zero, or to an
+    /// existing signal outside the subset within the depth budget.
+    fn find_free_subset(&self, j: usize) -> Option<(Vec<SignalId>, Option<SignalId>)> {
+        let dec = &self.decs[j];
+        let n = dec.len();
+        for x in 0..n {
+            let sx = self.supports[dec[x]];
+            for y in (x + 1)..n {
+                let sxy = sx ^ self.supports[dec[y]];
+                for z in (y + 1)..n {
+                    let sxyz = sxy ^ self.supports[dec[z]];
+                    let triple = [dec[x], dec[y], dec[z]];
+                    if sxyz == 0 {
+                        return Some((triple.to_vec(), None));
+                    }
+                    if let Some(&w) = self.by_support.get(&sxyz) {
+                        if !triple.contains(&w) && self.feasible(j, &triple, self.ir.depth(w)) {
+                            return Some((triple.to_vec(), Some(w)));
+                        }
+                    }
+                    if MAX_SUBSET < 4 || n > QUAD_DEC_CAP {
+                        continue;
+                    }
+                    for u in (z + 1)..n {
+                        let s4 = sxyz ^ self.supports[dec[u]];
+                        let quad = [dec[x], dec[y], dec[z], dec[u]];
+                        if s4 == 0 {
+                            return Some((quad.to_vec(), None));
+                        }
+                        if let Some(&w) = self.by_support.get(&s4) {
+                            if !quad.contains(&w) && self.feasible(j, &quad, self.ir.depth(w)) {
+                                return Some((quad.to_vec(), Some(w)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Occurrence count of every signal across all term lists (the Paar
+    /// pass's tie-break input).
+    fn frequencies(&self) -> HashMap<SignalId, usize> {
+        let mut freq: HashMap<SignalId, usize> = HashMap::new();
+        for dec in &self.decs {
+            if dec.len() < 2 {
+                continue;
+            }
+            for &t in dec {
+                *freq.entry(t).or_insert(0) += 1;
+            }
+        }
+        freq
+    }
+
+    /// Scores every support reachable as the XOR of a term *pair* of some
+    /// output: the generalized Paar candidates.
+    fn score_pairs(&self) -> HashMap<u128, Candidate> {
+        let freq = self.frequencies();
+        let mut cands: HashMap<u128, Candidate> = HashMap::new();
+        for j in 0..self.decs.len() {
+            let dec = &self.decs[j];
+            for x in 0..dec.len() {
+                let (c, sc) = (dec[x], self.supports[dec[x]]);
+                for &d in &dec[x + 1..] {
+                    let s = sc ^ self.supports[d];
+                    if s == 0 {
+                        continue; // duplicate supports collapse for free
+                    }
+                    let depth = self.ir.depth(c).max(self.ir.depth(d)) + 1;
+                    if let Some(&w) = self.by_support.get(&s) {
+                        // An existing signal covers this support; a new gate
+                        // only makes sense if it would be strictly
+                        // shallower (the free-rewrite sweep was infeasible).
+                        if self.ir.depth(w) <= depth {
+                            continue;
+                        }
+                    }
+                    if !self.feasible(j, &[c, d], depth) {
+                        continue;
+                    }
+                    let pair_freq = freq[&c] + freq[&d];
+                    cands
+                        .entry(s)
+                        .and_modify(|cand| {
+                            cand.net += 1;
+                            if (depth, pair_freq, (c, d)) < (cand.depth, cand.freq, cand.ctor) {
+                                cand.ctor = (c, d);
+                                cand.depth = depth;
+                                cand.freq = pair_freq;
+                            }
+                        })
+                        .or_insert(Candidate {
+                            support: s,
+                            ctor: (c, d),
+                            depth,
+                            net: 0, // first use pays for the gate itself
+                            freq: pair_freq,
+                        });
+                }
+            }
+        }
+        cands
+    }
+
+    /// XOR supports of every 3- and 4-term subset of the (short enough)
+    /// term lists, each with the occurrences that produced it, so scoring
+    /// can check depth feasibility per occurrence.
+    fn subset_xors(&self) -> HashMap<u128, Vec<SubsetUse>> {
+        let mut uses: HashMap<u128, Vec<SubsetUse>> = HashMap::new();
+        for (j, dec) in self.decs.iter().enumerate() {
+            let n = dec.len();
+            if n > SUBSET_DEC_CAP {
+                continue;
+            }
+            for x in 0..n {
+                let sx = self.supports[dec[x]];
+                let bx = self.depth_bit(dec[x]);
+                for y in (x + 1)..n {
+                    let sxy = sx ^ self.supports[dec[y]];
+                    let bxy = bx + self.depth_bit(dec[y]);
+                    for z in (y + 1)..n {
+                        let sxyz = sxy ^ self.supports[dec[z]];
+                        let bxyz = bxy + self.depth_bit(dec[z]);
+                        if sxyz != 0 && !self.by_support.contains_key(&sxyz) {
+                            // Replacing three terms by one saves two gates.
+                            uses.entry(sxyz).or_default().push(SubsetUse {
+                                output: j,
+                                removed: bxyz,
+                                gain: 2,
+                            });
+                        }
+                        if MAX_SUBSET < 4 || n > QUAD_DEC_CAP {
+                            continue;
+                        }
+                        for &du in &dec[z + 1..] {
+                            let s4 = sxyz ^ self.supports[du];
+                            if s4 != 0 && !self.by_support.contains_key(&s4) {
+                                uses.entry(s4).or_default().push(SubsetUse {
+                                    output: j,
+                                    removed: bxyz + self.depth_bit(du),
+                                    gain: 3,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        uses
+    }
+
+    /// Scores supports reachable as the XOR of 3..=[`MAX_SUBSET`] terms —
+    /// the direct cancelling candidates, constructible in one gate. Only
+    /// depth-feasible occurrences count toward a candidate's net gain.
+    fn score_subsets(
+        &self,
+        pair_cands: &HashMap<u128, Candidate>,
+        subsets: &HashMap<u128, Vec<SubsetUse>>,
+    ) -> HashMap<u128, Candidate> {
+        let cap = 1u128 << self.budget;
+        let mut cands: HashMap<u128, Candidate> = HashMap::new();
+        for (&support, occurrences) in subsets {
+            if self.banned.contains(&support) {
+                continue;
+            }
+            let extra = pair_cands.get(&support).map_or(0, |c| c.net + 1);
+            let Some(&(x, y, depth)) = self.reachable.get(&support) else {
+                continue;
+            };
+            let added = 1u128 << depth;
+            let gain: i64 = occurrences
+                .iter()
+                .filter(|o| self.sums[o.output] - o.removed + added <= cap)
+                .map(|o| o.gain)
+                .sum();
+            if gain == 0 {
+                continue;
+            }
+            cands.insert(
+                support,
+                Candidate {
+                    support,
+                    ctor: (x, y),
+                    depth,
+                    net: gain + extra - 1,
+                    freq: 0,
+                },
+            );
+        }
+        cands
+    }
+
+    /// Scores the companion rewrites: replace a 3/4-term subset `U` by the
+    /// *pair* `{v, w}` with `w` an existing signal and `v = ⊕U ⊕ supp(w)` a
+    /// new one-gate signal. This is the depth-feasible shape of "express
+    /// this equation as a shared sum plus a small correction": the shared
+    /// sum `w` enters as an ordinary term, so the output tree can still
+    /// combine it at its own depth instead of stacking a correction level
+    /// on top of the root.
+    fn score_companions(
+        &self,
+        subsets: &HashMap<u128, Vec<SubsetUse>>,
+    ) -> HashMap<u128, Candidate> {
+        let cap = 1u128 << self.budget;
+        let mut cands: HashMap<u128, Candidate> = HashMap::new();
+        // The signal scan below costs O(|signals|) per subset support, so
+        // only supports with depth headroom compete (the cheapest
+        // conceivable replacement adds a depth-1 gate plus a depth-0
+        // companion), and only the highest-potential few are scanned.
+        let mut ranked: Vec<(i64, u128, Vec<SubsetUse>)> = subsets
+            .iter()
+            .map(|(&subset_xor, occurrences)| {
+                let live: Vec<SubsetUse> = occurrences
+                    .iter()
+                    .filter(|o| self.sums[o.output] - o.removed + 3 <= cap)
+                    .copied()
+                    .collect();
+                let potential = live.iter().map(|o| o.gain - 1).sum::<i64>();
+                (potential, subset_xor, live)
+            })
+            .filter(|(potential, _, _)| *potential >= 1)
+            .collect();
+        ranked.sort_unstable_by(|a, b| (b.0, a.1).cmp(&(a.0, b.1)));
+        ranked.truncate(COMPANION_SCAN_CAP);
+        let canonical: Vec<(SignalId, u128)> = self
+            .supports
+            .iter()
+            .enumerate()
+            .filter(|&(w, &sw)| self.by_support.get(&sw) == Some(&w))
+            .map(|(w, &sw)| (w, sw))
+            .collect();
+        for (_, subset_xor, occurrences) in &ranked {
+            let subset_xor = *subset_xor;
+            for &(w, sw) in &canonical {
+                let support = subset_xor ^ sw;
+                if support == 0
+                    || self.by_support.contains_key(&support)
+                    || self.banned.contains(&support)
+                {
+                    continue;
+                }
+                let Some(&(x, y, depth)) = self.reachable.get(&support) else {
+                    continue;
+                };
+                let added = (1u128 << depth) + self.depth_bit(w);
+                // The pair replacement saves one join less per use than the
+                // one-signal replacement (2 per triple → 1, 3 per quad → 2).
+                let gain: i64 = occurrences
+                    .iter()
+                    .filter(|o| self.sums[o.output] - o.removed + added <= cap)
+                    .map(|o| o.gain - 1)
+                    .sum();
+                if gain == 0 {
+                    continue;
+                }
+                cands
+                    .entry(support)
+                    .and_modify(|cand| {
+                        if gain > cand.net + 1 {
+                            cand.net = gain - 1;
+                        }
+                    })
+                    .or_insert(Candidate {
+                        support,
+                        ctor: (x, y),
+                        depth,
+                        net: gain - 1,
+                        freq: 0,
+                    });
+            }
+        }
+        cands
+    }
+}
+
+/// One mask-level rectangle step: the best `(subset, member-masks, saving)`
+/// over a participation-mask multiset, ignoring depth (used by the
+/// lookahead rollout, where only the sharing cascade matters).
+fn mask_best(masks: &[u32], outputs: u32) -> Option<(u32, i64)> {
+    let mut best: Option<(u32, i64)> = None;
+    for subset in 3u32..(1u32 << outputs) {
+        let width = i64::from(subset.count_ones());
+        if width < 2 {
+            continue;
+        }
+        let mut saving = -(width - 1);
+        let mut count = 0usize;
+        for &mask in masks {
+            if mask & subset == subset {
+                saving += width - 1;
+                count += 1;
+            }
+        }
+        if count >= 2
+            && saving >= 1
+            && best.is_none_or(|(bs, bsv)| {
+                (saving, std::cmp::Reverse(subset)) > (bsv, std::cmp::Reverse(bs))
+            })
+        {
+            best = Some((subset, saving));
+        }
+    }
+    best
+}
+
+/// Total saving of greedily extracting mask-level rectangles to exhaustion,
+/// starting from `masks` — the rollout value of a candidate cascade.
+fn rollout_saving(mut masks: Vec<u32>, outputs: u32) -> i64 {
+    let mut total = 0i64;
+    for _ in 0..64 {
+        let Some((subset, saving)) = mask_best(&masks, outputs) else {
+            break;
+        };
+        total += saving;
+        for mask in masks.iter_mut() {
+            if *mask & subset == subset {
+                *mask ^= subset;
+            }
+        }
+        masks.push(subset);
+        masks.retain(|&m| m != 0);
+    }
+    total
+}
+
+/// `a` strictly better than `b`: more net gain, then rarer constructor
+/// signals (the Paar tie-break), then shallower, then the smallest support
+/// word (a total, deterministic order).
+fn better(a: &Candidate, b: &Candidate) -> bool {
+    use std::cmp::Reverse;
+    (a.net, Reverse(a.freq), Reverse(a.depth), Reverse(a.support))
+        > (b.net, Reverse(b.freq), Reverse(b.depth), Reverse(b.support))
+}
+
+/// Deterministic argmax over a candidate map (iteration order of the map
+/// does not matter because `better` is a total order).
+fn best_candidate(cands: &HashMap<u128, Candidate>) -> Option<Candidate> {
+    let mut best: Option<Candidate> = None;
+    for cand in cands.values() {
+        if best.as_ref().is_none_or(|b| better(cand, b)) {
+            best = Some(*cand);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2::BitMat;
+
+    /// A correction family engineered so the optimum requires
+    /// cancellation: the total sum `T = m1⊕…⊕m10`, six corrections
+    /// `T ⊕ m_i`, and the passthroughs. Computing each correction as a
+    /// standalone weight-9 parity is what cancellation-free factorings are
+    /// stuck with; reusing `T` and cancelling the overlap is far cheaper.
+    fn correction_family() -> BitMat {
+        let (k, corrections) = (10usize, 6usize);
+        let rows: Vec<String> = (0..k)
+            .map(|i| {
+                let mut row = String::from("1");
+                for j in 0..corrections {
+                    row.push(if i == j { '0' } else { '1' });
+                }
+                for j in 0..k {
+                    row.push(if i == j { '1' } else { '0' });
+                }
+                row
+            })
+            .collect();
+        let refs: Vec<&str> = rows.iter().map(String::as_str).collect();
+        BitMat::from_str_rows(&refs)
+    }
+
+    /// The cancellation-free Paar factoring of the same system under the
+    /// same depth budget — the baseline the cancellation pass must beat.
+    fn paar_xor_count(g: &BitMat, depth_slack: usize) -> usize {
+        let mut unit = SynthUnit {
+            name: "paar".to_string(),
+            generator: g.clone(),
+            options: crate::pass::PipelineOptions {
+                depth_slack,
+                ..Default::default()
+            },
+            schedule: crate::pass::Schedule::default(),
+            ir: ParityIr::from_generator(g),
+            plan: None,
+            netlist: None,
+        };
+        crate::pass::GreedyFactoringPass
+            .run(&mut unit)
+            .expect("paar is infallible");
+        unit.ir.xor_count()
+    }
+
+    #[test]
+    fn cancellation_beats_the_paar_bound_on_correction_structure() {
+        let g = correction_family();
+        // One stage of slack lets corrections ride one level above `T`'s
+        // own tree; the win over cancellation-free factoring is large.
+        let mut ir = ParityIr::from_generator(&g);
+        let budget = ir.depth_budget() + 1;
+        let outcome = factor_with_cancellation(&mut ir, budget);
+        assert!(ir.verify_against(&g).is_ok());
+        let paar = paar_xor_count(&g, 1);
+        assert!(
+            ir.xor_count() + 4 <= paar,
+            "cancellation {} vs paar {paar} (outcome {outcome:?})",
+            ir.xor_count()
+        );
+        assert!(outcome.cancelling > 0, "{outcome:?}");
+        assert!(ir.max_output_depth() <= budget);
+    }
+
+    #[test]
+    fn cancellation_wins_even_without_slack() {
+        let g = correction_family();
+        let mut ir = ParityIr::from_generator(&g);
+        let budget = ir.depth_budget();
+        let outcome = factor_with_cancellation(&mut ir, budget);
+        assert!(ir.verify_against(&g).is_ok());
+        assert!(ir.max_output_depth() <= budget);
+        let paar = paar_xor_count(&g, 0);
+        assert!(
+            ir.xor_count() < paar,
+            "cancellation {} vs paar {paar} (outcome {outcome:?})",
+            ir.xor_count()
+        );
+        assert!(outcome.cancelling > 0, "{outcome:?}");
+    }
+
+    #[test]
+    fn free_rewrites_collapse_zero_sum_subsets() {
+        // c3 = c1 ⊕ c2 term-wise: after c1 and c2 are rooted, c3's terms
+        // {m1,m2,m3,m4} should reuse their factors.
+        let g = BitMat::from_str_rows(&["1011", "1011", "0111", "0111"]);
+        let mut ir = ParityIr::from_generator(&g);
+        let budget = ir.depth_budget();
+        factor_with_cancellation(&mut ir, budget);
+        assert!(ir.verify_against(&g).is_ok());
+        // c1 = m1⊕m2 (1 gate), c2 = m3⊕m4 (1 gate), c3 = c1 ⊕ c2 (1 gate),
+        // and c4 = c3: 3 gates instead of the naive 1+1+3+3.
+        assert_eq!(ir.xor_count(), 3, "{}", ir.xor_count());
+    }
+
+    #[test]
+    fn respects_the_depth_budget() {
+        let g = correction_family();
+        for slack in 0..=2 {
+            let mut ir = ParityIr::from_generator(&g);
+            let budget = ir.depth_budget() + slack;
+            factor_with_cancellation(&mut ir, budget);
+            assert!(ir.verify_against(&g).is_ok());
+            assert!(
+                ir.max_output_depth() <= budget,
+                "slack {slack}: depth {} > budget {budget}",
+                ir.max_output_depth()
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_schedule_runs_the_cancellation_pass() {
+        use crate::pass::{PassManager, PipelineOptions, Schedule};
+        let g = BitMat::from_str_rows(&["1100", "0110", "0011", "1001"]);
+        let result =
+            PassManager::with_schedule(PipelineOptions::default(), Schedule::cancellation())
+                .run("wrap", &g)
+                .expect("pipeline runs");
+        assert_eq!(result.report.schedule, Schedule::cancellation());
+        assert!(result
+            .report
+            .passes
+            .iter()
+            .any(|p| p.pass == "factor-cancellation"));
+    }
+
+    #[test]
+    fn rectangle_mining_matches_hand_counted_secded_structure() {
+        // SEC-DED(13,8): the pass must beat the cancellation-free Paar
+        // result (15 XOR) by finding the shared rectangle structure; the
+        // exact value is pinned by the golden cost fingerprints at the
+        // workspace root, this test only guards the relative claim.
+        use ecc::BlockCode;
+        let code = ecc::SecDed::new(3);
+        let mut ir = ParityIr::from_generator(code.generator());
+        let budget = ir.depth_budget();
+        factor_with_cancellation(&mut ir, budget);
+        assert!(ir.verify_against(code.generator()).is_ok());
+        assert!(ir.xor_count() < 15, "{}", ir.xor_count());
+        assert!(ir.max_output_depth() <= budget);
+    }
+}

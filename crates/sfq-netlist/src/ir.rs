@@ -6,18 +6,19 @@
 //!
 //! * signals `0..k` are the message inputs `m_1..m_k`;
 //! * signals `k..` are *factors*, each the XOR of two earlier signals
-//!   (a straight-line program over GF(2), cancellation-free: a factor's
-//!   support is always the disjoint union of its operands' supports);
+//!   (a straight-line program over GF(2));
 //! * every output is a list of distinct signals whose supports XOR to the
 //!   output's generator column.
 //!
 //! Optimization passes (see [`crate::pass`]) rewrite the IR — extracting
-//! shared factors à la Paar, balancing XOR trees — while
+//! shared factors à la Paar, applying cancellation-aware rewrites à la
+//! Boyar–Peralta (see [`crate::cancel`]), balancing XOR trees — while
 //! [`ParityIr::verify_against`] provides an exact GF(2) functional-
 //! equivalence check after every transformation: expanding each output's
-//! terms back to a support vector and comparing against the generator column
-//! is sound because the program is cancellation-free, so IR equivalence
-//! implies gate-level equivalence of any faithful lowering.
+//! terms back to a support vector (by XOR, which models cancellation
+//! exactly: `x ⊕ x = 0`) and comparing against the generator column proves
+//! functional equivalence of any faithful lowering, whether or not any
+//! factor's operands overlap in support.
 
 use gf2::{BitMat, BitVec};
 use serde::{Deserialize, Serialize};
@@ -187,6 +188,83 @@ impl ParityIr {
         );
         let pos = terms.partition_point(|&t| t < factor);
         terms.insert(pos, factor);
+    }
+
+    /// Replaces the whole term list of output `j`.
+    ///
+    /// This is the general rewrite primitive used by cancellation-aware
+    /// passes, which replace arbitrary subsets of an output's terms (not
+    /// just pairs): the caller asserts nothing about supports — the pass
+    /// manager's [`ParityIr::verify_against`] check after the pass is what
+    /// proves the rewrite functionally correct.
+    ///
+    /// # Panics
+    /// Panics if `terms` is empty, unsorted, contains duplicates, or refers
+    /// to a signal that does not exist.
+    pub fn set_output_terms(&mut self, j: usize, terms: Vec<SignalId>) {
+        assert!(!terms.is_empty(), "output {j} must keep at least one term");
+        assert!(
+            terms.windows(2).all(|w| w[0] < w[1]),
+            "output {j} terms must be sorted and distinct"
+        );
+        assert!(
+            *terms.last().expect("non-empty") < self.num_signals(),
+            "output {j} terms must refer to existing signals"
+        );
+        self.outputs[j] = terms;
+    }
+
+    /// Dead-factor elimination: drops every factor that is reachable from no
+    /// output term (directly or as a transitive operand), renumbers the
+    /// surviving factors, and rewrites the output term lists accordingly.
+    /// Returns the number of factors removed.
+    ///
+    /// Cancellation-aware rewrites can orphan factors (a term list stops
+    /// using a factor that nothing else references); a faithful lowering
+    /// would still emit those as dead XOR gates, so passes call this before
+    /// handing the IR to the planning stages.
+    pub fn retain_live_factors(&mut self) -> usize {
+        let k = self.k;
+        let mut live = vec![false; self.num_signals()];
+        for terms in &self.outputs {
+            for &t in terms {
+                live[t] = true;
+            }
+        }
+        // Factors are in topological order (operands have smaller ids), so a
+        // reverse sweep propagates liveness to transitive operands.
+        for idx in (0..self.factors.len()).rev() {
+            if live[k + idx] {
+                let Factor { a, b } = self.factors[idx];
+                live[a] = true;
+                live[b] = true;
+            }
+        }
+        let mut remap: Vec<Option<SignalId>> = (0..k).map(Some).collect();
+        let mut factors = Vec::with_capacity(self.factors.len());
+        let mut depths: Vec<usize> = self.depths[..k].to_vec();
+        for (idx, &Factor { a, b }) in self.factors.iter().enumerate() {
+            if !live[k + idx] {
+                remap.push(None);
+                continue;
+            }
+            let a = remap[a].expect("live factor has live operands");
+            let b = remap[b].expect("live factor has live operands");
+            remap.push(Some(k + factors.len()));
+            depths.push(depths[a].max(depths[b]) + 1);
+            factors.push(Factor { a, b });
+        }
+        let removed = self.factors.len() - factors.len();
+        self.factors = factors;
+        self.depths = depths;
+        for terms in &mut self.outputs {
+            for t in terms.iter_mut() {
+                *t = remap[*t].expect("output terms are live by construction");
+            }
+            // Remapping is monotone on live ids, so sortedness is preserved.
+            debug_assert!(terms.windows(2).all(|w| w[0] < w[1]));
+        }
+        removed
     }
 
     /// The smallest clocked depth at which a balanced XOR tree can combine

