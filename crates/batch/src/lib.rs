@@ -120,6 +120,48 @@ struct ColumnMatchProgram {
 /// Upper bound of the per-limb prefix-mask table (`2^4`).
 const PREFIX_SLOTS: usize = 16;
 
+/// Decode-kernel telemetry handles, registered once per codec under the
+/// `batch.decode.*` names (each codec is a shard of the global registry;
+/// see `docs/OBSERVABILITY.md`). The kernel accumulates into plain locals
+/// and flushes once per [`BatchCodec::decode_batch_with`] call, so the
+/// per-limb loop sees no atomics. With the `telemetry` feature off these
+/// handles are zero-sized no-ops.
+#[derive(Debug, Clone)]
+struct DecodeMetrics {
+    /// Decode calls (one per batch).
+    calls: sfq_telemetry::Counter,
+    /// 64-lane limbs processed.
+    limbs: sfq_telemetry::Counter,
+    /// Limbs whose syndromes were all zero (short-circuited past matching).
+    clean_limbs: sfq_telemetry::Counter,
+    /// Prefix buckets entered with at least one lane in play.
+    buckets_visited: sfq_telemetry::Counter,
+    /// Prefix buckets skipped because no lane carried their prefix.
+    buckets_skipped: sfq_telemetry::Counter,
+    /// Match entries tested against a limb.
+    entries_tested: sfq_telemetry::Counter,
+    /// Lanes corrected (retired by a match).
+    lanes_matched: sfq_telemetry::Counter,
+    /// Lanes flagged detected-uncorrectable.
+    lanes_flagged: sfq_telemetry::Counter,
+}
+
+impl DecodeMetrics {
+    fn new() -> Self {
+        let registry = sfq_telemetry::global();
+        DecodeMetrics {
+            calls: registry.counter("batch.decode.calls"),
+            limbs: registry.counter("batch.decode.limbs"),
+            clean_limbs: registry.counter("batch.decode.clean_limbs"),
+            buckets_visited: registry.counter("batch.decode.buckets_visited"),
+            buckets_skipped: registry.counter("batch.decode.buckets_skipped"),
+            entries_tested: registry.counter("batch.decode.entries_tested"),
+            lanes_matched: registry.counter("batch.decode.lanes_matched"),
+            lanes_flagged: registry.counter("batch.decode.lanes_flagged"),
+        }
+    }
+}
+
 impl ColumnMatchProgram {
     /// Buckets a finished entry list by syndrome prefix.
     fn new(mut entries: Vec<MatchEntry>, redundancy: usize) -> Self {
@@ -173,6 +215,8 @@ pub struct BatchCodec {
     /// `extract_masks[j]`: support over codeword bits whose parity is message
     /// bit `j` (from the generator's right inverse).
     extract_masks: Vec<u128>,
+    /// Decode-kernel telemetry (write-only; never affects results).
+    metrics: DecodeMetrics,
 }
 
 impl BatchCodec {
@@ -234,6 +278,7 @@ impl BatchCodec {
             syndrome_masks,
             program,
             extract_masks,
+            metrics: DecodeMetrics::new(),
         }
     }
 
@@ -317,6 +362,15 @@ impl BatchCodec {
         out.corrected.clear();
         out.corrected.resize(words, 0);
 
+        // Telemetry accumulates in locals and flushes once per call, so the
+        // limb loop itself performs no atomic operations.
+        let mut clean_limbs = 0u64;
+        let mut buckets_visited = 0u64;
+        let mut buckets_skipped = 0u64;
+        let mut entries_tested = 0u64;
+        let mut lanes_matched = 0u64;
+        let mut lanes_flagged = 0u64;
+
         for w in 0..words {
             let valid = if w + 1 == words { tail } else { u64::MAX };
             let gather = &mut scratch.gather[..redundancy];
@@ -325,6 +379,7 @@ impl BatchCodec {
             // Fast path: a limb of all-zero syndromes (the common case for
             // healthy chips over a clean channel) needs no matching at all.
             if or_reduce(gather) == 0 {
+                clean_limbs += 1;
                 continue;
             }
 
@@ -356,9 +411,12 @@ impl BatchCodec {
                     base &= !clean;
                 }
                 if base == 0 {
+                    buckets_skipped += 1;
                     continue;
                 }
+                buckets_visited += 1;
                 for entry in &self.program.entries[start as usize..end as usize] {
+                    entries_tested += 1;
                     let m = and_xnor_reduce(base, suffix, entry.pattern >> prefix_bits);
                     if m == 0 {
                         continue;
@@ -378,7 +436,18 @@ impl BatchCodec {
             }
             out.corrected[w] = matched;
             out.flagged[w] = valid & !clean & !matched;
+            lanes_matched += u64::from(matched.count_ones());
+            lanes_flagged += u64::from(out.flagged[w].count_ones());
         }
+
+        self.metrics.calls.inc();
+        self.metrics.limbs.add(words as u64);
+        self.metrics.clean_limbs.add(clean_limbs);
+        self.metrics.buckets_visited.add(buckets_visited);
+        self.metrics.buckets_skipped.add(buckets_skipped);
+        self.metrics.entries_tested.add(entries_tested);
+        self.metrics.lanes_matched.add(lanes_matched);
+        self.metrics.lanes_flagged.add(lanes_flagged);
 
         // Message lanes: parity of the extraction support over the corrected
         // codeword lanes, masked out at flagged positions.

@@ -12,9 +12,13 @@
 //!   `BENCH_batch.json`, runs the Criterion kernels.
 //! * `cargo bench -p bench --bench batch_decode -- --quick` — reduced
 //!   measurement used as the CI throughput smoke check: fails (exit 1) if
-//!   SEC-DED(72,64) batch decode falls below [`SECDED_72_64_DECODE_FLOOR`].
+//!   SEC-DED(72,64) batch decode falls below [`SECDED_72_64_DECODE_FLOOR`],
+//!   or if the compiled-in telemetry costs more than
+//!   [`TELEMETRY_OVERHEAD_FLOOR`] of the uninstrumented decode rate
+//!   (measured in-process via the `sfq_telemetry::set_recording`
+//!   kill-switch).
 
-use bench::banner;
+use bench::{banner_with_fingerprint, Fingerprint};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cryolink::{BatchLink, BatchLinkContext, ChannelConfig, LinkScratch};
 use ecc::{
@@ -38,8 +42,19 @@ use std::time::Instant;
 /// not machine-to-machine noise.
 const SECDED_72_64_DECODE_FLOOR: f64 = 1.5e7;
 
+/// Telemetry overhead gate, checked in `--quick` mode: SEC-DED(72,64)
+/// batch decode with recording ON must sustain at least this fraction of
+/// the recording-OFF rate. The instrumentation accumulates in plain locals
+/// inside the kernel and flushes a handful of relaxed atomics once per
+/// 4096-lane call, so the true cost is well under 1%; the 5% budget keeps
+/// the gate meaningful without tripping on measurement noise.
+const TELEMETRY_OVERHEAD_FLOOR: f64 = 0.95;
+
 /// Lanes per measured batch.
 const LANES: usize = 4096;
+
+/// RNG seed used to build the measurement batches.
+const SEED: u64 = 0xBA7C_DEC0;
 
 /// Measures one closure's sustained rate in messages/second.
 fn throughput<F: FnMut() -> usize>(quick: bool, mut f: F) -> f64 {
@@ -228,7 +243,7 @@ fn build_case<C: BlockCode + HardDecoder>(
 }
 
 fn cases() -> Vec<Case> {
-    let mut rng = StdRng::seed_from_u64(0xBA7C_DEC0);
+    let mut rng = StdRng::seed_from_u64(SEED);
     vec![
         build_case(
             "hamming_7_4",
@@ -282,8 +297,11 @@ impl Measurement {
     }
 }
 
-fn measure(quick: bool) -> Vec<Measurement> {
-    banner("sfq-batch: column-matching decoder throughput (single-error input)");
+fn measure(quick: bool, fingerprint: &Fingerprint) -> Vec<Measurement> {
+    banner_with_fingerprint(
+        "sfq-batch: column-matching decoder throughput (single-error input)",
+        fingerprint,
+    );
     println!(
         "{:<16} {:>9} {:>14} {:>14} {:>14} {:>9} {:>14}",
         "code", "entries", "encode msg/s", "decode msg/s", "old msg/s", "speedup", "link msg/s"
@@ -361,7 +379,7 @@ fn measure(quick: bool) -> Vec<Measurement> {
     out
 }
 
-fn render_json(measurements: &[Measurement]) -> String {
+fn render_json(measurements: &[Measurement], fingerprint: &Fingerprint) -> String {
     let rows: Vec<String> = measurements
         .iter()
         .map(|m| {
@@ -381,19 +399,63 @@ fn render_json(measurements: &[Measurement]) -> String {
             )
         })
         .collect();
+    let sha = fingerprint
+        .git_sha
+        .as_deref()
+        .map_or("null".to_string(), |s| format!("\"{s}\""));
     format!(
-        "{{\n  \"lanes\": {LANES},\n  \"input\": \"one random single-bit error per word\",\n  \
+        "{{\n  \"fingerprint\": {{\"code\": \"{}\", \"chips\": {}, \"messages\": {}, \
+         \"seed\": {}, \"threads\": {}, \"git_sha\": {sha}}},\n  \
+         \"lanes\": {LANES},\n  \"input\": \"one random single-bit error per word\",\n  \
          \"codes\": [\n{}\n  ]\n}}\n",
+        fingerprint.code,
+        fingerprint.chips,
+        fingerprint.messages,
+        fingerprint.seed,
+        fingerprint.threads,
         rows.join(",\n")
     )
 }
 
+/// Measures the compiled-in telemetry's own cost on the hottest kernel:
+/// SEC-DED(72,64) batch decode with the runtime recording kill-switch off
+/// (uninstrumented baseline — handles still exist, every recording call
+/// early-outs) versus on (normal operation). Returns `(on, off)` rates in
+/// messages/second, leaving recording enabled.
+fn telemetry_overhead(quick: bool) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let code = ecc::SecDed::new(6);
+    let codec = BatchCodec::new(&code);
+    let messages: Vec<BitVec> = (0..LANES)
+        .map(|_| BitVec::from_u64(64, rng.random::<u64>()))
+        .collect();
+    let mut received = codec.encode_batch(&BitSlice64::pack(&messages));
+    for i in 0..LANES {
+        let pos = rng.random_range(0..72usize);
+        received.set(i, pos, !received.get(i, pos));
+    }
+    let mut scratch = BatchScratch::new();
+    let mut decoded = BatchDecoded::empty();
+    sfq_telemetry::set_recording(false);
+    let off = throughput(quick, || {
+        codec.decode_batch_with(&received, &mut scratch, &mut decoded);
+        LANES
+    });
+    sfq_telemetry::set_recording(true);
+    let on = throughput(quick, || {
+        codec.decode_batch_with(&received, &mut scratch, &mut decoded);
+        LANES
+    });
+    (on, off)
+}
+
 fn bench_batch_decode(c: &mut Criterion) {
     let quick = std::env::args().any(|a| a == "--quick");
-    let measurements = measure(quick);
+    let fingerprint = Fingerprint::new("batch_suite(7 codes)", 0, LANES, SEED, 1);
+    let measurements = measure(quick, &fingerprint);
 
     if !quick {
-        let json = render_json(&measurements);
+        let json = render_json(&measurements, &fingerprint);
         let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("..")
             .join("..")
@@ -421,6 +483,26 @@ fn bench_batch_decode(c: &mut Criterion) {
                 secded.decode
             );
             std::process::exit(1);
+        }
+        // Telemetry overhead smoke gate: only meaningful when the
+        // instrumentation is actually compiled in.
+        if sfq_telemetry::is_enabled() {
+            let (on, off) = telemetry_overhead(quick);
+            let ratio = on / off;
+            println!(
+                "telemetry overhead: recording on {on:.3e} msg/s, off {off:.3e} msg/s \
+                 (ratio {ratio:.3}, floor {TELEMETRY_OVERHEAD_FLOOR})"
+            );
+            if ratio < TELEMETRY_OVERHEAD_FLOOR {
+                eprintln!(
+                    "TELEMETRY OVERHEAD REGRESSION: SEC-DED(72,64) batch decode with \
+                     recording on runs at {ratio:.3}x the recording-off rate, below the \
+                     {TELEMETRY_OVERHEAD_FLOOR} floor"
+                );
+                std::process::exit(1);
+            }
+        } else {
+            println!("telemetry overhead: skipped (built without instrumentation)");
         }
         return;
     }

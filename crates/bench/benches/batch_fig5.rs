@@ -7,7 +7,7 @@
 //! for this workspace is >= 10x encode+decode throughput at 64-lane batches;
 //! the measured ratio is printed by the comparison table.
 
-use bench::banner;
+use bench::{banner, banner_with_fingerprint, Fingerprint};
 use criterion::{criterion_group, criterion_main, Criterion};
 use cryolink::{BatchLink, BatchLinkContext, ChannelConfig, CryoLink, Fig5Experiment};
 use ecc::{BatchDecode, BatchEncode, BlockCode, Hamming84, HardDecoder};
@@ -60,7 +60,10 @@ fn batch_encode_decode(codec: &BatchCodec, messages: &BitSlice64) -> usize {
 }
 
 fn print_comparison() {
-    banner("sfq-batch: scalar vs bit-sliced encode+decode throughput (Hamming(8,4))");
+    banner_with_fingerprint(
+        "sfq-batch: scalar vs bit-sliced encode+decode throughput (Hamming(8,4))",
+        &Fingerprint::new("hamming(8,4)", 0, 4096, 42, 1),
+    );
     let code = Hamming84::new();
     let codec = BatchCodec::hamming84();
     let mut rng = StdRng::seed_from_u64(42);

@@ -4,7 +4,7 @@
 //! Regenerates the four curves (RM(1,3), Hamming(7,4), Hamming(8,4), no
 //! encoder) with a Monte-Carlo run and measures the per-chip simulation cost.
 
-use bench::banner;
+use bench::{banner_with_fingerprint, Fingerprint};
 use criterion::{criterion_group, criterion_main, Criterion};
 use cryolink::montecarlo::paper_zero_error_probabilities;
 use cryolink::{ChannelConfig, CryoLink, Fig5Experiment};
@@ -23,12 +23,21 @@ use std::hint::black_box;
 const BENCH_CHIPS: usize = 400;
 
 fn print_fig5() {
-    banner("Fig. 5: CDF of erroneous messages per 100 transmissions (±20% PPV)");
     let library = CellLibrary::coldflux();
     let experiment = Fig5Experiment {
         chips: BENCH_CHIPS,
         ..Fig5Experiment::paper_setup()
     };
+    banner_with_fingerprint(
+        "Fig. 5: CDF of erroneous messages per 100 transmissions (±20% PPV)",
+        &Fingerprint::new(
+            "fig5(4 curves)",
+            experiment.chips,
+            experiment.messages_per_chip,
+            experiment.seed,
+            experiment.threads,
+        ),
+    );
     println!(
         "{} chips x {} messages (paper: 1000 x 100), margin scale {:.3}",
         experiment.chips, experiment.messages_per_chip, experiment.ppv.margin_scale

@@ -5,11 +5,25 @@
 //! series (so that `cargo bench` regenerates the paper's data) and then
 //! measures the runtime of the computational kernel behind it.
 
+pub use sfq_telemetry::Fingerprint;
+
 /// Prints a banner separating the regenerated data from Criterion's timing
 /// output.
 pub fn banner(title: &str) {
     println!();
     println!("================================================================");
     println!("  {title}");
+    println!("================================================================");
+}
+
+/// Like [`banner`], but also prints the run's configuration fingerprint
+/// (code, workload size, seed, thread count, git SHA) so every BENCH
+/// artifact is attributable to the configuration that produced it. The
+/// same fingerprint is embedded in the JSON the bench writes.
+pub fn banner_with_fingerprint(title: &str, fingerprint: &Fingerprint) {
+    println!();
+    println!("================================================================");
+    println!("  {title}");
+    println!("  {}", fingerprint.line());
     println!("================================================================");
 }

@@ -142,12 +142,57 @@ impl BatchLinkContext {
     }
 }
 
+/// Link-level telemetry handles under the `link.*` names (see
+/// `docs/OBSERVABILITY.md`). One set per [`LinkScratch`] — i.e. one shard
+/// per worker thread — so the Monte-Carlo workers never contend on a
+/// metric. Write-only: no RNG stream passes through these and no result
+/// depends on them.
+struct LinkMetrics {
+    /// Batches transmitted.
+    batches: sfq_telemetry::Counter,
+    /// Messages transmitted.
+    messages: sfq_telemetry::Counter,
+    /// Correlated error-source Bernoulli limb draws.
+    source_draws: sfq_telemetry::Counter,
+    /// Draws that actually fired (flipped at least one lane).
+    sources_fired: sfq_telemetry::Counter,
+    /// Messages delivered correctly.
+    correct: sfq_telemetry::Counter,
+    /// Messages flagged detected-uncorrectable.
+    flagged: sfq_telemetry::Counter,
+    /// Messages silently delivered wrong.
+    silent: sfq_telemetry::Counter,
+    /// Wall time of one batch decode call, nanoseconds.
+    decode_ns: sfq_telemetry::Histogram,
+    /// Decode wall time per 64-message limb, nanoseconds.
+    decode_ns_per_limb: sfq_telemetry::Histogram,
+}
+
+impl LinkMetrics {
+    fn new() -> Self {
+        let registry = sfq_telemetry::global();
+        LinkMetrics {
+            batches: registry.counter("link.batches"),
+            messages: registry.counter("link.messages"),
+            source_draws: registry.counter("link.source_draws"),
+            sources_fired: registry.counter("link.sources_fired"),
+            correct: registry.counter("link.outcome.correct"),
+            flagged: registry.counter("link.outcome.flagged"),
+            silent: registry.counter("link.outcome.silent"),
+            decode_ns: registry.histogram("link.decode_ns"),
+            decode_ns_per_limb: registry.histogram("link.decode_ns_per_limb"),
+        }
+    }
+}
+
 /// Reusable buffers for the batch link's transmit-decode loop: the received
-/// batch, the decode output, and the codec scratch. One per worker thread.
+/// batch, the decode output, and the codec scratch. One per worker thread
+/// (which also makes its telemetry shards per-worker).
 pub struct LinkScratch {
     received: BitSlice64,
     decoded: BatchDecoded,
     codec: BatchScratch,
+    metrics: LinkMetrics,
 }
 
 impl Default for LinkScratch {
@@ -164,6 +209,7 @@ impl LinkScratch {
             received: BitSlice64::default(),
             decoded: BatchDecoded::empty(),
             codec: BatchScratch::new(),
+            metrics: LinkMetrics::new(),
         }
     }
 }
@@ -353,6 +399,8 @@ impl<'a> BatchLink<'a> {
         // word), XORed into every channel the source reaches — 64 words
         // share each draw column-wise, and all affected channels of one word
         // flip together.
+        let mut source_draws = 0u64;
+        let mut sources_fired = 0u64;
         for source in &self.sources {
             if source.prob <= 0.0 {
                 continue;
@@ -361,9 +409,11 @@ impl<'a> BatchLink<'a> {
             for w in 0..words {
                 let valid = if w + 1 == words { tail } else { u64::MAX };
                 let mask = bernoulli_limb(rng, source.prob) & valid;
+                source_draws += 1;
                 if mask == 0 {
                     continue;
                 }
+                sources_fired += 1;
                 for &channel in channels {
                     received.lane_mut(channel)[w] ^= mask;
                 }
@@ -382,7 +432,9 @@ impl<'a> BatchLink<'a> {
             }
         }
 
+        let decode_watch = sfq_telemetry::Stopwatch::start();
         codec.decode_batch_with(received, &mut scratch.codec, &mut scratch.decoded);
+        let decode_ns = decode_watch.elapsed_ns();
         let decoded = &scratch.decoded;
 
         // wrong = any message lane differs (flagged lanes are zeroed in the
@@ -399,6 +451,19 @@ impl<'a> BatchLink<'a> {
             stats.flagged += flagged.count_ones() as usize;
             stats.silent += silent.count_ones() as usize;
             stats.correct += (valid & !flagged & !silent).count_ones() as usize;
+        }
+
+        let metrics = &scratch.metrics;
+        metrics.batches.inc();
+        metrics.messages.add(stats.total() as u64);
+        metrics.source_draws.add(source_draws);
+        metrics.sources_fired.add(sources_fired);
+        metrics.correct.add(stats.correct as u64);
+        metrics.flagged.add(stats.flagged as u64);
+        metrics.silent.add(stats.silent as u64);
+        metrics.decode_ns.record(decode_ns);
+        if words > 0 {
+            metrics.decode_ns_per_limb.record(decode_ns / words as u64);
         }
         stats
     }

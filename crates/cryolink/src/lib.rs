@@ -34,5 +34,5 @@ pub use channel::{ChannelConfig, CryoCable};
 pub use link::{CryoLink, LinkOutcome, TransmissionResult};
 pub use montecarlo::{
     default_thread_count, paper_zero_error_probabilities, wilson_interval, ErrorCounting,
-    Fig5Curve, Fig5Experiment, Fig5Result,
+    Fig5Curve, Fig5Experiment, Fig5Result, Parallelism,
 };

@@ -103,13 +103,15 @@ impl Fig5Experiment {
     /// Runs the experiment for one encoder design.
     #[must_use]
     pub fn run_design(&self, design: &EncoderDesign, library: &CellLibrary) -> Fig5Curve {
-        let errors_per_chip = self.simulate_chips(design, library);
-        Fig5Curve::from_error_counts(
+        let (errors_per_chip, parallelism) = self.simulate_chips(design, library);
+        let mut curve = Fig5Curve::from_error_counts(
             design.kind(),
             design.name().to_string(),
             self.messages_per_chip,
             errors_per_chip,
-        )
+        );
+        curve.parallelism = parallelism;
+        curve
     }
 
     /// Runs the experiment for one design through the bit-sliced batch path
@@ -137,7 +139,7 @@ impl Fig5Experiment {
             messages: BitSlice64,
             scratch: LinkScratch,
         }
-        let errors_per_chip = parallel_chip_map(
+        let (errors_per_chip, parallelism) = parallel_chip_map(
             self.chips,
             self.threads,
             &|| Worker {
@@ -162,12 +164,14 @@ impl Fig5Experiment {
                 stats.erroneous(self.counting == ErrorCounting::SilentOnly)
             },
         );
-        Fig5Curve::from_error_counts(
+        let mut curve = Fig5Curve::from_error_counts(
             design.kind(),
             design.name().to_string(),
             self.messages_per_chip,
             errors_per_chip,
-        )
+        );
+        curve.parallelism = parallelism;
+        curve
     }
 
     /// Runs the batched experiment for all four designs of the paper.
@@ -203,7 +207,11 @@ impl Fig5Experiment {
         }
     }
 
-    fn simulate_chips(&self, design: &EncoderDesign, library: &CellLibrary) -> Vec<usize> {
+    fn simulate_chips(
+        &self,
+        design: &EncoderDesign,
+        library: &CellLibrary,
+    ) -> (Vec<usize>, Parallelism) {
         parallel_chip_map(self.chips, self.threads, &|| (), &|chip, _worker| {
             self.simulate_one_chip(design, library, chip)
         })
@@ -262,6 +270,38 @@ pub fn default_thread_count() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Resolved worker layout and measured per-worker load of one experiment
+/// run. Reporting-only: nothing downstream consumes it, and the per-chip
+/// results it accompanies are bit-identical whatever it contains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Parallelism {
+    /// Number of worker threads that actually ran (after clamping the
+    /// configured count to the chip count).
+    pub threads: usize,
+    /// Chips processed by each worker, in worker order.
+    pub chips_per_worker: Vec<usize>,
+    /// Wall time each worker spent in its chip loop, nanoseconds. All zeros
+    /// when telemetry is compiled out or recording is off — utilization is
+    /// telemetry, never an input to results.
+    pub busy_ns_per_worker: Vec<u64>,
+}
+
+impl Parallelism {
+    /// Per-worker utilization relative to the busiest worker, in `[0, 1]`
+    /// (empty when busy times were not measured).
+    #[must_use]
+    pub fn utilization(&self) -> Vec<f64> {
+        let busiest = self.busy_ns_per_worker.iter().copied().max().unwrap_or(0);
+        if busiest == 0 {
+            return Vec::new();
+        }
+        self.busy_ns_per_worker
+            .iter()
+            .map(|&ns| ns as f64 / busiest as f64)
+            .collect()
+    }
+}
+
 /// Maps chip indices `0..chips` through `per_chip` with the experiment's
 /// chunked worker-thread layout. Each worker thread owns one state value
 /// from `make_worker` (scratch buffers, rebindable links, …), threaded
@@ -269,34 +309,69 @@ pub fn default_thread_count() -> usize {
 /// path allocation-free. Per-chip results are deterministic regardless of
 /// `threads` because each chip derives its own RNG from its index and the
 /// worker state carries no chip-to-chip information.
+///
+/// Each worker also records per-chip wall time into the `fig5.chip_ns`
+/// histogram and counts its chips under `fig5.chips` (its own telemetry
+/// shards, created inside the worker), and the returned [`Parallelism`]
+/// reports the resolved layout and per-worker busy time.
 fn parallel_chip_map<S>(
     chips: usize,
     threads: usize,
     make_worker: &(dyn Fn() -> S + Sync),
     per_chip: &(dyn Fn(u64, &mut S) -> usize + Sync),
-) -> Vec<usize> {
+) -> (Vec<usize>, Parallelism) {
     let threads = threads.max(1).min(chips.max(1));
     let mut results = vec![0usize; chips];
     if threads <= 1 || chips == 0 {
         let mut worker = make_worker();
+        let chip_ns = sfq_telemetry::global().histogram("fig5.chip_ns");
+        let busy = sfq_telemetry::Stopwatch::start();
         for (chip, slot) in results.iter_mut().enumerate() {
+            let watch = sfq_telemetry::Stopwatch::start();
             *slot = per_chip(chip as u64, &mut worker);
+            chip_ns.record(watch.elapsed_ns());
         }
-        return results;
+        sfq_telemetry::global()
+            .counter("fig5.chips")
+            .add(chips as u64);
+        let parallelism = Parallelism {
+            threads: 1,
+            chips_per_worker: vec![chips],
+            busy_ns_per_worker: vec![busy.elapsed_ns()],
+        };
+        return (results, parallelism);
     }
     let chunk = chips.div_ceil(threads);
+    let workers = chips.div_ceil(chunk);
+    // (chips processed, busy ns) per worker; each spawn owns one slot, like
+    // its disjoint chunk of `results`.
+    let mut loads = vec![(0usize, 0u64); workers];
     crossbeam::scope(|scope| {
-        for (t, slice) in results.chunks_mut(chunk).enumerate() {
+        for (t, (slice, load)) in results.chunks_mut(chunk).zip(loads.iter_mut()).enumerate() {
             scope.spawn(move |_| {
                 let mut worker = make_worker();
+                // Handles created inside the worker are that worker's own
+                // shards — no cross-thread contention on the hot path.
+                let chip_ns = sfq_telemetry::global().histogram("fig5.chip_ns");
+                let chip_count = sfq_telemetry::global().counter("fig5.chips");
+                let busy = sfq_telemetry::Stopwatch::start();
                 for (i, slot) in slice.iter_mut().enumerate() {
+                    let watch = sfq_telemetry::Stopwatch::start();
                     *slot = per_chip((t * chunk + i) as u64, &mut worker);
+                    chip_ns.record(watch.elapsed_ns());
                 }
+                chip_count.add(slice.len() as u64);
+                *load = (slice.len(), busy.elapsed_ns());
             });
         }
     })
     .expect("Monte-Carlo worker thread panicked");
-    results
+    let parallelism = Parallelism {
+        threads: workers,
+        chips_per_worker: loads.iter().map(|&(n, _)| n).collect(),
+        busy_ns_per_worker: loads.iter().map(|&(_, ns)| ns).collect(),
+    };
+    (results, parallelism)
 }
 
 /// The Fig. 5 curve of one encoder: the distribution of erroneous messages
@@ -311,6 +386,9 @@ pub struct Fig5Curve {
     pub messages_per_chip: usize,
     /// Number of erroneous messages observed on each simulated chip.
     pub errors_per_chip: Vec<usize>,
+    /// Resolved worker layout and per-worker load of the run that produced
+    /// this curve (reporting-only; default/empty for hand-built curves).
+    pub parallelism: Parallelism,
 }
 
 impl Fig5Curve {
@@ -327,6 +405,7 @@ impl Fig5Curve {
             name,
             messages_per_chip,
             errors_per_chip,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -660,6 +739,44 @@ mod tests {
         assert!((batched.zero_error_probability() - 1.0).abs() < 1e-12);
         assert_eq!(scalar.chips(), 4);
         assert_eq!(batched.chips(), 4);
+    }
+
+    #[test]
+    fn parallelism_reports_the_resolved_worker_layout() {
+        let lib = CellLibrary::coldflux();
+        let experiment = Fig5Experiment {
+            chips: 10,
+            messages_per_chip: 5,
+            threads: 4,
+            ..Fig5Experiment::paper_setup()
+        };
+        let design = EncoderDesign::build(EncoderKind::Hamming74);
+        let curve = experiment.run_design_batched(&design, &lib);
+        let p = &curve.parallelism;
+        // 10 chips over 4 threads chunk as ceil(10/4)=3 → 3+3+3+1.
+        assert_eq!(p.threads, 4);
+        assert_eq!(p.chips_per_worker, vec![3, 3, 3, 1]);
+        assert_eq!(p.busy_ns_per_worker.len(), 4);
+        assert_eq!(p.chips_per_worker.iter().sum::<usize>(), 10);
+        for u in p.utilization() {
+            assert!((0.0..=1.0).contains(&u));
+        }
+
+        // Serial runs report a single worker carrying everything; the
+        // thread count never leaks into the per-chip results.
+        let serial = Fig5Experiment {
+            threads: 1,
+            ..experiment
+        };
+        let serial_curve = serial.run_design_batched(&design, &lib);
+        assert_eq!(serial_curve.parallelism.threads, 1);
+        assert_eq!(serial_curve.parallelism.chips_per_worker, vec![10]);
+        assert_eq!(serial_curve.errors_per_chip, curve.errors_per_chip);
+
+        // Hand-built curves carry the empty default.
+        let hand = Fig5Curve::from_error_counts(EncoderKind::None, "x".to_string(), 1, vec![0]);
+        assert_eq!(hand.parallelism, Parallelism::default());
+        assert!(hand.parallelism.utilization().is_empty());
     }
 
     #[test]

@@ -327,6 +327,9 @@ impl EncoderDesign {
     /// Panics if the pipeline breaks functional equivalence.
     #[must_use]
     pub fn build_with_library(kind: EncoderKind, library: &CellLibrary) -> Self {
+        let _span =
+            sfq_telemetry::SpanTimer::start(sfq_telemetry::global().histogram("encoders.build_ns"));
+        sfq_telemetry::global().counter("encoders.builds").inc();
         let code = reference_code(kind);
         let (netlist, synthesis_report, schedule_plan) = match &code {
             ReferenceCode::None(_) => (no_encoder::build_netlist(), None, None),
@@ -339,6 +342,7 @@ impl EncoderDesign {
                     .unwrap_or_else(|e| {
                         panic!("synthesis pipeline failed for {}: {e}", kind.name())
                     });
+                sfq_netlist::pass::record_plan_metrics(&plan, &result, library);
                 (result.netlist, Some(result.report), Some(plan))
             }
         };

@@ -191,9 +191,15 @@ pub fn factor_with_cancellation(ir: &mut ParityIr, budget: usize) -> Cancellatio
             .expect("cache lock");
         if let Some((cached, outcome)) = cache.get(key) {
             *ir = cached.clone();
+            sfq_telemetry::global()
+                .counter("synth.cancel.cache_hits")
+                .inc();
             return *outcome;
         }
     }
+    sfq_telemetry::global()
+        .counter("synth.cancel.cache_misses")
+        .inc();
     let mut best: Option<(ParityIr, CancellationOutcome)> = None;
     for rollout_ties in [false, true] {
         let mut candidate = ir.clone();
@@ -207,6 +213,19 @@ pub fn factor_with_cancellation(ir: &mut ParityIr, budget: usize) -> Cancellatio
     }
     let (winner, outcome) = best.expect("both arrangements ran");
     *ir = winner;
+    let registry = sfq_telemetry::global();
+    registry
+        .counter("synth.cancel.factors")
+        .add(outcome.gates as u64);
+    registry
+        .counter("synth.cancel.cancelling")
+        .add(outcome.cancelling as u64);
+    registry
+        .counter("synth.cancel.free_rewrites")
+        .add(outcome.free_rewrites as u64);
+    registry
+        .counter("synth.cancel.pruned")
+        .add(outcome.pruned as u64);
     if let Some(key) = key {
         CACHE
             .get_or_init(Mutex::default)
@@ -225,11 +244,16 @@ fn factor_arrangement(ir: &mut ParityIr, budget: usize, rollout_ties: bool) -> C
     // distinct new support, both of which are bounded; the cap only guards
     // against a future broken edit looping forever.
     let max_steps = 4 * state.decs.iter().map(Vec::len).sum::<usize>() + 64;
+    let mut rewrites_applied = 0u64;
     for _ in 0..max_steps {
         if !state.step() {
             break;
         }
+        rewrites_applied += 1;
     }
+    sfq_telemetry::global()
+        .counter("synth.cancel.rewrites_applied")
+        .add(rewrites_applied);
     for (j, dec) in state.decs.iter().enumerate() {
         state.ir.set_output_terms(j, dec.clone());
     }

@@ -384,6 +384,9 @@ pub struct PassManager {
     options: PipelineOptions,
     schedule: Schedule,
     passes: Vec<Box<dyn Pass>>,
+    /// One `synth.pass.<name>.ns` span-timer histogram per pass, registered
+    /// at construction so the run loop never touches the registry lock.
+    pass_timers: Vec<sfq_telemetry::Histogram>,
     verifier: Option<NetlistVerifier>,
 }
 
@@ -413,16 +416,24 @@ impl PassManager {
             FactoringKind::Cancellation => Box::new(crate::cancel::CancellationFactoringPass),
             FactoringKind::None => Box::new(NoFactoringPass),
         };
+        let passes: Vec<Box<dyn Pass>> = vec![
+            factoring,
+            Box::new(TreeBalancePass),
+            Box::new(FanoutPlanPass),
+            Box::new(EmitNetlistPass),
+            Box::new(ClockTreePass),
+        ];
+        let pass_timers = passes
+            .iter()
+            .map(|pass| {
+                sfq_telemetry::global().histogram(&format!("synth.pass.{}.ns", pass.name()))
+            })
+            .collect();
         PassManager {
             options,
             schedule,
-            passes: vec![
-                factoring,
-                Box::new(TreeBalancePass),
-                Box::new(FanoutPlanPass),
-                Box::new(EmitNetlistPass),
-                Box::new(ClockTreePass),
-            ],
+            passes,
+            pass_timers,
             verifier: None,
         }
     }
@@ -459,10 +470,15 @@ impl PassManager {
             plan: None,
             netlist: None,
         };
+        sfq_telemetry::global().counter("synth.runs").inc();
         let mut reports = Vec::with_capacity(self.passes.len());
-        for pass in &self.passes {
+        for (pass, timer) in self.passes.iter().zip(&self.pass_timers) {
             let before = planned_cost(&unit);
-            let detail = pass.run(&mut unit)?;
+            let detail = {
+                // Records the pass's wall time on scope exit, error or not.
+                let _span = sfq_telemetry::SpanTimer::start(timer.clone());
+                pass.run(&mut unit)?
+            };
             unit.ir
                 .verify_against(&unit.generator)
                 .map_err(|error| PassError::Equivalence {
@@ -1120,6 +1136,32 @@ impl SchedulePlan {
     }
 }
 
+/// Records planner accounting into the global telemetry registry: run and
+/// candidate counts, whether the emitted netlist matched the planned cost
+/// exactly, and the planned-vs-emitted JJ delta. The planner prices
+/// candidates on a scratch lowering, so any delta against the emitted
+/// netlist is a cost-model bug worth surfacing in the run report.
+/// [`SynthPlanner::run`] calls this automatically; callers that drive
+/// [`SynthPlanner::plan`] and [`PassManager`] separately (e.g. to attach a
+/// verifier) should call it after synthesis.
+pub fn record_plan_metrics(plan: &SchedulePlan, result: &SynthResult, library: &CellLibrary) {
+    let planned = plan.chosen_cost();
+    let emitted = result.report.final_cost();
+    let registry = sfq_telemetry::global();
+    registry.counter("synth.plan.runs").inc();
+    registry
+        .counter("synth.plan.candidates_priced")
+        .add(plan.candidates.len() as u64);
+    if planned == emitted {
+        registry.counter("synth.plan.exact").inc();
+    } else {
+        registry.counter("synth.plan.mismatched").inc();
+    }
+    registry
+        .gauge("synth.plan.last_delta_jj")
+        .set(emitted.jj(library) as i64 - planned.jj(library) as i64);
+}
+
 /// Cost-model-driven pass planning: prices every [`Schedule`] candidate
 /// against a [`CellLibrary`] and synthesizes with the cheapest one, so
 /// libraries with different DFF/splitter cost ratios genuinely produce
@@ -1189,6 +1231,7 @@ impl<'lib> SynthPlanner<'lib> {
     ) -> Result<(SynthResult, SchedulePlan), PassError> {
         let plan = self.plan(generator);
         let result = PassManager::with_schedule(self.options, plan.chosen).run(name, generator)?;
+        record_plan_metrics(&plan, &result, self.library);
         Ok((result, plan))
     }
 }

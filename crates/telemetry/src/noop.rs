@@ -1,0 +1,153 @@
+//! Zero-sized no-op mirror of the instrumentation API (`enabled` feature
+//! off). Every type is unit-sized and every method an empty inline call, so
+//! instrumented crates compile unchanged and carry no telemetry cost at
+//! all. [`MetricsRegistry::snapshot`] returns an empty [`Snapshot`].
+
+use crate::snapshot::Snapshot;
+
+/// `false`: the crate was compiled without the `enabled` feature.
+#[must_use]
+pub fn is_enabled() -> bool {
+    false
+}
+
+/// Always `false` in no-op builds.
+#[must_use]
+pub fn recording() -> bool {
+    false
+}
+
+/// No-op: there is nothing to toggle in an uninstrumented build.
+pub fn set_recording(_on: bool) {}
+
+/// No-op counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _v: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Always 0.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _v: i64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _delta: i64) {}
+
+    /// Always 0.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        0
+    }
+}
+
+/// No-op histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&self, _value: u64) {}
+
+    /// Always 0.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op span: never reads the clock.
+#[derive(Debug)]
+pub struct SpanTimer;
+
+impl SpanTimer {
+    /// No-op.
+    #[must_use]
+    pub fn start(_histogram: Histogram) -> Self {
+        SpanTimer
+    }
+}
+
+/// No-op stopwatch: never reads the clock, always reports 0.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch;
+
+impl Stopwatch {
+    /// No-op.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch
+    }
+
+    /// Always 0, so derived values are deterministic in no-op builds.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op registry: hands out unit handles, snapshots are empty.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry;
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry
+    }
+
+    /// A no-op counter handle.
+    #[must_use]
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+
+    /// A no-op gauge handle.
+    #[must_use]
+    pub fn gauge(&self, _name: &str) -> Gauge {
+        Gauge
+    }
+
+    /// A no-op histogram handle.
+    #[must_use]
+    pub fn histogram(&self, _name: &str) -> Histogram {
+        Histogram
+    }
+
+    /// Always empty.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// No-op.
+    pub fn reset(&self) {}
+}
+
+/// The process-wide registry (a unit value in no-op builds).
+#[must_use]
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: MetricsRegistry = MetricsRegistry;
+    &GLOBAL
+}

@@ -1,0 +1,147 @@
+//! Telemetry never influences results: the same committed output
+//! fingerprints must hold with instrumentation compiled in (the default
+//! `telemetry` feature), compiled out (`--no-default-features` — CI runs
+//! this suite under both legs), recording toggled off at runtime, and at
+//! any worker-thread count. Metrics are write-only from the instrumented
+//! code's point of view and no RNG stream passes through the telemetry
+//! crate, so every assertion here is feature-independent by construction —
+//! these tests exist to catch anyone accidentally breaking that contract.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sfq_ecc::batch::BatchCodec;
+use sfq_ecc::cells::CellLibrary;
+use sfq_ecc::ecc::{BatchDecode, BatchEncode};
+use sfq_ecc::encoders::{EncoderDesign, EncoderKind};
+use sfq_ecc::gf2::{BitSlice64, BitVec};
+use sfq_ecc::link::Fig5Experiment;
+
+/// FNV-1a over a stream of `u64` words, used to pin outputs as committed
+/// constants that both CI feature legs assert against.
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// The reduced Fig. 5 configuration every test in this file runs.
+fn experiment(threads: usize) -> Fig5Experiment {
+    Fig5Experiment {
+        chips: 40,
+        messages_per_chip: 50,
+        threads,
+        ..Fig5Experiment::paper_setup()
+    }
+}
+
+fn fig5_error_fingerprint(threads: usize) -> u64 {
+    let library = CellLibrary::coldflux();
+    let design = EncoderDesign::build(EncoderKind::Hamming84);
+    let curve = experiment(threads).run_design_batched(&design, &library);
+    assert_eq!(curve.errors_per_chip.len(), 40);
+    fnv1a(curve.errors_per_chip.iter().map(|&e| e as u64))
+}
+
+/// Committed fingerprint of the Fig. 5 per-chip error counts above. The
+/// same value must come out of the default build and the
+/// `--no-default-features` build; update it only when the simulation
+/// itself (not telemetry) intentionally changes.
+const FIG5_ERRORS_FNV: u64 = 0xf05e_74aa_1eda_9c25;
+
+/// Committed fingerprint of the SEC-DED(72,64) batch-decode output below.
+const SECDED_DECODE_FNV: u64 = 0x1cbf_80f6_f8ae_c63b;
+
+fn secded_decode_fingerprint() -> u64 {
+    let codec = BatchCodec::new(&sfq_ecc::ecc::SecDed::new(6));
+    let mut rng = StdRng::seed_from_u64(0x00DE_7E81);
+    let messages: Vec<BitVec> = (0..256)
+        .map(|_| BitVec::from_u64(64, rng.random::<u64>()))
+        .collect();
+    let mut received = codec.encode_batch(&BitSlice64::pack(&messages));
+    // A mix of clean lanes, single errors (correctable), and double errors
+    // (detected), so the hash covers every decoder outcome path.
+    for i in 0..256 {
+        for flip in 0..(i % 3) {
+            let pos = (i * 7 + flip * 31) % 72;
+            received.set(i, pos, !received.get(i, pos));
+        }
+    }
+    let decoded = codec.decode_batch(&received);
+    let mut words: Vec<u64> = Vec::new();
+    for j in 0..codec.k() {
+        words.extend_from_slice(decoded.messages.lane(j));
+    }
+    words.extend_from_slice(&decoded.flagged);
+    words.extend_from_slice(&decoded.corrected);
+    fnv1a(words)
+}
+
+#[test]
+fn fig5_outputs_match_the_committed_fingerprint() {
+    assert_eq!(
+        fig5_error_fingerprint(1),
+        FIG5_ERRORS_FNV,
+        "Fig. 5 per-chip error counts changed; if the simulation change is \
+         intentional, update FIG5_ERRORS_FNV (and never because of telemetry)"
+    );
+}
+
+#[test]
+fn fig5_outputs_are_identical_across_worker_counts() {
+    let serial = fig5_error_fingerprint(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            fig5_error_fingerprint(threads),
+            serial,
+            "{threads}-worker run diverged from the serial run"
+        );
+    }
+}
+
+#[test]
+fn batch_decode_matches_the_committed_fingerprint() {
+    assert_eq!(
+        secded_decode_fingerprint(),
+        SECDED_DECODE_FNV,
+        "SEC-DED(72,64) batch-decode output changed; if the decoder change \
+         is intentional, update SECDED_DECODE_FNV"
+    );
+}
+
+#[test]
+fn runtime_recording_toggle_never_changes_outputs() {
+    // Meaningful in the default build (recording flips real atomics) and
+    // trivially true in the --no-default-features build (set_recording is
+    // a no-op); asserted under both so the contract is load-bearing.
+    let on = {
+        sfq_ecc::telemetry::set_recording(true);
+        (fig5_error_fingerprint(1), secded_decode_fingerprint())
+    };
+    let off = {
+        sfq_ecc::telemetry::set_recording(false);
+        let r = (fig5_error_fingerprint(1), secded_decode_fingerprint());
+        sfq_ecc::telemetry::set_recording(true);
+        r
+    };
+    assert_eq!(on, off);
+}
+
+#[test]
+fn parallelism_report_reflects_the_worker_layout_without_affecting_results() {
+    let library = CellLibrary::coldflux();
+    let design = EncoderDesign::build(EncoderKind::Hamming84);
+    let curve = experiment(4).run_design_batched(&design, &library);
+    // 40 chips over 4 workers: ceil(40/4) = 10 chips each.
+    assert_eq!(curve.parallelism.threads, 4);
+    assert_eq!(curve.parallelism.chips_per_worker, vec![10, 10, 10, 10]);
+    assert_eq!(
+        fnv1a(curve.errors_per_chip.iter().map(|&e| e as u64)),
+        FIG5_ERRORS_FNV,
+        "the layout report must never perturb the simulation"
+    );
+}
