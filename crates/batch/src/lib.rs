@@ -51,6 +51,14 @@
 //! * [`SyndromeClass::General`] decoders (e.g. majority-vote repetition) are
 //!   interrogated once per syndrome value, exactly like the old
 //!   syndrome-action table — still exact, but only tractable for small `r`.
+//! * [`SyndromeClass::Algebraic`] decoders (multi-error BCH) have far too
+//!   many correctable syndromes to tabulate (`Σ C(n,i)` for `i ≤ t`).
+//!   [`BatchCodec::with_scalar_fallback`] keeps the bit-sliced syndrome
+//!   accumulation and the clean-limb short-circuit, then runs the **scalar
+//!   algebraic decoder only on the dirty lanes** — under Monte-Carlo traffic
+//!   almost every limb is clean, so the expected cost per limb stays at the
+//!   XOR syndrome cost. Locator-evaluation work is metered by the
+//!   `batch.bch.*` counters.
 //!
 //! Bit-exactness with the scalar path is enforced by the workspace's
 //! exhaustive equivalence tests, and the RM(1,3) tie-break policy note
@@ -69,11 +77,12 @@
 #![warn(missing_docs)]
 
 use ecc::{
-    generator_right_inverse, BatchDecode, BatchDecoded, BatchEncode, BatchScratch, BlockCode,
-    DecodeOutcome, Hamming74, Hamming84, HardDecoder, Repetition, Rm13, SecDed, ShortenedHamming,
-    SyndromeClass, Uncoded,
+    generator_right_inverse, BatchDecode, BatchDecoded, BatchEncode, BatchScratch, Bch, BlockCode,
+    DecodeOutcome, Decoded, Hamming74, Hamming84, HardDecoder, Repetition, Rm13, SecDed,
+    ShortenedHamming, SyndromeClass, Uncoded,
 };
 use gf2::{and_xnor_reduce, or_reduce, BitMat, BitSlice64, BitVec};
+use std::sync::Arc;
 
 /// Largest supported codeword length: syndrome patterns, column supports,
 /// and flip masks are single `u128`s. This is the batch engine's only size
@@ -119,6 +128,66 @@ struct ColumnMatchProgram {
 
 /// Upper bound of the per-limb prefix-mask table (`2^4`).
 const PREFIX_SLOTS: usize = 16;
+
+/// The scalar-fallback decode engine for [`SyndromeClass::Algebraic`]
+/// decoders: limbs are screened with the bit-sliced syndrome OR-reduce, and
+/// only *dirty* lanes are unpacked and handed to the owned scalar decoder.
+#[derive(Clone)]
+struct AlgebraicFallback {
+    /// The owned scalar decoder, type-erased.
+    decode: Arc<dyn Fn(&BitVec) -> Decoded + Send + Sync>,
+    /// Locator evaluations one scalar decode of a dirty word performs
+    /// (e.g. `n` Chien-search points for BCH); used for work metering only.
+    locator_evals_per_word: u64,
+    /// `batch.bch.*` telemetry handles.
+    metrics: AlgebraicMetrics,
+}
+
+impl std::fmt::Debug for AlgebraicFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgebraicFallback")
+            .field("locator_evals_per_word", &self.locator_evals_per_word)
+            .finish_non_exhaustive()
+    }
+}
+
+/// How a [`BatchCodec`] turns syndromes into corrections.
+#[derive(Debug, Clone)]
+enum DecodeEngine {
+    /// The compiled column-matching program (`ColumnFlip` / `General`).
+    ColumnMatch(ColumnMatchProgram),
+    /// Bit-sliced syndrome screen + scalar decode of dirty lanes
+    /// (`Algebraic`).
+    ScalarFallback(AlgebraicFallback),
+}
+
+/// Telemetry handles of the algebraic fallback path, registered under the
+/// `batch.bch.*` names (see `docs/OBSERVABILITY.md`). Like
+/// [`DecodeMetrics`], the kernel accumulates into locals and flushes once
+/// per decode call.
+#[derive(Debug, Clone)]
+struct AlgebraicMetrics {
+    /// Lanes whose syndrome was nonzero (each costs one scalar decode).
+    dirty_lanes: sfq_telemetry::Counter,
+    /// Dirty lanes the scalar decoder corrected.
+    fallback_corrected: sfq_telemetry::Counter,
+    /// Dirty lanes the scalar decoder flagged detected-uncorrectable.
+    fallback_flagged: sfq_telemetry::Counter,
+    /// Error-locator evaluations performed (Chien-search points).
+    locator_evals: sfq_telemetry::Counter,
+}
+
+impl AlgebraicMetrics {
+    fn new() -> Self {
+        let registry = sfq_telemetry::global();
+        AlgebraicMetrics {
+            dirty_lanes: registry.counter("batch.bch.dirty_lanes"),
+            fallback_corrected: registry.counter("batch.bch.fallback_corrected"),
+            fallback_flagged: registry.counter("batch.bch.fallback_flagged"),
+            locator_evals: registry.counter("batch.bch.locator_evals"),
+        }
+    }
+}
 
 /// Decode-kernel telemetry handles, registered once per codec under the
 /// `batch.decode.*` names (each codec is a shard of the global registry;
@@ -210,8 +279,9 @@ pub struct BatchCodec {
     encode_masks: Vec<u128>,
     /// `syndrome_masks[t]`: support of parity-check row `t` over codeword bits.
     syndrome_masks: Vec<u128>,
-    /// The compiled column-matching decode program.
-    program: ColumnMatchProgram,
+    /// The decode engine: a compiled column-matching program, or the
+    /// scalar-fallback screen for algebraic decoders.
+    engine: DecodeEngine,
     /// `extract_masks[j]`: support over codeword bits whose parity is message
     /// bit `j` (from the generator's right inverse).
     extract_masks: Vec<u128>,
@@ -229,10 +299,63 @@ impl BatchCodec {
     ///
     /// # Panics
     /// Panics if the code exceeds `n ≤ 128` (masks are single `u128`s), if
-    /// the parity-check matrix does not have full row rank, or if a
-    /// `ColumnFlip` decoder fails its per-column scalar probe.
+    /// the parity-check matrix does not have full row rank, if a
+    /// `ColumnFlip` decoder fails its per-column scalar probe, or if the
+    /// decoder declares [`SyndromeClass::Algebraic`] (those codecs own their
+    /// scalar decoder — build them with
+    /// [`BatchCodec::with_scalar_fallback`]).
     #[must_use]
     pub fn new<C: BlockCode + HardDecoder>(code: &C) -> Self {
+        let engine = |code: &C, redundancy: usize| {
+            let entries = if redundancy == 0 {
+                // No parity: every word is a codeword, nothing to correct or
+                // detect.
+                Vec::new()
+            } else {
+                match code.syndrome_class() {
+                    SyndromeClass::ColumnFlip => column_flip_entries(code),
+                    SyndromeClass::General => interrogated_entries(code),
+                    SyndromeClass::Algebraic => panic!(
+                        "{}: algebraic decoders keep a scalar fallback; \
+                         build with BatchCodec::with_scalar_fallback",
+                        code.name()
+                    ),
+                }
+            };
+            DecodeEngine::ColumnMatch(ColumnMatchProgram::new(entries, redundancy))
+        };
+        Self::build(code, engine)
+    }
+
+    /// Builds the batch engine for a [`SyndromeClass::Algebraic`] decoder:
+    /// bit-sliced syndrome accumulation with the clean-limb short-circuit,
+    /// plus an owned clone of the scalar decoder that is invoked **per dirty
+    /// lane only**. `locator_evals_per_word` meters the locator-evaluation
+    /// work one scalar decode performs (`batch.bch.locator_evals`).
+    ///
+    /// # Panics
+    /// Panics under the same size/rank conditions as [`BatchCodec::new`].
+    #[must_use]
+    pub fn with_scalar_fallback<C>(code: &C, locator_evals_per_word: usize) -> Self
+    where
+        C: BlockCode + HardDecoder + Clone + Send + Sync + 'static,
+    {
+        let engine = |code: &C, _redundancy: usize| {
+            let owned = code.clone();
+            DecodeEngine::ScalarFallback(AlgebraicFallback {
+                decode: Arc::new(move |word: &BitVec| owned.decode(word)),
+                locator_evals_per_word: locator_evals_per_word as u64,
+                metrics: AlgebraicMetrics::new(),
+            })
+        };
+        Self::build(code, engine)
+    }
+
+    /// Shared constructor body: masks, extraction lanes, and the engine.
+    fn build<C: BlockCode + HardDecoder>(
+        code: &C,
+        engine: impl FnOnce(&C, usize) -> DecodeEngine,
+    ) -> Self {
         let (n, k) = (code.n(), code.k());
         assert!(
             n <= MAX_BLOCK_LENGTH,
@@ -247,17 +370,7 @@ impl BatchCodec {
         let h = code.parity_check();
         let syndrome_masks: Vec<u128> = (0..redundancy).map(|t| row_mask(h, t)).collect();
 
-        let entries = if redundancy == 0 {
-            // No parity: every word is a codeword, nothing to correct or
-            // detect.
-            Vec::new()
-        } else {
-            match code.syndrome_class() {
-                SyndromeClass::ColumnFlip => column_flip_entries(code),
-                SyndromeClass::General => interrogated_entries(code),
-            }
-        };
-        let program = ColumnMatchProgram::new(entries, redundancy);
+        let engine = engine(code, redundancy);
 
         let (pivots, transform) = generator_right_inverse(g);
         let extract_masks: Vec<u128> = (0..k)
@@ -276,7 +389,7 @@ impl BatchCodec {
             k,
             encode_masks,
             syndrome_masks,
-            program,
+            engine,
             extract_masks,
             metrics: DecodeMetrics::new(),
         }
@@ -326,6 +439,16 @@ impl BatchCodec {
         Self::new(&ShortenedHamming::wide_85_64())
     }
 
+    /// Batch engine for the multi-error BCH(31,16) code (`t = 2`,
+    /// `d_min = 7`): bit-sliced syndrome screen, scalar
+    /// Berlekamp–Massey/Chien fallback on dirty lanes only.
+    #[must_use]
+    pub fn bch() -> Self {
+        let code = Bch::bch_31_16();
+        let evals = code.locator_evaluations_per_word();
+        Self::with_scalar_fallback(&code, evals)
+    }
+
     /// Human-readable name, derived from the scalar code's.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -333,15 +456,20 @@ impl BatchCodec {
     }
 
     /// Number of compiled match entries (one per correctable syndrome).
+    /// Scalar-fallback engines compile no entries and report zero.
     #[must_use]
     pub fn program_len(&self) -> usize {
-        self.program.entries.len()
+        match &self.engine {
+            DecodeEngine::ColumnMatch(program) => program.entries.len(),
+            DecodeEngine::ScalarFallback(_) => 0,
+        }
     }
 
     /// The column-matching decode kernel: one pass over the limbs, matching
     /// each against the compiled program.
     fn run_program(
         &self,
+        program: &ColumnMatchProgram,
         received: &BitSlice64,
         scratch: &mut BatchScratch,
         out: &mut BatchDecoded,
@@ -349,7 +477,7 @@ impl BatchCodec {
         let redundancy = self.syndrome_masks.len();
         let words = received.words();
         let tail = received.tail_mask();
-        let prefix_bits = self.program.prefix_bits;
+        let prefix_bits = program.prefix_bits;
 
         self.syndrome_batch_into(received, &mut scratch.syndromes);
         if scratch.gather.len() < redundancy {
@@ -402,7 +530,7 @@ impl BatchCodec {
             // Positions whose whole syndrome is zero: accepted as-is.
             let clean = and_xnor_reduce(masks[0], suffix, 0);
             let mut matched = 0u64;
-            for &(b, start, end) in &self.program.buckets {
+            for &(b, start, end) in &program.buckets {
                 // Lanes still in play for this bucket; matched lanes retire
                 // (patterns are distinct, so each lane matches at most one
                 // entry), and a lane-less bucket skips its entries outright.
@@ -415,7 +543,7 @@ impl BatchCodec {
                     continue;
                 }
                 buckets_visited += 1;
-                for entry in &self.program.entries[start as usize..end as usize] {
+                for entry in &program.entries[start as usize..end as usize] {
                     entries_tested += 1;
                     let m = and_xnor_reduce(base, suffix, entry.pattern >> prefix_bits);
                     if m == 0 {
@@ -449,9 +577,109 @@ impl BatchCodec {
         self.metrics.lanes_matched.add(lanes_matched);
         self.metrics.lanes_flagged.add(lanes_flagged);
 
-        // Message lanes: parity of the extraction support over the corrected
-        // codeword lanes, masked out at flagged positions.
-        out.messages.reset(self.k, received.batch());
+        self.extract_message_lanes(received.batch(), out);
+    }
+
+    /// The scalar-fallback decode kernel for algebraic decoders: bit-sliced
+    /// syndrome accumulation screens the limbs exactly like the
+    /// column-matching kernel (same clean-limb short-circuit), and each
+    /// dirty lane — syndrome nonzero — is unpacked and decoded by the owned
+    /// scalar decoder, whose corrected codeword (or error flag) is written
+    /// back into the lane. Only dirty lanes ever allocate.
+    fn run_fallback(
+        &self,
+        fallback: &AlgebraicFallback,
+        received: &BitSlice64,
+        scratch: &mut BatchScratch,
+        out: &mut BatchDecoded,
+    ) {
+        let redundancy = self.syndrome_masks.len();
+        let words = received.words();
+        let tail = received.tail_mask();
+
+        self.syndrome_batch_into(received, &mut scratch.syndromes);
+        if scratch.gather.len() < redundancy {
+            scratch.gather.resize(redundancy, 0);
+        }
+
+        out.codewords.copy_from(received);
+        out.flagged.clear();
+        out.flagged.resize(words, 0);
+        out.corrected.clear();
+        out.corrected.resize(words, 0);
+
+        // Telemetry in locals, flushed once per call (no atomics per limb).
+        let mut clean_limbs = 0u64;
+        let mut dirty_lanes = 0u64;
+        let mut fallback_corrected = 0u64;
+        let mut fallback_flagged = 0u64;
+        let mut lanes_flagged = 0u64;
+        let mut lanes_matched = 0u64;
+
+        for w in 0..words {
+            let valid = if w + 1 == words { tail } else { u64::MAX };
+            let gather = &mut scratch.gather[..redundancy];
+            scratch.syndromes.gather_word(w, gather);
+
+            // Clean-limb short-circuit, identical to the column-matching
+            // kernel: all-zero syndromes need no per-lane work at all.
+            let mut dirty = or_reduce(gather) & valid;
+            if dirty == 0 {
+                clean_limbs += 1;
+                continue;
+            }
+
+            while dirty != 0 {
+                let bit = dirty & dirty.wrapping_neg();
+                let lane = w * 64 + bit.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                dirty_lanes += 1;
+
+                let word = received.extract(lane);
+                let decoded = (fallback.decode)(&word);
+                match decoded.outcome {
+                    DecodeOutcome::DetectedUncorrectable => {
+                        out.flagged[w] |= bit;
+                        fallback_flagged += 1;
+                    }
+                    _ => {
+                        let codeword = decoded
+                            .codeword
+                            .expect("non-detected decode must produce a codeword");
+                        for p in 0..self.n {
+                            if codeword.get(p) != word.get(p) {
+                                out.codewords.lane_mut(p)[w] ^= bit;
+                            }
+                        }
+                        out.corrected[w] |= bit;
+                        fallback_corrected += 1;
+                    }
+                }
+            }
+            lanes_matched += u64::from(out.corrected[w].count_ones());
+            lanes_flagged += u64::from(out.flagged[w].count_ones());
+        }
+
+        self.metrics.calls.inc();
+        self.metrics.limbs.add(words as u64);
+        self.metrics.clean_limbs.add(clean_limbs);
+        self.metrics.lanes_matched.add(lanes_matched);
+        self.metrics.lanes_flagged.add(lanes_flagged);
+        fallback.metrics.dirty_lanes.add(dirty_lanes);
+        fallback.metrics.fallback_corrected.add(fallback_corrected);
+        fallback.metrics.fallback_flagged.add(fallback_flagged);
+        fallback
+            .metrics
+            .locator_evals
+            .add(dirty_lanes * fallback.locator_evals_per_word);
+
+        self.extract_message_lanes(received.batch(), out);
+    }
+
+    /// Message lanes: parity of the extraction support over the corrected
+    /// codeword lanes, masked out at flagged positions.
+    fn extract_message_lanes(&self, batch: usize, out: &mut BatchDecoded) {
+        out.messages.reset(self.k, batch);
         for (j, &mask) in self.extract_masks.iter().enumerate() {
             let mut m = mask;
             while m != 0 {
@@ -530,7 +758,14 @@ impl BatchDecode for BatchCodec {
         out: &mut BatchDecoded,
     ) {
         assert_eq!(received.bits(), self.n, "received lanes must equal n");
-        self.run_program(received, scratch, out);
+        match &self.engine {
+            DecodeEngine::ColumnMatch(program) => {
+                self.run_program(program, received, scratch, out);
+            }
+            DecodeEngine::ScalarFallback(fallback) => {
+                self.run_fallback(fallback, received, scratch, out);
+            }
+        }
     }
 }
 
@@ -847,8 +1082,10 @@ mod tests {
         assert_eq!(BatchCodec::rm13().program_len(), 8);
         assert_eq!(BatchCodec::sec_ded(6).program_len(), 72);
         assert_eq!(BatchCodec::wide_hamming_85_64().program_len(), 85);
-        // The r = 0 degenerate case has nothing to match.
+        // The r = 0 degenerate case has nothing to match, and the algebraic
+        // BCH engine compiles no entries at all (scalar fallback).
         assert_eq!(BatchCodec::uncoded(4).program_len(), 0);
+        assert_eq!(BatchCodec::bch().program_len(), 0);
         // General-class codes keep interrogated entries (correctable
         // syndromes only): the (8,4) factor-2 repetition code corrects
         // nothing (every disagreement is a tie), the (6,2) factor-3 code
@@ -983,6 +1220,84 @@ mod tests {
             assert!(!decoded.is_flagged(i));
             assert_eq!(decoded.messages.extract(i), *m, "msg {i}");
         }
+    }
+
+    #[test]
+    fn bch_codec_roundtrips_and_corrects_up_to_two_errors() {
+        let scalar = Bch::bch_31_16();
+        let codec = BatchCodec::bch();
+        assert_eq!((codec.n(), codec.k()), (31, 16));
+        assert!(codec.name().contains("BCH(31,16)"));
+        let mut rng = StdRng::seed_from_u64(0x3116);
+        let messages: Vec<BitVec> = (0..130)
+            .map(|_| BitVec::from_u64(16, rng.random_range(0..1 << 16)))
+            .collect();
+        let clean = codec.encode_batch(&BitSlice64::pack(&messages));
+        for (i, msg) in messages.iter().enumerate() {
+            assert_eq!(clean.extract(i), scalar.encode(msg), "word {i}");
+        }
+
+        // Clean round trip: every limb short-circuits.
+        let decoded = codec.decode_batch(&clean);
+        assert_eq!(decoded.flagged_count(), 0);
+        assert_eq!(decoded.corrected_count(), 0);
+        assert_eq!(decoded.messages.unpack(), messages);
+
+        // Word i gets (i % 3) errors: 0 clean, 1 single, 2 double — all
+        // recovered; words 7 and 80 get a triple — flagged.
+        let mut received = clean.clone();
+        for i in 0..130 {
+            let errors = if i == 7 || i == 80 { 3 } else { i % 3 };
+            let mut hit = Vec::new();
+            while hit.len() < errors {
+                let pos = rng.random_range(0..31usize);
+                if !hit.contains(&pos) {
+                    hit.push(pos);
+                    received.set(i, pos, !received.get(i, pos));
+                }
+            }
+        }
+        let decoded = codec.decode_batch(&received);
+        for (i, message) in messages.iter().enumerate() {
+            if i == 7 || i == 80 {
+                assert!(decoded.is_flagged(i), "word {i} must be flagged");
+            } else {
+                assert!(!decoded.is_flagged(i), "word {i}");
+                assert_eq!(decoded.is_corrected(i), i % 3 != 0, "word {i}");
+                assert_eq!(decoded.messages.extract(i), *message, "word {i}");
+            }
+        }
+        assert_eq!(decoded.flagged_count(), 2);
+    }
+
+    #[test]
+    fn bch_scratch_reuse_is_bit_exact() {
+        let codec = BatchCodec::bch();
+        let mut scratch = BatchScratch::new();
+        let mut out = BatchDecoded::empty();
+        let mut rng = StdRng::seed_from_u64(0xFA11_BACC);
+        for batch_size in [3usize, 64, 131] {
+            let words: Vec<BitVec> = (0..batch_size)
+                .map(|_| {
+                    (0..31)
+                        .map(|_| rng.random::<u64>() & 1 == 1)
+                        .collect::<BitVec>()
+                })
+                .collect();
+            let batch = BitSlice64::pack(&words);
+            let reference = codec.decode_batch(&batch);
+            codec.decode_batch_with(&batch, &mut scratch, &mut out);
+            assert_eq!(out.messages, reference.messages);
+            assert_eq!(out.codewords, reference.codewords);
+            assert_eq!(out.flagged, reference.flagged);
+            assert_eq!(out.corrected, reference.corrected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar fallback")]
+    fn algebraic_decoders_reject_the_plain_constructor() {
+        let _ = BatchCodec::new(&Bch::bch_31_16());
     }
 
     #[test]

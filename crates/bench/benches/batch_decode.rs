@@ -42,6 +42,17 @@ use std::time::Instant;
 /// not machine-to-machine noise.
 const SECDED_72_64_DECODE_FLOOR: f64 = 1.5e7;
 
+/// CI throughput floor for BCH(31,16) batch decode (messages/second),
+/// checked in `--quick` mode. The measurement input puts one random error in
+/// *every* word, so every lane is dirty and the number is the worst case for
+/// the algebraic engine: pure scalar-fallback (Berlekamp–Massey + Chien)
+/// throughput with none of the clean-limb short-circuiting that carries
+/// Monte-Carlo traffic. Measured ≈ 4e5 msg/s on the commit that introduced
+/// it (the link path, whose limbs are mostly clean, sustains ≈ 3.5e8);
+/// the floor is set well below so it catches algorithmic regressions
+/// (e.g. an accidental per-lane table rebuild), not runner noise.
+const BCH_31_16_DECODE_FLOOR: f64 = 1.0e5;
+
 /// Telemetry overhead gate, checked in `--quick` mode: SEC-DED(72,64)
 /// batch decode with recording ON must sustain at least this fraction of
 /// the recording-OFF rate. The instrumentation accumulates in plain locals
@@ -87,8 +98,13 @@ struct ActionTableCodec {
 
 impl ActionTableCodec {
     /// Builds the baseline, or `None` when the table would exceed 2^20
-    /// entries (the old `MAX_REDUNDANCY` limit).
-    fn try_new<C: BlockCode + HardDecoder>(code: &C) -> Option<Self> {
+    /// entries (the old `MAX_REDUNDANCY` limit). Coset invariance is all the
+    /// table needs, so algebraic decoders qualify too — tabulating their
+    /// 2^(n-k) syndrome space is exactly the cost the scalar-fallback engine
+    /// avoids, which makes this a fair old-world baseline for them.
+    fn try_new<C: BlockCode + HardDecoder + Clone + Send + Sync + 'static>(
+        code: &C,
+    ) -> Option<Self> {
         let n = code.n();
         let redundancy = n - code.k();
         if redundancy > 20 {
@@ -133,7 +149,10 @@ impl ActionTableCodec {
             redundancy,
             actions,
             extract_masks,
-            inner: BatchCodec::new(code),
+            inner: match code.syndrome_class() {
+                ecc::SyndromeClass::Algebraic => BatchCodec::with_scalar_fallback(code, code.n()),
+                _ => BatchCodec::new(code),
+            },
         })
     }
 
@@ -211,13 +230,16 @@ struct Case {
     link_kind: Option<EncoderKind>,
 }
 
-fn build_case<C: BlockCode + HardDecoder>(
+fn build_case<C: BlockCode + HardDecoder + Clone + Send + Sync + 'static>(
     slug: &'static str,
     code: &C,
     link_kind: Option<EncoderKind>,
     rng: &mut StdRng,
 ) -> Case {
-    let codec = BatchCodec::new(code);
+    let codec = match code.syndrome_class() {
+        ecc::SyndromeClass::Algebraic => BatchCodec::with_scalar_fallback(code, code.n()),
+        _ => BatchCodec::new(code),
+    };
     // Measurement input: clean codewords with one random single-bit error
     // per word — the typical Monte-Carlo mix exercises the match path, not
     // just the all-clean fast path.
@@ -275,6 +297,12 @@ fn cases() -> Vec<Case> {
             "shamming_85_64",
             &ecc::ShortenedHamming::wide_85_64(),
             Some(EncoderKind::WideHamming8564),
+            &mut rng,
+        ),
+        build_case(
+            "bch_31_16",
+            &ecc::Bch::bch_31_16(),
+            Some(EncoderKind::Bch),
             &mut rng,
         ),
     ]
@@ -451,7 +479,7 @@ fn telemetry_overhead(quick: bool) -> (f64, f64) {
 
 fn bench_batch_decode(c: &mut Criterion) {
     let quick = std::env::args().any(|a| a == "--quick");
-    let fingerprint = Fingerprint::new("batch_suite(7 codes)", 0, LANES, SEED, 1);
+    let fingerprint = Fingerprint::new("batch_suite(8 codes)", 0, LANES, SEED, 1);
     let measurements = measure(quick, &fingerprint);
 
     if !quick {
@@ -475,12 +503,28 @@ fn bench_batch_decode(c: &mut Criterion) {
         "SEC-DED(72,64) decode {:.3e} msg/s (floor {SECDED_72_64_DECODE_FLOOR:.1e})",
         secded.decode
     );
+    let bch = measurements
+        .iter()
+        .find(|m| m.slug == "bch_31_16")
+        .expect("bch_31_16 measured");
+    println!(
+        "BCH(31,16) decode {:.3e} msg/s (floor {BCH_31_16_DECODE_FLOOR:.1e}, all-dirty input)",
+        bch.decode
+    );
     if quick {
         if secded.decode < SECDED_72_64_DECODE_FLOOR {
             eprintln!(
                 "THROUGHPUT REGRESSION: SEC-DED(72,64) batch decode {:.3e} msg/s is below \
                  the committed floor {SECDED_72_64_DECODE_FLOOR:.1e}",
                 secded.decode
+            );
+            std::process::exit(1);
+        }
+        if bch.decode < BCH_31_16_DECODE_FLOOR {
+            eprintln!(
+                "THROUGHPUT REGRESSION: BCH(31,16) batch decode {:.3e} msg/s is below \
+                 the committed floor {BCH_31_16_DECODE_FLOOR:.1e}",
+                bch.decode
             );
             std::process::exit(1);
         }

@@ -1,0 +1,497 @@
+//! Binary primitive BCH codes: the workspace's first multi-error-correcting
+//! (`t ≥ 2`) family.
+//!
+//! [`Bch::new(m, t)`] constructs the primitive binary BCH code of length
+//! `n = 2^m − 1` with designed distance `2t + 1`: the generator polynomial is
+//! the least common multiple of the minimal polynomials of `α, α², …, α^{2t}`
+//! over GF(2), where `α` generates GF(2^m) (the [`gf2::field::Gf2m`]
+//! log/antilog machinery built for this module). The code is systematic —
+//! `[ d_0 … d_{k−1} | p_0 … p_{r−1} ]` with bit `i` holding the coefficient
+//! of `x^{n−1−i}` — so message extraction is a prefix slice.
+//!
+//! The flagship catalog member is **BCH(31,16)** ([`Bch::bch_31_16`]):
+//! `m = 5`, generator `m₁(x)·m₃(x)·m₅(x)` of degree 15, true minimum
+//! distance 7, shipped with a *bounded-distance* decoder of radius `t = 2`.
+//! Capping the radius below the designed `t = 3` is deliberate: every
+//! 1- and 2-bit error is corrected, while every 3-bit error is **detected**
+//! (`d_min = 7` leaves no codeword within distance 2 of a weight-3
+//! corruption), which gives the link an error flag where SEC-DED would
+//! already miscorrect — and it halves the syndrome work per dirty lane.
+//!
+//! # Decoding
+//!
+//! Hard decoding is the textbook algebraic chain, entirely over GF(2^m):
+//!
+//! 1. **Syndromes** `S_i = r(α^i)` for `i = 1 … 2t` (all zero → accept);
+//! 2. **Berlekamp–Massey** builds the error-locator polynomial `σ(x)` (at
+//!    the shipped `t = 2` this collapses to Peterson's direct solution, but
+//!    the general iteration costs the same here and covers any radius);
+//! 3. **Chien search** evaluates `σ` at `α^{−e}` for every position; the
+//!    roots name the error locations. A locator degree above `t`, a root
+//!    count below the degree, or a post-correction syndrome check failure
+//!    all raise [`DecodeOutcome::DetectedUncorrectable`](crate::DecodeOutcome).
+//!
+//! The decision depends only on the syndrome (the error pattern), so the
+//! decoder is coset-invariant like every other code in this crate; its
+//! [`SyndromeClass::Algebraic`](crate::SyndromeClass) marks that batch
+//! engines should bit-slice the syndrome accumulation and fall back to this
+//! scalar decoder on dirty lanes only.
+
+use crate::decoder::Decoded;
+use crate::{validate_code_matrices, BlockCode, HardDecoder};
+use gf2::field::{poly_degree, poly_rem, Gf2m};
+use gf2::{BitMat, BitVec};
+
+/// A binary primitive BCH code over GF(2^m) with a bounded-distance decoder.
+#[derive(Debug, Clone)]
+pub struct Bch {
+    field: Gf2m,
+    n: usize,
+    k: usize,
+    /// Designed correction capability: the generator has `α … α^{2t}` roots.
+    design_t: usize,
+    /// Decoder radius: patterns of weight ≤ `decode_t` are corrected.
+    decode_t: usize,
+    g: BitMat,
+    h: BitMat,
+    name: String,
+}
+
+impl Bch {
+    /// Constructs the primitive BCH code of length `2^m − 1` with designed
+    /// distance `2t + 1`, decoding up to `t` errors.
+    ///
+    /// # Panics
+    /// Panics if `m` is outside `2..=8`, `t = 0`, or the designed distance
+    /// exceeds the blocklength (no information bits would remain).
+    #[must_use]
+    pub fn new(m: usize, t: usize) -> Self {
+        Bch::with_decode_radius(m, t, t)
+    }
+
+    /// Constructs the designed-distance-`2·design_t + 1` code but decodes
+    /// only up to `decode_t ≤ design_t` errors (bounded-distance decoding
+    /// with a wider detection margin; see [`Bch::bch_31_16`]).
+    ///
+    /// # Panics
+    /// Panics on out-of-range `m`, `decode_t = 0`, `decode_t > design_t`, or
+    /// a generator that swallows the whole blocklength.
+    #[must_use]
+    pub fn with_decode_radius(m: usize, design_t: usize, decode_t: usize) -> Self {
+        assert!(decode_t >= 1, "decoder radius must be at least 1");
+        assert!(
+            decode_t <= design_t,
+            "decoder radius cannot exceed design t"
+        );
+        let field = Gf2m::new(m);
+        let n = field.order();
+        let gen = field.bch_generator(design_t);
+        let r = poly_degree(gen);
+        assert!(r < n, "generator degree {r} leaves no information bits");
+        let k = n - r;
+
+        // Systematic generator row i: x^{n-1-i} + (x^{n-1-i} mod gen), with
+        // bit j of the row holding the coefficient of x^{n-1-j}.
+        let mut g = BitMat::zeros(k, n);
+        for i in 0..k {
+            g.set(i, i, true);
+            let rem = poly_rem(1u128 << (n - 1 - i), gen);
+            for d in 0..r {
+                if rem & (1u128 << d) != 0 {
+                    g.set(i, n - 1 - d, true);
+                }
+            }
+        }
+
+        // Parity check row u, column j: coefficient of x^{r-1-u} in
+        // (x^{n-1-j} mod gen) — the syndrome H·rᵀ is r(x) mod gen.
+        let mut h = BitMat::zeros(r, n);
+        for j in 0..n {
+            let rem = poly_rem(1u128 << (n - 1 - j), gen);
+            for u in 0..r {
+                if rem & (1u128 << (r - 1 - u)) != 0 {
+                    h.set(u, j, true);
+                }
+            }
+        }
+        validate_code_matrices(&g, &h);
+
+        Bch {
+            field,
+            n,
+            k,
+            design_t,
+            decode_t,
+            g,
+            h,
+            name: format!("BCH({n},{k})"),
+        }
+    }
+
+    /// The flagship catalog member: BCH(31,16), designed distance 7
+    /// (`g = m₁·m₃·m₅` over GF(32)), decoded with radius `t = 2` so every
+    /// double error is corrected and every triple error is detected.
+    #[must_use]
+    pub fn bch_31_16() -> Self {
+        Bch::with_decode_radius(5, 3, 2)
+    }
+
+    /// The extension degree `m` of the underlying field GF(2^m).
+    #[must_use]
+    pub fn field_degree(&self) -> usize {
+        self.field.degree()
+    }
+
+    /// The decoder's correction radius `t` (errors of weight ≤ `t` correct).
+    #[must_use]
+    pub fn correction_radius(&self) -> usize {
+        self.decode_t
+    }
+
+    /// The designed distance `2t + 1` of the generator construction.
+    #[must_use]
+    pub fn designed_distance(&self) -> usize {
+        2 * self.design_t + 1
+    }
+
+    /// Extracts the message from a codeword: the code is systematic, so the
+    /// message is the first `k` positions.
+    #[must_use]
+    pub fn extract_message(&self, codeword: &BitVec) -> BitVec {
+        codeword.slice(0..self.k)
+    }
+
+    /// The number of Chien-search evaluations one scalar decode of a dirty
+    /// word performs (one locator evaluation per codeword position). Batch
+    /// engines use this to meter locator-evaluation work.
+    #[must_use]
+    pub fn locator_evaluations_per_word(&self) -> usize {
+        self.n
+    }
+
+    /// Power-sum syndromes `S_1 … S_{2t}` of a received word over GF(2^m).
+    fn power_syndromes(&self, received: &BitVec) -> Vec<u16> {
+        let f = &self.field;
+        (1..=2 * self.decode_t)
+            .map(|i| {
+                let mut acc = 0u16;
+                for j in 0..self.n {
+                    if received.get(j) {
+                        acc ^= f.alpha_pow(i * (self.n - 1 - j));
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Berlekamp–Massey: the minimal LFSR `σ(x)` generating the syndrome
+    /// sequence. Returns the locator coefficients (`σ[0] = 1`) and degree.
+    fn error_locator(&self, syndromes: &[u16]) -> (Vec<u16>, usize) {
+        let f = &self.field;
+        let mut sigma: Vec<u16> = vec![1];
+        let mut prev: Vec<u16> = vec![1];
+        let mut l = 0usize;
+        let mut shift = 1usize;
+        let mut prev_disc = 1u16;
+        for nth in 0..syndromes.len() {
+            let mut disc = syndromes[nth];
+            for i in 1..=l.min(sigma.len() - 1) {
+                disc ^= f.mul(sigma[i], syndromes[nth - i]);
+            }
+            if disc == 0 {
+                shift += 1;
+                continue;
+            }
+            let coef = f.div(disc, prev_disc);
+            let update = |target: &mut Vec<u16>, basis: &[u16]| {
+                if target.len() < basis.len() + shift {
+                    target.resize(basis.len() + shift, 0);
+                }
+                for (i, &b) in basis.iter().enumerate() {
+                    target[i + shift] ^= f.mul(coef, b);
+                }
+            };
+            if 2 * l <= nth {
+                let keep = sigma.clone();
+                update(&mut sigma, &prev);
+                l = nth + 1 - l;
+                prev = keep;
+                prev_disc = disc;
+                shift = 1;
+            } else {
+                update(&mut sigma, &prev.clone());
+                shift += 1;
+            }
+        }
+        (sigma, l)
+    }
+
+    /// Chien search: positions `j` where `σ(α^{−(n−1−j)}) = 0`.
+    fn chien_positions(&self, sigma: &[u16], degree: usize) -> Vec<usize> {
+        let f = &self.field;
+        let mut positions = Vec::with_capacity(degree);
+        for e in 0..self.n {
+            let x = f.alpha_pow(self.n - e % self.n);
+            let mut acc = 0u16;
+            let mut xp = 1u16;
+            for &c in sigma.iter() {
+                acc ^= f.mul(c, xp);
+                xp = f.mul(xp, x);
+            }
+            if acc == 0 {
+                // Root α^{-e} ⇒ locator X = α^e ⇒ position n−1−e.
+                positions.push(self.n - 1 - e);
+            }
+        }
+        positions
+    }
+}
+
+impl BlockCode for Bch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+    fn generator(&self) -> &BitMat {
+        &self.g
+    }
+    fn parity_check(&self) -> &BitMat {
+        &self.h
+    }
+    fn message_of(&self, codeword: &BitVec) -> Option<BitVec> {
+        if self.is_codeword(codeword) {
+            Some(self.extract_message(codeword))
+        } else {
+            None
+        }
+    }
+}
+
+impl HardDecoder for Bch {
+    /// Syndrome → Berlekamp–Massey → Chien search, bounded at radius `t`.
+    fn decode(&self, received: &BitVec) -> Decoded {
+        assert_eq!(received.len(), self.n, "received word length mismatch");
+        // Membership is checked against the full generator (H), not just the
+        // 2t power syndromes: at a capped radius (decode_t < design_t) the
+        // power syndromes only span the designed-distance-(2·decode_t + 1)
+        // supercode, and a word clean there can still miss this code.
+        if self.is_codeword(received) {
+            let msg = self.extract_message(received);
+            return Decoded::clean(received.clone(), msg);
+        }
+        let syndromes = self.power_syndromes(received);
+        if syndromes.iter().all(|&s| s == 0) {
+            // Non-codeword invisible to the decoding syndromes: detected by
+            // the supercode gap alone.
+            return Decoded::detected();
+        }
+        let (sigma, degree) = self.error_locator(&syndromes);
+        if degree == 0 || degree > self.decode_t || sigma.len() <= degree || sigma[degree] == 0 {
+            return Decoded::detected();
+        }
+        let positions = self.chien_positions(&sigma, degree);
+        if positions.len() != degree {
+            return Decoded::detected();
+        }
+        let mut corrected = received.clone();
+        for &p in &positions {
+            corrected.flip(p);
+        }
+        if !self.is_codeword(&corrected) {
+            return Decoded::detected();
+        }
+        let msg = self.extract_message(&corrected);
+        Decoded::corrected(corrected, msg, degree)
+    }
+
+    /// Multi-error algebraic decoding: batch engines bit-slice the syndrome
+    /// accumulation and fall back to this decoder on dirty lanes only.
+    fn syndrome_class(&self) -> crate::SyndromeClass {
+        crate::SyndromeClass::Algebraic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecodeOutcome;
+
+    fn sample_messages(k: usize, count: usize) -> Vec<BitVec> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xBC11_0031);
+        (0..count)
+            .map(|_| (0..k).map(|_| rng.random::<u64>() & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn family_parameters_match_the_textbook() {
+        // (n, k) of primitive BCH codes, Lin & Costello Table 6.1.
+        let expected = [
+            (3, 1, (7, 4)),
+            (4, 1, (15, 11)),
+            (4, 2, (15, 7)),
+            (4, 3, (15, 5)),
+            (5, 1, (31, 26)),
+            (5, 2, (31, 21)),
+            (5, 3, (31, 16)),
+            (6, 2, (63, 51)),
+            (6, 3, (63, 45)),
+        ];
+        for (m, t, (n, k)) in expected {
+            let code = Bch::new(m, t);
+            assert_eq!((code.n(), code.k()), (n, k), "m={m} t={t}");
+            assert_eq!(code.name(), format!("BCH({n},{k})"));
+        }
+    }
+
+    #[test]
+    fn flagship_member_is_31_16_with_true_distance_7() {
+        let code = Bch::bch_31_16();
+        assert_eq!((code.n(), code.k()), (31, 16));
+        assert_eq!(code.correction_radius(), 2);
+        assert_eq!(code.designed_distance(), 7);
+        assert_eq!(code.field_degree(), 5);
+        assert_eq!(code.locator_evaluations_per_word(), 31);
+        // Exhaustive: the designed distance is met with equality.
+        assert_eq!(code.min_distance(), 7);
+    }
+
+    #[test]
+    fn code_is_systematic() {
+        for code in [Bch::new(4, 2), Bch::bch_31_16()] {
+            for msg in sample_messages(code.k(), 8) {
+                let cw = code.encode(&msg);
+                assert_eq!(cw.slice(0..code.k()), msg);
+                assert_eq!(code.message_of(&cw), Some(msg));
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_and_double_error_is_corrected() {
+        let code = Bch::bch_31_16();
+        for msg in sample_messages(code.k(), 2) {
+            let cw = code.encode(&msg);
+            for a in 0..code.n() {
+                let mut r1 = cw.clone();
+                r1.flip(a);
+                let d = code.decode(&r1);
+                assert_eq!(d.outcome, DecodeOutcome::Corrected { bits_flipped: 1 });
+                assert!(d.message_is(&msg), "single at {a}");
+                for b in (a + 1)..code.n() {
+                    let mut r2 = r1.clone();
+                    r2.flip(b);
+                    let d = code.decode(&r2);
+                    assert_eq!(
+                        d.outcome,
+                        DecodeOutcome::Corrected { bits_flipped: 2 },
+                        "double ({a},{b})"
+                    );
+                    assert!(d.message_is(&msg), "double ({a},{b})");
+                    assert_eq!(d.codeword, Some(cw.clone()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_triple_error_is_detected_at_radius_two() {
+        // d_min = 7 with a radius-2 decoder: a weight-3 corruption can never
+        // be within distance 2 of any codeword, so detection is certain.
+        let code = Bch::bch_31_16();
+        let msg = sample_messages(code.k(), 1).pop().unwrap();
+        let cw = code.encode(&msg);
+        for a in 0..8 {
+            for b in (a + 1)..code.n() {
+                for c in (b + 1)..code.n() {
+                    let mut r = cw.clone();
+                    r.flip(a);
+                    r.flip(b);
+                    r.flip(c);
+                    assert_eq!(
+                        code.decode(&r).outcome,
+                        DecodeOutcome::DetectedUncorrectable,
+                        "triple ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_radius_decoder_corrects_triples() {
+        let code = Bch::new(5, 3);
+        let msg = sample_messages(code.k(), 1).pop().unwrap();
+        let cw = code.encode(&msg);
+        let mut r = cw.clone();
+        for p in [2usize, 11, 29] {
+            r.flip(p);
+        }
+        let d = code.decode(&r);
+        assert_eq!(d.outcome, DecodeOutcome::Corrected { bits_flipped: 3 });
+        assert!(d.message_is(&msg));
+    }
+
+    #[test]
+    fn hamming_is_the_t1_member() {
+        // BCH(7,4) at t=1 is Hamming(7,4): same parameters and distance.
+        let code = Bch::new(3, 1);
+        assert_eq!((code.n(), code.k(), code.min_distance()), (7, 4, 3));
+        let msg = BitVec::from_str01("1011");
+        let cw = code.encode(&msg);
+        for pos in 0..7 {
+            let mut r = cw.clone();
+            r.flip(pos);
+            assert!(code.decode(&r).message_is(&msg));
+        }
+    }
+
+    #[test]
+    fn decoding_is_syndrome_only() {
+        // The same error pattern on two different codewords produces the
+        // same outcome and the same flipped positions (coset invariance).
+        let code = Bch::bch_31_16();
+        let msgs = sample_messages(code.k(), 2);
+        let (cw0, cw1) = (code.encode(&msgs[0]), code.encode(&msgs[1]));
+        for pattern in [[1usize, 17], [0, 30], [5, 6]] {
+            let mut r0 = cw0.clone();
+            let mut r1 = cw1.clone();
+            for &p in &pattern {
+                r0.flip(p);
+                r1.flip(p);
+            }
+            let (d0, d1) = (code.decode(&r0), code.decode(&r1));
+            assert_eq!(d0.outcome, d1.outcome);
+            assert_eq!(d0.codeword, Some(cw0.clone()));
+            assert_eq!(d1.codeword, Some(cw1.clone()));
+        }
+    }
+
+    #[test]
+    fn syndrome_class_is_algebraic() {
+        assert_eq!(
+            Bch::bch_31_16().syndrome_class(),
+            crate::SyndromeClass::Algebraic
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "radius cannot exceed")]
+    fn rejects_radius_above_design() {
+        let _ = Bch::with_decode_radius(5, 2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "designed distance exceeds")]
+    fn rejects_degenerate_design() {
+        let _ = Bch::new(3, 4);
+    }
+}

@@ -1,6 +1,7 @@
 //! Concrete code constructions: the three codes the paper evaluates plus the
 //! families they come from and the baselines it cites.
 
+pub mod bch;
 pub mod hamming;
 pub mod reed_muller;
 pub mod repetition;

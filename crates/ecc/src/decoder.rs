@@ -60,6 +60,17 @@ pub enum SyndromeClass {
     /// cost independent of `2^(n-k)` — this is what admits codes with large
     /// redundancy. For perfect codes the fallback arm is simply unreachable.
     ColumnFlip,
+    /// Multi-error algebraic decoding (e.g. BCH): the correction is computed
+    /// from an error-locator polynomial (Berlekamp–Massey + Chien search)
+    /// rather than looked up per column, and the set of correctable syndromes
+    /// is far too large to tabulate (`Σ C(n,i)` for `i ≤ t`).
+    ///
+    /// Batch engines handle this class by accumulating the syndrome
+    /// bit-slices per limb exactly as for [`SyndromeClass::ColumnFlip`]
+    /// (keeping the clean-limb short-circuit), then falling back to the
+    /// scalar decoder on the rare *dirty* lanes only — the expected cost per
+    /// limb stays near the all-clean XOR cost in Monte-Carlo traffic.
+    Algebraic,
     /// Any other coset-invariant map (e.g. majority-vote repetition decoding,
     /// whose corrections flip several bits at once). Batch engines must
     /// interrogate the decoder once per syndrome value, which is only

@@ -44,6 +44,7 @@ pub mod weight;
 
 pub use analysis::{CodeAnalysis, DecodingPolicy, ErrorPatternStats};
 pub use batch::{BatchDecode, BatchDecoded, BatchEncode, BatchScratch};
+pub use codes::bch::Bch;
 pub use codes::hamming::ShortenedHamming;
 pub use codes::hamming::{Hamming74, Hamming84, HammingCode, ShortenedHamming3832};
 pub use codes::reed_muller::{ReedMuller, Rm13};

@@ -46,7 +46,8 @@ pub mod table2;
 pub use table2::{catalog_table_rows, paper_table2, table2_row_for, table2_rows, Table2Row};
 
 use ecc::{
-    BlockCode, Decoded, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, ShortenedHamming, Uncoded,
+    Bch, BlockCode, Decoded, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, ShortenedHamming,
+    Uncoded,
 };
 use gf2::{BitMat, BitVec};
 use serde::{Deserialize, Serialize};
@@ -86,6 +87,13 @@ pub enum EncoderKind {
     /// old 20-bit action-table limit, decodable only by column matching.
     /// Synthesized with the generic generator-matrix flow.
     WideHamming8564,
+    /// The multi-error BCH(31,16) code (designed distance 7, decoded at
+    /// radius `t = 2` with Berlekamp–Massey + Chien search). Its dense
+    /// degree-15 generator polynomial produces parity equations with far
+    /// more shared structure than the Hamming family — a genuine stress
+    /// test for the cancellation-aware factoring schedule candidates.
+    /// Synthesized with the generic generator-matrix flow.
+    Bch,
 }
 
 impl EncoderKind {
@@ -99,13 +107,14 @@ impl EncoderKind {
     ];
 
     /// Every buildable design: the paper's four, the SEC-DED family from
-    /// (13,8) up to (72,64), and the wide Shortened Hamming(85,64)
-    /// demonstration code.
+    /// (13,8) up to (72,64), the wide Shortened Hamming(85,64)
+    /// demonstration code, and the multi-error BCH(31,16) code.
     #[must_use]
     pub fn catalog() -> Vec<EncoderKind> {
         let mut kinds = Self::ALL.to_vec();
         kinds.extend((3..=ecc::SECDED_MAX_M as u8).map(EncoderKind::SecDed));
         kinds.push(EncoderKind::WideHamming8564);
+        kinds.push(EncoderKind::Bch);
         kinds
     }
 
@@ -123,6 +132,7 @@ impl EncoderKind {
                 format!("SEC-DED({},{k})", k + usize::from(*m) + 2)
             }
             EncoderKind::WideHamming8564 => "Shortened Hamming(85,64)".to_string(),
+            EncoderKind::Bch => "BCH(31,16)".to_string(),
         }
     }
 
@@ -196,6 +206,7 @@ impl EncoderKind {
                 format!("secded_{}_{k}_encoder", k + usize::from(*m) + 2)
             }
             EncoderKind::WideHamming8564 => "shamming_85_64_encoder".to_string(),
+            EncoderKind::Bch => "bch_31_16_encoder".to_string(),
         }
     }
 }
@@ -209,6 +220,7 @@ fn reference_code(kind: EncoderKind) -> ReferenceCode {
         EncoderKind::Rm13 => ReferenceCode::Rm13(Rm13::new()),
         EncoderKind::SecDed(m) => ReferenceCode::SecDed(SecDed::new(usize::from(m))),
         EncoderKind::WideHamming8564 => ReferenceCode::WideHamming(ShortenedHamming::wide_85_64()),
+        EncoderKind::Bch => ReferenceCode::Bch(Bch::bch_31_16()),
     }
 }
 
@@ -220,6 +232,7 @@ enum ReferenceCode {
     Rm13(Rm13),
     SecDed(SecDed),
     WideHamming(ShortenedHamming),
+    Bch(Bch),
 }
 
 impl ReferenceCode {
@@ -231,6 +244,7 @@ impl ReferenceCode {
             ReferenceCode::Rm13(c) => c.encode(message),
             ReferenceCode::SecDed(c) => c.encode(message),
             ReferenceCode::WideHamming(c) => c.encode(message),
+            ReferenceCode::Bch(c) => c.encode(message),
         }
     }
 
@@ -245,6 +259,7 @@ impl ReferenceCode {
             ReferenceCode::Rm13(c) => c.decode_best_effort(received),
             ReferenceCode::SecDed(c) => c.decode(received),
             ReferenceCode::WideHamming(c) => c.decode(received),
+            ReferenceCode::Bch(c) => c.decode(received),
         }
     }
 
@@ -256,6 +271,7 @@ impl ReferenceCode {
             ReferenceCode::Rm13(c) => c.n(),
             ReferenceCode::SecDed(c) => c.n(),
             ReferenceCode::WideHamming(c) => c.n(),
+            ReferenceCode::Bch(c) => c.n(),
         }
     }
 
@@ -267,6 +283,7 @@ impl ReferenceCode {
             ReferenceCode::Rm13(c) => c.k(),
             ReferenceCode::SecDed(c) => c.k(),
             ReferenceCode::WideHamming(c) => c.k(),
+            ReferenceCode::Bch(c) => c.k(),
         }
     }
 
@@ -278,6 +295,7 @@ impl ReferenceCode {
             ReferenceCode::Rm13(c) => c.generator(),
             ReferenceCode::SecDed(c) => c.generator(),
             ReferenceCode::WideHamming(c) => c.generator(),
+            ReferenceCode::Bch(c) => c.generator(),
         }
     }
 }
@@ -706,7 +724,7 @@ mod tests {
     #[test]
     fn catalog_enumerates_paper_designs_and_secded_family() {
         let catalog = EncoderKind::catalog();
-        assert_eq!(catalog.len(), 9);
+        assert_eq!(catalog.len(), 10);
         for kind in EncoderKind::ALL {
             assert!(catalog.contains(&kind));
         }
@@ -714,12 +732,14 @@ mod tests {
             assert!(catalog.contains(&EncoderKind::SecDed(m)));
         }
         assert!(catalog.contains(&EncoderKind::WideHamming8564));
+        assert!(catalog.contains(&EncoderKind::Bch));
         assert_eq!(EncoderKind::SecDed(6).name(), "SEC-DED(72,64)");
         assert_eq!(
             EncoderKind::WideHamming8564.name(),
             "Shortened Hamming(85,64)"
         );
-        assert_eq!(EncoderDesign::build_catalog().len(), 9);
+        assert_eq!(EncoderKind::Bch.name(), "BCH(31,16)");
+        assert_eq!(EncoderDesign::build_catalog().len(), 10);
     }
 
     #[test]
@@ -749,6 +769,65 @@ mod tests {
         assert_eq!(
             design.decode(&r).outcome,
             ecc::DecodeOutcome::DetectedUncorrectable
+        );
+    }
+
+    #[test]
+    fn bch_design_encodes_at_gate_level_and_decodes_through_radius_two() {
+        use rand::SeedableRng;
+        let design = EncoderDesign::build(EncoderKind::Bch);
+        assert_eq!((design.n(), design.k()), (31, 16));
+        assert_eq!(design.kind.netlist_name(), "bch_31_16_encoder");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBC4_3116);
+        for _ in 0..4 {
+            let msg = seeded_message(16, &mut rng);
+            assert_eq!(
+                design.encode_gate_level(&msg),
+                design.encode_reference(&msg)
+            );
+        }
+        // The receiver-side decoder corrects every weight-1 and weight-2
+        // pattern and flags weight-3 patterns (d_min = 7 at radius 2).
+        let msg = seeded_message(16, &mut rng);
+        let cw = design.encode_reference(&msg);
+        for (a, b) in [(0usize, 17), (5, 30), (16, 24)] {
+            let mut r = cw.clone();
+            r.flip(a);
+            r.flip(b);
+            assert_eq!(design.decode(&r).message, Some(msg.clone()), "{a},{b}");
+        }
+        let mut r = cw.clone();
+        r.flip(1);
+        r.flip(9);
+        r.flip(22);
+        assert_eq!(
+            design.decode(&r).outcome,
+            ecc::DecodeOutcome::DetectedUncorrectable
+        );
+    }
+
+    #[test]
+    fn bch_dense_generator_rewards_factoring_over_plain_trees() {
+        use sfq_netlist::pass::FactoringKind;
+        let design = EncoderDesign::build(EncoderKind::Bch);
+        let plan = design.schedule_plan().expect("coded design has a plan");
+        let paar = plan.best_xor_for(FactoringKind::Paar).unwrap();
+        let cancel = plan.best_xor_for(FactoringKind::Cancellation).unwrap();
+        let trees = plan.best_xor_for(FactoringKind::None).unwrap();
+        // The (31,16) generator averages ~8 terms per parity equation; both
+        // factoring algorithms must find substantial sharing, and the chosen
+        // schedule's XOR count must match one of them.
+        assert!(paar < trees, "paar {paar} vs unfactored {trees}");
+        assert!(cancel < trees, "cancel {cancel} vs unfactored {trees}");
+        let chosen_xor = plan.chosen_cost().xor;
+        assert!(
+            chosen_xor == paar || chosen_xor == cancel || chosen_xor == trees,
+            "chosen XOR {chosen_xor} not among paar {paar} / cancel {cancel} / trees {trees}"
+        );
+        // The shipped netlist realizes the planned count exactly.
+        assert_eq!(
+            chosen_xor,
+            design.netlist().count_cells(sfq_cells::CellKind::Xor) as u64
         );
     }
 

@@ -158,10 +158,10 @@ pub fn table2_row_for(design: &EncoderDesign, library: &CellLibrary) -> Table2Ro
 }
 
 /// Table-II-style circuit costs for **every coded catalog member**: the
-/// paper's three encoders, the synthesized SEC-DED family up to (72,64), and
-/// the wide Shortened Hamming(85,64), each with the naive sharing-free
-/// synthesis cost alongside the pipeline's. The uncoded baseline is omitted
-/// (it has no encoder logic to cost).
+/// paper's three encoders, the synthesized SEC-DED family up to (72,64), the
+/// wide Shortened Hamming(85,64), and the multi-error BCH(31,16), each with
+/// the naive sharing-free synthesis cost alongside the pipeline's. The
+/// uncoded baseline is omitted (it has no encoder logic to cost).
 #[must_use]
 pub fn catalog_table_rows(library: &CellLibrary) -> Vec<Table2Row> {
     EncoderDesign::build_catalog()
@@ -276,8 +276,8 @@ mod tests {
         let lib = CellLibrary::coldflux();
         let rows = catalog_table_rows(&lib);
         // Three paper encoders + four SEC-DED members + the wide Shortened
-        // Hamming(85,64); no uncoded row.
-        assert_eq!(rows.len(), 8);
+        // Hamming(85,64) + BCH(31,16); no uncoded row.
+        assert_eq!(rows.len(), 9);
         assert!(rows.iter().all(|r| r.encoder != "No encoder"));
         let jj_of = |name: &str| {
             rows.iter()

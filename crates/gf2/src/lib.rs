@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod field;
 pub mod mat;
 pub mod slice;
 pub mod vec;
 
+pub use field::Gf2m;
 pub use mat::BitMat;
 pub use slice::{and_xnor_reduce, or_reduce, BitSlice64};
 pub use vec::BitVec;

@@ -1134,6 +1134,23 @@ impl SchedulePlan {
             .expect("the chosen schedule is always one of the candidates")
             .planned
     }
+
+    /// The lowest planned XOR count among candidates that use `kind`
+    /// factoring, or `None` if no candidate did.
+    ///
+    /// This is the number design reports quote when comparing factoring
+    /// algorithms head-to-head on one generator (e.g. Paar vs
+    /// cancellation-aware on a dense BCH matrix), independent of which
+    /// schedule won the JJ-count tiebreak: each factoring kind is
+    /// represented by its best tree-shaping variant.
+    #[must_use]
+    pub fn best_xor_for(&self, kind: FactoringKind) -> Option<u64> {
+        self.candidates
+            .iter()
+            .filter(|c| c.schedule.factoring == kind)
+            .map(|c| c.planned.xor)
+            .min()
+    }
 }
 
 /// Records planner accounting into the global telemetry registry: run and
@@ -1562,6 +1579,30 @@ mod tests {
         assert_eq!(plan2.chosen, plan.chosen);
         assert_eq!(result.report.final_cost(), plan.chosen_cost());
         assert_eq!(result.report.schedule, plan.chosen);
+    }
+
+    #[test]
+    fn best_xor_per_factoring_kind_is_the_minimum_over_shapings() {
+        use sfq_cells::CellLibrary;
+        let (g, options) = crossing_generator();
+        let lib = CellLibrary::coldflux();
+        let plan = SynthPlanner::new(options, &lib).plan(&g);
+        for kind in [
+            FactoringKind::Paar,
+            FactoringKind::Cancellation,
+            FactoringKind::None,
+        ] {
+            let expected = plan
+                .candidates
+                .iter()
+                .filter(|c| c.schedule.factoring == kind)
+                .map(|c| c.planned.xor)
+                .min();
+            assert_eq!(plan.best_xor_for(kind), expected);
+            assert!(expected.is_some(), "every kind is priced");
+        }
+        // Unfactored trees never beat factored schedules on XOR count.
+        assert!(plan.best_xor_for(FactoringKind::Paar) <= plan.best_xor_for(FactoringKind::None));
     }
 
     #[test]

@@ -259,7 +259,17 @@ fn secded_family_random_words_agree_with_scalar_decode() {
 /// Like [`assert_wide_batch_matches_scalar`] for any wide code (shared by
 /// the SEC-DED family and the r > 20 Shortened Hamming demonstration code).
 fn assert_batch_matches_scalar_on<C: BlockCode + HardDecoder>(code: &C, received: &[BitVec]) {
-    let codec = BatchCodec::new(code);
+    assert_codec_matches_scalar_on(&BatchCodec::new(code), code, received);
+}
+
+/// Word-for-word scalar-vs-batch agreement through a caller-built codec
+/// (algebraic codes need [`BatchCodec::with_scalar_fallback`] instead of
+/// the plain constructor).
+fn assert_codec_matches_scalar_on<C: BlockCode + HardDecoder>(
+    codec: &BatchCodec,
+    code: &C,
+    received: &[BitVec],
+) {
     let batch = BitSlice64::pack(received);
     let syndromes = codec.syndrome_batch(&batch);
     let decoded = codec.decode_batch(&batch);
@@ -368,6 +378,114 @@ fn shortened_hamming_85_64_random_words_agree_with_scalar_decode() {
         })
         .collect();
     assert_batch_matches_scalar_on(&code, &words);
+}
+
+/// Every weight-0, weight-1, and weight-2 pattern on sampled BCH(31,16)
+/// codewords: all C(31,1) = 31 singles and all C(31,2) = 465 doubles per
+/// codeword, scalar vs batch, bit-identical. The 2^16 message space is too
+/// large to enumerate the way the 4-bit codes are, so messages are a seeded
+/// sample and the *error patterns* are exhaustive; the `#[ignore]`d nightly
+/// tier below widens the sample.
+fn bch_exhaustive_double_error_corpus(code: &sfq_ecc::ecc::Bch, messages: usize) -> Vec<BitVec> {
+    let mut rng = StdRng::seed_from_u64(0xBC43_1160);
+    let mut received = Vec::new();
+    for _ in 0..messages {
+        let msg: BitVec = (0..code.k())
+            .map(|_| rng.random::<u64>() & 1 == 1)
+            .collect();
+        let cw = code.encode(&msg);
+        received.push(cw.clone());
+        for weight in 1..=2usize {
+            for pattern in WeightPatterns::new(code.n(), weight) {
+                let mut r = cw.clone();
+                for pos in 0..code.n() {
+                    if (pattern >> pos) & 1 == 1 {
+                        r.flip(pos);
+                    }
+                }
+                received.push(r);
+            }
+        }
+    }
+    received
+}
+
+#[test]
+fn bch_31_16_batch_is_bit_exact_on_all_zero_one_and_two_bit_patterns() {
+    let code = sfq_ecc::ecc::Bch::bch_31_16();
+    let codec = BatchCodec::bch();
+    let received = bch_exhaustive_double_error_corpus(&code, 2);
+    assert_eq!(received.len(), 2 * (1 + 31 + 465));
+    assert_codec_matches_scalar_on(&codec, &code, &received);
+    // Every corrupted word comes back corrected, not flagged: radius 2
+    // covers the full corpus.
+    let decoded = codec.decode_batch(&BitSlice64::pack(&received));
+    assert_eq!(decoded.flagged_count(), 0);
+    assert_eq!(decoded.corrected_count(), received.len() - 2);
+}
+
+/// The nightly `bch` tier (CI matrix flag, `--include-ignored bch`): the
+/// same exhaustive single + double sweep over a much wider message sample —
+/// 40 seeded messages × (1 + 31 + 465) patterns = 19 880 words.
+#[test]
+#[ignore = "heavy exhaustive tier; run with --include-ignored bch (nightly CI leg)"]
+fn bch_31_16_exhaustive_double_error_tier_over_widened_message_sample() {
+    let code = sfq_ecc::ecc::Bch::bch_31_16();
+    let received = bch_exhaustive_double_error_corpus(&code, 40);
+    assert_eq!(received.len(), 40 * 497);
+    assert_codec_matches_scalar_on(&BatchCodec::bch(), &code, &received);
+}
+
+/// Random triple-error words: with d_min = 7 and decode radius 2, no
+/// codeword lies within distance 2 of a weight-3 corruption, so *every*
+/// triple must come back `DetectedUncorrectable` — and the batch path must
+/// agree word for word (the generic comparator would also accept an
+/// identical miscorrection, so the scalar outcome is pinned explicitly).
+#[test]
+fn bch_31_16_triple_errors_are_detected_identically_in_both_paths() {
+    let code = sfq_ecc::ecc::Bch::bch_31_16();
+    let mut rng = StdRng::seed_from_u64(0xBC43_1161);
+    let mut received = Vec::new();
+    for _ in 0..40 {
+        let msg: BitVec = (0..code.k())
+            .map(|_| rng.random::<u64>() & 1 == 1)
+            .collect();
+        let mut r = code.encode(&msg);
+        let mut positions = std::collections::BTreeSet::new();
+        while positions.len() < 3 {
+            positions.insert(rng.random_range(0..code.n()));
+        }
+        for &pos in &positions {
+            r.flip(pos);
+        }
+        received.push(r);
+    }
+    for word in &received {
+        assert_eq!(
+            code.decode(word).outcome,
+            DecodeOutcome::DetectedUncorrectable,
+            "d_min = 7 guarantees triples are detected at radius 2"
+        );
+    }
+    let codec = BatchCodec::bch();
+    assert_codec_matches_scalar_on(&codec, &code, &received);
+    let decoded = codec.decode_batch(&BitSlice64::pack(&received));
+    assert_eq!(decoded.flagged_count(), received.len());
+}
+
+/// Randomized multi-limb agreement for BCH(31,16), arbitrary error weights.
+#[test]
+fn bch_31_16_random_words_agree_with_scalar_decode() {
+    let code = sfq_ecc::ecc::Bch::bch_31_16();
+    let mut rng = StdRng::seed_from_u64(0xBC43_1162);
+    let words: Vec<BitVec> = (0..300)
+        .map(|_| {
+            (0..code.n())
+                .map(|_| rng.random::<u64>() & 1 == 1)
+                .collect()
+        })
+        .collect();
+    assert_codec_matches_scalar_on(&BatchCodec::bch(), &code, &words);
 }
 
 /// A test-local single-error-correcting code over a *random* parity-check

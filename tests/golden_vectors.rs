@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sfq_ecc::cells::CellLibrary;
 use sfq_ecc::ecc::{
-    BlockCode, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, ShortenedHamming, Uncoded,
+    Bch, BlockCode, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, ShortenedHamming, Uncoded,
 };
 use sfq_ecc::gf2::BitVec;
 use std::path::PathBuf;
@@ -98,25 +98,42 @@ fn mask_of(k: usize) -> u64 {
 }
 
 /// Every catalog code with its golden-file slug, scalar decoder, and golden
-/// data.
-fn golden_cases() -> Vec<(&'static str, Box<dyn HardDecoder>, GoldenFile)> {
-    let codes: Vec<(&'static str, Box<dyn HardDecoder>, u64)> = vec![
-        ("hamming_7_4", Box::new(Hamming74::new()), 0x74),
-        ("hamming_8_4", Box::new(Hamming84::new()), 0x84),
-        ("rm_1_3", Box::new(Rm13::new()), 0x13),
-        ("uncoded_4", Box::new(Uncoded::new(4)), 0x04),
-        ("secded_13_8", Box::new(SecDed::new(3)), 0x1308),
-        ("secded_22_16", Box::new(SecDed::new(4)), 0x2216),
-        ("secded_39_32", Box::new(SecDed::new(5)), 0x3932),
-        ("secded_72_64", Box::new(SecDed::new(6)), 0x7264),
-        (
-            "shamming_85_64",
-            Box::new(ShortenedHamming::wide_85_64()),
-            0x8564,
-        ),
-    ];
-    codes
+/// data. Driven by `EncoderKind::catalog()` with an exhaustive match per
+/// member, so a newly added catalog code fails to compile here instead of
+/// shipping without golden vectors.
+fn golden_cases() -> Vec<(String, Box<dyn HardDecoder>, GoldenFile)> {
+    use sfq_ecc::encoders::EncoderKind;
+    EncoderKind::catalog()
         .into_iter()
+        .map(|kind| -> (String, Box<dyn HardDecoder>, u64) {
+            match kind {
+                EncoderKind::None => ("uncoded_4".into(), Box::new(Uncoded::new(4)), 0x04),
+                EncoderKind::Hamming74 => ("hamming_7_4".into(), Box::new(Hamming74::new()), 0x74),
+                EncoderKind::Hamming84 => ("hamming_8_4".into(), Box::new(Hamming84::new()), 0x84),
+                EncoderKind::Rm13 => ("rm_1_3".into(), Box::new(Rm13::new()), 0x13),
+                EncoderKind::SecDed(m) => {
+                    let (k, seed) = match m {
+                        3 => (8, 0x1308),
+                        4 => (16, 0x2216),
+                        5 => (32, 0x3932),
+                        6 => (64, 0x7264),
+                        _ => panic!("SEC-DED(m={m}) needs a golden slug and seed"),
+                    };
+                    let n = k + usize::from(m) + 2;
+                    (
+                        format!("secded_{n}_{k}"),
+                        Box::new(SecDed::new(usize::from(m))),
+                        seed,
+                    )
+                }
+                EncoderKind::WideHamming8564 => (
+                    "shamming_85_64".into(),
+                    Box::new(ShortenedHamming::wide_85_64()),
+                    0x8564,
+                ),
+                EncoderKind::Bch => ("bch_31_16".into(), Box::new(Bch::bch_31_16()), 0x3116),
+            }
+        })
         .map(|(slug, code, seed)| {
             let golden = GoldenFile::compute(&*code, seed);
             (slug, code, golden)
@@ -272,7 +289,7 @@ fn golden_vectors_match_checked_in_files() {
 fn golden_codewords_decode_to_their_messages() {
     assert_eq!(
         golden_cases().len(),
-        9,
+        sfq_ecc::encoders::EncoderKind::catalog().len(),
         "every catalog code carries golden vectors"
     );
     for (slug, code, golden) in golden_cases() {
@@ -301,6 +318,40 @@ fn golden_codewords_decode_to_their_messages() {
             }
         }
     }
+}
+
+/// Round trip between the regenerator and the checked-in directory: the set
+/// of files under `tests/golden/` is exactly the set the regenerator would
+/// write — a case added without regenerating, or a file orphaned by a
+/// removed case, fails here instead of silently going stale.
+#[test]
+fn golden_directory_round_trips_with_the_regenerator() {
+    let mut expected: Vec<String> = golden_cases()
+        .iter()
+        .map(|(slug, _, _)| format!("{slug}.txt"))
+        .collect();
+    expected.push(COST_FINGERPRINT_FILE.to_string());
+    expected.push(PARETO_FINGERPRINT_FILE.to_string());
+    expected.sort();
+
+    let mut on_disk: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden exists")
+        .map(|entry| {
+            entry
+                .expect("readable entry")
+                .file_name()
+                .into_string()
+                .unwrap()
+        })
+        .collect();
+    on_disk.sort();
+
+    assert_eq!(
+        on_disk, expected,
+        "tests/golden/ is out of sync with golden_cases(); regenerate with \
+         `cargo test --test golden_vectors -- --ignored regenerate_golden_files` \
+         and delete any orphaned files"
+    );
 }
 
 #[test]

@@ -3,11 +3,11 @@
 
 use proptest::prelude::*;
 use sfq_ecc::ecc::{
-    generator_right_inverse, BlockCode, DecodeOutcome, Hamming74, Hamming84, HardDecoder,
+    generator_right_inverse, Bch, BlockCode, DecodeOutcome, Hamming74, Hamming84, HardDecoder,
     ReedMuller, Rm13, SecDed, ShortenedHamming, Uncoded,
 };
 use sfq_ecc::encoders::{EncoderDesign, EncoderKind};
-use sfq_ecc::gf2::{BitMat, BitSlice64, BitVec};
+use sfq_ecc::gf2::{BitMat, BitSlice64, BitVec, Gf2m};
 use sfq_ecc::netlist::synth;
 
 fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
@@ -15,19 +15,24 @@ fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
 }
 
 /// Every scalar code behind the `EncoderKind::catalog()` registry, boxed for
-/// uniform property checks.
+/// uniform property checks. Driven by the registry itself — with an
+/// exhaustive match per member — so a newly added catalog code fails to
+/// compile here instead of being silently skipped by a hand-maintained list.
 fn catalog_codes() -> Vec<Box<dyn HardDecoder>> {
-    let mut codes: Vec<Box<dyn HardDecoder>> = vec![
-        Box::new(Rm13::new()),
-        Box::new(Hamming74::new()),
-        Box::new(Hamming84::new()),
-        Box::new(Uncoded::new(4)),
-    ];
-    for m in 3..=6 {
-        codes.push(Box::new(SecDed::new(m)));
-    }
-    codes.push(Box::new(ShortenedHamming::wide_85_64()));
-    codes
+    EncoderKind::catalog()
+        .into_iter()
+        .map(|kind| -> Box<dyn HardDecoder> {
+            match kind {
+                EncoderKind::None => Box::new(Uncoded::new(4)),
+                EncoderKind::Hamming74 => Box::new(Hamming74::new()),
+                EncoderKind::Hamming84 => Box::new(Hamming84::new()),
+                EncoderKind::Rm13 => Box::new(Rm13::new()),
+                EncoderKind::SecDed(m) => Box::new(SecDed::new(usize::from(m))),
+                EncoderKind::WideHamming8564 => Box::new(ShortenedHamming::wide_85_64()),
+                EncoderKind::Bch => Box::new(Bch::bch_31_16()),
+            }
+        })
+        .collect()
 }
 
 /// Deterministic pseudo-random message for a given code width and seed.
@@ -228,6 +233,79 @@ proptest! {
                 prop_assert_eq!(twice.codeword, Some(reencoded), "{}", code.name());
             }
         }
+    }
+
+    /// GF(2^m) field axioms for every extension degree the BCH layer uses
+    /// (m ∈ 4..=6): addition and multiplication are associative and
+    /// commutative, multiplication distributes over addition, 1 is the
+    /// multiplicative identity, and every non-zero element's inverse
+    /// round-trips through `inv` and `div`.
+    #[test]
+    fn gf2m_field_axioms(m in 4usize..=6, ra in any::<u16>(), rb in any::<u16>(), rc in any::<u16>()) {
+        let field = Gf2m::new(m);
+        let mask = (field.size() - 1) as u16;
+        let (a, b, c) = (ra & mask, rb & mask, rc & mask);
+
+        // Additive group (characteristic 2): commutative, associative,
+        // self-inverse.
+        prop_assert_eq!(field.add(a, b), field.add(b, a));
+        prop_assert_eq!(field.add(field.add(a, b), c), field.add(a, field.add(b, c)));
+        prop_assert_eq!(field.add(a, a), 0);
+
+        // Multiplicative monoid: commutative, associative, identity 1,
+        // absorbing 0.
+        prop_assert_eq!(field.mul(a, b), field.mul(b, a));
+        prop_assert_eq!(field.mul(field.mul(a, b), c), field.mul(a, field.mul(b, c)));
+        prop_assert_eq!(field.mul(a, 1), a);
+        prop_assert_eq!(field.mul(a, 0), 0);
+
+        // Distributivity ties the two together.
+        prop_assert_eq!(
+            field.mul(a, field.add(b, c)),
+            field.add(field.mul(a, b), field.mul(a, c))
+        );
+
+        // Inverses: a · a⁻¹ = 1 and division round-trips, for a, b ≠ 0.
+        if a != 0 {
+            prop_assert_eq!(field.mul(a, field.inv(a)), 1);
+            prop_assert_eq!(field.pow(a, field.order()), 1, "Fermat: a^(2^m - 1) = 1");
+            prop_assert_eq!(field.alpha_pow(field.log(a)), a, "log/alpha_pow round trip");
+        }
+        if b != 0 {
+            prop_assert_eq!(field.mul(field.div(a, b), b), a);
+        }
+    }
+
+    /// BCH(31,16) encode ∘ decode is the identity under any error pattern of
+    /// weight ≤ t = 2: the decoder returns exactly the transmitted message
+    /// and codeword, with the outcome matching the number of flips.
+    #[test]
+    fn bch_decode_inverts_encode_under_radius_two_errors(
+        message in any::<u64>(),
+        first in 0usize..31,
+        offset in 0usize..30,
+        weight in 0usize..=2,
+    ) {
+        let code = Bch::bch_31_16();
+        let msg = BitVec::from_u64(code.k(), message & 0xFFFF);
+        let cw = code.encode(&msg);
+        prop_assert!(code.is_codeword(&cw));
+
+        let mut received = cw.clone();
+        let second = (first + 1 + offset) % code.n();
+        if weight >= 1 { received.flip(first); }
+        if weight >= 2 { received.flip(second); }
+        let flips = received.hamming_distance(&cw);
+
+        let decoded = code.decode(&received);
+        prop_assert!(decoded.message_is(&msg), "weight-{flips} pattern must correct");
+        prop_assert_eq!(decoded.codeword, Some(cw));
+        let expected = if flips == 0 {
+            DecodeOutcome::NoErrorDetected
+        } else {
+            DecodeOutcome::Corrected { bits_flipped: flips }
+        };
+        prop_assert_eq!(decoded.outcome, expected);
     }
 
     /// The splitter-insertion pass always produces exactly `loads` usable

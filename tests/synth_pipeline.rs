@@ -33,9 +33,9 @@ fn every_small_catalog_netlist_is_exhaustively_bit_exact() {
         assert_eq!(checked, 1 << design.k(), "{}", design.name());
         exhaustive_codes += 1;
     }
-    // RM(1,3), Hamming(7,4), Hamming(8,4), uncoded, SEC-DED(13,8) and
-    // SEC-DED(22,16) all have k ≤ 16.
-    assert_eq!(exhaustive_codes, 6);
+    // RM(1,3), Hamming(7,4), Hamming(8,4), uncoded, SEC-DED(13,8),
+    // SEC-DED(22,16), and BCH(31,16) all have k ≤ 16.
+    assert_eq!(exhaustive_codes, 7);
 }
 
 /// The wide members — SEC-DED(39,32), SEC-DED(72,64), and the r > 20
