@@ -34,24 +34,28 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// CI throughput floor for SEC-DED(72,64) batch decode (messages/second),
-/// checked in `--quick` mode. Measured ≈ 1.0e8 msg/s with the
-/// column-matching decoder on the commit that introduced it (container
-/// hardware; the retired action-table decoder managed ≈ 2.3e7 on the same
-/// machine). The floor is set well below the measurement so it catches
-/// action-table-scale regressions even on several-times-slower CI runners,
-/// not machine-to-machine noise.
-const SECDED_72_64_DECODE_FLOOR: f64 = 1.5e7;
+/// checked in `--quick` mode. Measured ≈ 1.1–1.5e8 msg/s with the
+/// byte-transpose direct-dispatch kernel on the commit that introduced the
+/// kernel layer (1-core container hardware with heavy run-to-run noise; the
+/// prefix-bucket walk it replaced sustained ≈ 7e7, the retired action-table
+/// decoder ≈ 2.3e7 on the same machine). The floor is roughly half the low
+/// end of the measurement band, so it catches walk-scale regressions and
+/// dispatch mistakes without tripping on runner noise.
+const SECDED_72_64_DECODE_FLOOR: f64 = 5.0e7;
 
 /// CI throughput floor for BCH(31,16) batch decode (messages/second),
 /// checked in `--quick` mode. The measurement input puts one random error in
 /// *every* word, so every lane is dirty and the number is the worst case for
 /// the algebraic engine: pure scalar-fallback (Berlekamp–Massey + Chien)
 /// throughput with none of the clean-limb short-circuiting that carries
-/// Monte-Carlo traffic. Measured ≈ 4e5 msg/s on the commit that introduced
-/// it (the link path, whose limbs are mostly clean, sustains ≈ 3.5e8);
-/// the floor is set well below so it catches algorithmic regressions
-/// (e.g. an accidental per-lane table rebuild), not runner noise.
-const BCH_31_16_DECODE_FLOOR: f64 = 1.0e5;
+/// Monte-Carlo traffic. Measured ≈ 3.3–4.5e6 msg/s with the bit-sliced
+/// syndrome engine (S₁/S₃ accumulated across whole limbs, scalar
+/// Berlekamp–Massey only on dirty lanes) on the commit that introduced it —
+/// the pure scalar-fallback engine it replaced managed ≈ 4e5 on the same
+/// machine. The floor is roughly half the low end of the measurement band,
+/// so it catches a fall back to per-lane syndrome evaluation (or an
+/// accidental per-lane table rebuild), not runner noise.
+const BCH_31_16_DECODE_FLOOR: f64 = 1.5e6;
 
 /// Telemetry overhead gate, checked in `--quick` mode: SEC-DED(72,64)
 /// batch decode with recording ON must sustain at least this fraction of
@@ -237,7 +241,9 @@ fn build_case<C: BlockCode + HardDecoder + Clone + Send + Sync + 'static>(
     rng: &mut StdRng,
 ) -> Case {
     let codec = match code.syndrome_class() {
-        ecc::SyndromeClass::Algebraic => BatchCodec::with_scalar_fallback(code, code.n()),
+        // The sliced-syndrome engine is what `BatchCodec::bch()` ships; the
+        // measured codec must be the shipping one.
+        ecc::SyndromeClass::Algebraic => BatchCodec::bch(),
         _ => BatchCodec::new(code),
     };
     // Measurement input: clean codewords with one random single-bit error
@@ -313,6 +319,8 @@ struct Measurement {
     n: usize,
     k: usize,
     program_len: usize,
+    /// The kernel auto-dispatch selects for this code at [`LANES`] lanes.
+    kernel: &'static str,
     encode: f64,
     decode: f64,
     old_decode: Option<f64>,
@@ -331,8 +339,15 @@ fn measure(quick: bool, fingerprint: &Fingerprint) -> Vec<Measurement> {
         fingerprint,
     );
     println!(
-        "{:<16} {:>9} {:>14} {:>14} {:>14} {:>9} {:>14}",
-        "code", "entries", "encode msg/s", "decode msg/s", "old msg/s", "speedup", "link msg/s"
+        "{:<16} {:>9} {:>10} {:>14} {:>14} {:>14} {:>9} {:>14}",
+        "code",
+        "entries",
+        "kernel",
+        "encode msg/s",
+        "decode msg/s",
+        "old msg/s",
+        "speedup",
+        "link msg/s"
     );
     let mut out = Vec::new();
     for case in cases() {
@@ -385,15 +400,17 @@ fn measure(quick: bool, fingerprint: &Fingerprint) -> Vec<Measurement> {
             n: case.codec.n(),
             k: case.codec.k(),
             program_len: case.codec.program_len(),
+            kernel: case.codec.selected_kernel_name(LANES),
             encode,
             decode,
             old_decode,
             link,
         };
         println!(
-            "{:<16} {:>9} {:>14.3e} {:>14.3e} {:>14} {:>9} {:>14}",
+            "{:<16} {:>9} {:>10} {:>14.3e} {:>14.3e} {:>14} {:>9} {:>14}",
             m.slug,
             m.program_len,
+            m.kernel,
             m.encode,
             m.decode,
             m.old_decode
@@ -420,10 +437,11 @@ fn render_json(measurements: &[Measurement], fingerprint: &Fingerprint) -> Strin
             let link = m.link.map_or("null".to_string(), |v| format!("{v:.1}"));
             format!(
                 "    {{\"code\": \"{}\", \"n\": {}, \"k\": {}, \"match_entries\": {}, \
+                 \"kernel\": \"{}\", \
                  \"encode_msgs_per_s\": {:.1}, \"decode_msgs_per_s\": {:.1}, \
                  \"action_table_decode_msgs_per_s\": {old}, \"decode_speedup\": {speedup}, \
                  \"link_msgs_per_s\": {link}}}",
-                m.slug, m.n, m.k, m.program_len, m.encode, m.decode
+                m.slug, m.n, m.k, m.program_len, m.kernel, m.encode, m.decode
             )
         })
         .collect();
@@ -526,6 +544,27 @@ fn bench_batch_decode(c: &mut Criterion) {
                  the committed floor {BCH_31_16_DECODE_FLOOR:.1e}",
                 bch.decode
             );
+            std::process::exit(1);
+        }
+        // No code with a measurable old-world baseline may decode slower
+        // than that baseline: the direct-dispatch kernels exist precisely to
+        // recover the small-code cases the bucket walk had regressed.
+        let mut regressed = false;
+        for m in &measurements {
+            if let Some(speedup) = m.speedup() {
+                println!("decode speedup {:<16} {speedup:.2}x ({})", m.slug, m.kernel);
+                if speedup < 1.0 {
+                    eprintln!(
+                        "THROUGHPUT REGRESSION: {} batch decode runs at {speedup:.2}x the \
+                         retired action-table decoder (kernel {}); every baselined code \
+                         must hold speedup >= 1.0",
+                        m.slug, m.kernel
+                    );
+                    regressed = true;
+                }
+            }
+        }
+        if regressed {
             std::process::exit(1);
         }
         // Telemetry overhead smoke gate: only meaningful when the

@@ -37,6 +37,7 @@
 //! engines should bit-slice the syndrome accumulation and fall back to this
 //! scalar decoder on dirty lanes only.
 
+use crate::algebraic::{AlgebraicAction, AlgebraicDecode, SlicedSyndromePlan};
 use crate::decoder::Decoded;
 use crate::{validate_code_matrices, BlockCode, HardDecoder};
 use gf2::field::{poly_degree, poly_rem, Gf2m};
@@ -54,6 +55,11 @@ pub struct Bch {
     decode_t: usize,
     g: BitMat,
     h: BitMat,
+    /// Column `j` of `H` as a syndrome bitmask (bit `u` = row `u`): flipping
+    /// position `j` toggles exactly this in the full syndrome. Lets the
+    /// syndrome-only decode path verify a candidate correction without
+    /// reconstructing the word.
+    col_syndromes: Vec<u128>,
     name: String,
 }
 
@@ -115,6 +121,13 @@ impl Bch {
             }
         }
         validate_code_matrices(&g, &h);
+        let col_syndromes = (0..n)
+            .map(|j| {
+                (0..r)
+                    .filter(|&u| h.get(u, j))
+                    .fold(0u128, |acc, u| acc | (1u128 << u))
+            })
+            .collect();
 
         Bch {
             field,
@@ -124,6 +137,7 @@ impl Bch {
             decode_t,
             g,
             h,
+            col_syndromes,
             name: format!("BCH({n},{k})"),
         }
     }
@@ -246,6 +260,47 @@ impl Bch {
         }
         positions
     }
+
+    /// Roots of a locator of degree ≤ 2 in closed form: returns the flip
+    /// mask (bit `j` = position `j`) and the number of distinct roots a
+    /// Chien search over the full multiplicative group would find.
+    ///
+    /// Degree 1 always has the single root `x = 1/σ₁`. Degree 2 reduces to
+    /// `z² + z = σ₂/σ₁²` by the substitution `x = (σ₁/σ₂)·z`, solved O(1)
+    /// via [`Gf2m::solve_quadratic`]; trace 1 means both roots live in the
+    /// extension field only (count 0), and `σ₁ = 0` collapses the quadratic
+    /// to `x² = 1/σ₂`, whose lone (Frobenius-repeated) root makes the count
+    /// 1 ≠ 2 so the caller detects, matching the Chien sweep exactly.
+    fn direct_locator_mask(&self, sigma: &[u16], degree: usize) -> (u128, usize) {
+        let f = &self.field;
+        let position = |x: u16| -> usize {
+            // Root x of σ ⇒ locator X = 1/x ⇒ position n−1−log(X).
+            self.n - 1 - f.log(f.inv(x))
+        };
+        match degree {
+            1 => {
+                let x = f.inv(sigma[1]);
+                (1u128 << position(x), 1)
+            }
+            _ => {
+                let (s1, s2) = (sigma[1], sigma[2]);
+                if s1 == 0 {
+                    // x² = 1/σ₂: squaring is bijective, one root exactly.
+                    return (0, 1);
+                }
+                let c = f.div(s2, f.square(s1));
+                match f.solve_quadratic(c) {
+                    None => (0, 0),
+                    Some(z) => {
+                        let a = f.div(s1, s2);
+                        let x1 = f.mul(a, z);
+                        let x2 = f.mul(a, z ^ 1);
+                        ((1u128 << position(x1)) | (1u128 << position(x2)), 2)
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl BlockCode for Bch {
@@ -314,6 +369,74 @@ impl HardDecoder for Bch {
     /// accumulation and fall back to this decoder on dirty lanes only.
     fn syndrome_class(&self) -> crate::SyndromeClass {
         crate::SyndromeClass::Algebraic
+    }
+}
+
+impl AlgebraicDecode for Bch {
+    fn sliced_syndrome_plan(&self) -> SlicedSyndromePlan {
+        let f = &self.field;
+        let m = f.degree();
+        // Bit b of S_i is the parity of received bits j with bit b of
+        // α^{i·(n−1−j)} set — the bit-sliced form of `power_syndromes`.
+        let odd_supports = (0..self.decode_t)
+            .map(|h| {
+                let i = 2 * h + 1;
+                (0..m)
+                    .map(|b| {
+                        (0..self.n)
+                            .filter(|&j| (f.alpha_pow(i * (self.n - 1 - j)) >> b) & 1 == 1)
+                            .fold(0u128, |acc, j| acc | (1u128 << j))
+                    })
+                    .collect()
+            })
+            .collect();
+        SlicedSyndromePlan {
+            field_bits: m,
+            syndrome_count: 2 * self.decode_t,
+            odd_supports,
+            square: (0..f.size() as u16).map(|a| f.square(a)).collect(),
+        }
+    }
+
+    /// The syndrome-only mirror of [`HardDecoder::decode`]: same
+    /// Berlekamp–Massey chain and the same detection gates, but degree ≤ 2
+    /// locators are solved in closed form instead of Chien-swept, and the
+    /// post-correction codeword check becomes `full_syndrome == Σ H columns
+    /// at the flips` (equivalent because `H·(r + e)ᵀ = H·rᵀ + H·eᵀ`).
+    fn decode_action(&self, power_syndromes: &[u16], full_syndrome: u128) -> AlgebraicAction {
+        debug_assert_eq!(power_syndromes.len(), 2 * self.decode_t);
+        debug_assert_ne!(full_syndrome, 0, "clean lanes never reach the fallback");
+        if power_syndromes.iter().all(|&s| s == 0) {
+            return AlgebraicAction::Detected;
+        }
+        let (sigma, degree) = self.error_locator(power_syndromes);
+        if degree == 0 || degree > self.decode_t || sigma.len() <= degree || sigma[degree] == 0 {
+            return AlgebraicAction::Detected;
+        }
+        let (mask, roots) = if degree <= 2 {
+            self.direct_locator_mask(&sigma, degree)
+        } else {
+            let positions = self.chien_positions(&sigma, degree);
+            (
+                positions.iter().fold(0u128, |acc, &p| acc | (1u128 << p)),
+                positions.len(),
+            )
+        };
+        if roots != degree {
+            return AlgebraicAction::Detected;
+        }
+        let mut expected = 0u128;
+        let mut rest = mask;
+        while rest != 0 {
+            let p = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            expected ^= self.col_syndromes[p];
+        }
+        if expected == full_syndrome {
+            AlgebraicAction::Flip(mask)
+        } else {
+            AlgebraicAction::Detected
+        }
     }
 }
 
@@ -481,6 +604,121 @@ mod tests {
             Bch::bch_31_16().syndrome_class(),
             crate::SyndromeClass::Algebraic
         );
+    }
+
+    /// Full syndrome of a received word as a bitmask (bit `u` = row `u`).
+    fn full_syndrome_mask(code: &Bch, received: &BitVec) -> u128 {
+        let s = code.syndrome(received);
+        (0..s.len())
+            .filter(|&u| s.get(u))
+            .fold(0u128, |acc, u| acc | (1u128 << u))
+    }
+
+    #[test]
+    fn sliced_syndrome_plan_reproduces_power_syndromes() {
+        for code in [Bch::new(4, 2), Bch::bch_31_16(), Bch::new(5, 3)] {
+            let plan = code.sliced_syndrome_plan();
+            assert_eq!(plan.field_bits, code.field_degree());
+            assert_eq!(plan.syndrome_count, 2 * code.correction_radius());
+            for msg in sample_messages(code.k(), 3) {
+                let mut received = code.encode(&msg);
+                received.flip(1);
+                received.flip(code.n() - 2);
+                let reference = code.power_syndromes(&received);
+                let word: u128 = (0..code.n())
+                    .filter(|&j| received.get(j))
+                    .fold(0u128, |acc, j| acc | (1u128 << j));
+                let mut syndromes = vec![0u16; plan.syndrome_count];
+                for (h, supports) in plan.odd_supports.iter().enumerate() {
+                    let mut s = 0u16;
+                    for (b, &mask) in supports.iter().enumerate() {
+                        s |= u16::from((word & mask).count_ones() & 1 == 1) << b;
+                    }
+                    syndromes[2 * h] = s;
+                }
+                plan.fill_even_syndromes(&mut syndromes);
+                assert_eq!(syndromes, reference, "{}", code.name());
+            }
+        }
+    }
+
+    /// The decision of a BCH decode depends only on the syndrome, and every
+    /// syndrome value is realized by a word supported on the parity tail
+    /// (where `r(x) = s(x)` directly). Sweeping all `2^r` syndromes
+    /// therefore covers every coset — `decode_action` is proven equivalent
+    /// to the scalar `decode` on *all* received words, not a sample.
+    #[test]
+    fn decode_action_matches_scalar_decode_over_the_whole_syndrome_space() {
+        let code = Bch::bch_31_16();
+        let r_bits = code.n() - code.k();
+        for s in 0u32..(1 << r_bits) {
+            let mut received = BitVec::zeros(code.n());
+            for d in 0..r_bits {
+                if (s >> d) & 1 == 1 {
+                    received.set(code.n() - 1 - d, true);
+                }
+            }
+            let scalar = code.decode(&received);
+            if s == 0 {
+                assert_eq!(scalar.outcome, DecodeOutcome::NoErrorDetected);
+                continue;
+            }
+            let power = code.power_syndromes(&received);
+            let full = full_syndrome_mask(&code, &received);
+            assert_ne!(full, 0, "nonzero parity tail ⇒ nonzero syndrome");
+            let action = code.decode_action(&power, full);
+            match (scalar.outcome, action) {
+                (DecodeOutcome::DetectedUncorrectable, AlgebraicAction::Detected) => {}
+                (DecodeOutcome::Corrected { bits_flipped }, AlgebraicAction::Flip(mask)) => {
+                    assert_eq!(mask.count_ones() as usize, bits_flipped, "syndrome {s:#x}");
+                    let mut fixed = received.clone();
+                    let mut rest = mask;
+                    while rest != 0 {
+                        let p = rest.trailing_zeros() as usize;
+                        rest &= rest - 1;
+                        fixed.flip(p);
+                    }
+                    assert_eq!(Some(fixed), scalar.codeword, "syndrome {s:#x}");
+                }
+                (outcome, action) => {
+                    panic!("syndrome {s:#x}: scalar {outcome:?} vs action {action:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_action_matches_scalar_at_full_radius_chien_path() {
+        // Radius 3 exercises the degree-3 Chien branch of decode_action.
+        let code = Bch::new(5, 3);
+        let msg = sample_messages(code.k(), 1).pop().unwrap();
+        let cw = code.encode(&msg);
+        for pattern in [
+            vec![4usize],
+            vec![0, 30],
+            vec![2, 11, 29],
+            vec![1, 2, 3, 4], // weight 4: must detect
+        ] {
+            let mut received = cw.clone();
+            for &p in &pattern {
+                received.flip(p);
+            }
+            if code.is_codeword(&received) {
+                continue;
+            }
+            let scalar = code.decode(&received);
+            let action = code.decode_action(
+                &code.power_syndromes(&received),
+                full_syndrome_mask(&code, &received),
+            );
+            match (scalar.outcome, action) {
+                (DecodeOutcome::DetectedUncorrectable, AlgebraicAction::Detected) => {}
+                (DecodeOutcome::Corrected { bits_flipped }, AlgebraicAction::Flip(mask)) => {
+                    assert_eq!(mask.count_ones() as usize, bits_flipped);
+                }
+                (outcome, action) => panic!("{pattern:?}: {outcome:?} vs {action:?}"),
+            }
+        }
     }
 
     #[test]

@@ -78,6 +78,27 @@ pub enum SyndromeClass {
     General,
 }
 
+impl SyndromeClass {
+    /// Whether a batch engine may compile this decoder into a
+    /// *direct-dispatch* kernel for the given redundancy `r = n − k`:
+    /// syndrome bytes index a `2^r`-entry action table directly instead of
+    /// walking matcher entries.
+    ///
+    /// Eligible when the full syndrome→action map is tabulated at
+    /// construction — [`SyndromeClass::ColumnFlip`] and
+    /// [`SyndromeClass::General`] with `r ≤ 8` (so the table has at most 256
+    /// entries and a syndrome fits one byte). [`SyndromeClass::Algebraic`]
+    /// decoders compute corrections instead of looking them up, so they are
+    /// never eligible regardless of `r`.
+    #[must_use]
+    pub fn direct_dispatch_eligible(self, redundancy: usize) -> bool {
+        match self {
+            SyndromeClass::ColumnFlip | SyndromeClass::General => redundancy <= 8,
+            SyndromeClass::Algebraic => false,
+        }
+    }
+}
+
 /// Result of decoding one received word.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Decoded {

@@ -36,12 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algebraic;
 pub mod analysis;
 pub mod batch;
 pub mod codes;
 pub mod decoder;
 pub mod weight;
 
+pub use algebraic::{AlgebraicAction, AlgebraicDecode, SlicedSyndromePlan};
 pub use analysis::{CodeAnalysis, DecodingPolicy, ErrorPatternStats};
 pub use batch::{BatchDecode, BatchDecoded, BatchEncode, BatchScratch};
 pub use codes::bch::Bch;

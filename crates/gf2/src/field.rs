@@ -55,6 +55,9 @@ pub struct Gf2m {
     exp: Vec<u16>,
     /// log table: `log[a] = i` with `α^i = a`; `log[0]` is unused.
     log: Vec<u16>,
+    /// quadratic-root table: `qroot[c]` is a solution `z` of `z² + z = c`,
+    /// or `u16::MAX` when `c` has absolute trace 1 (no solution).
+    qroot: Vec<u16>,
 }
 
 impl Gf2m {
@@ -80,7 +83,24 @@ impl Gf2m {
             }
         }
         debug_assert_eq!(acc, 1, "polynomial for m={m} is not primitive");
-        Gf2m { m, exp, log }
+        // z ↦ z² + z is 2-to-1 onto the trace-zero subfield half; record one
+        // preimage per image so quadratics solve in O(1) (the batch BCH
+        // kernels use this in place of a Chien search for degree-2 locators).
+        let mut qroot = vec![u16::MAX; 1 << m];
+        let mut field = Gf2m {
+            m,
+            exp,
+            log,
+            qroot: Vec::new(),
+        };
+        for z in 0..(1u16 << m) {
+            let c = field.mul(z, z) ^ z;
+            if qroot[c as usize] == u16::MAX {
+                qroot[c as usize] = z;
+            }
+        }
+        field.qroot = qroot;
+        field
     }
 
     /// The extension degree `m`.
@@ -173,6 +193,41 @@ impl Gf2m {
         }
         let order = self.order();
         self.exp[(self.log[a as usize] as usize * (e % order)) % order]
+    }
+
+    /// Squaring (the Frobenius automorphism `a ↦ a²`).
+    ///
+    /// Because squaring is GF(2)-linear and field-automorphic, the even power
+    /// syndromes of a BCH code satisfy `S_{2i} = S_i²` — the identity the
+    /// bit-sliced batch syndrome kernel relies on to accumulate only the odd
+    /// powers.
+    #[inline]
+    #[must_use]
+    pub fn square(&self, a: u16) -> u16 {
+        self.mul(a, a)
+    }
+
+    /// Solves `z² + z = c`, returning one root (the other is `z ^ 1`), or
+    /// `None` when `c` has absolute trace 1 and the quadratic has no root in
+    /// the field. O(1) via a table built at construction.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gf2::field::Gf2m;
+    ///
+    /// let f = Gf2m::new(5);
+    /// let c = f.alpha_pow(7);
+    /// if let Some(z) = f.solve_quadratic(c) {
+    ///     assert_eq!(f.add(f.square(z), z), c);
+    ///     assert_eq!(f.add(f.square(z ^ 1), z ^ 1), c);
+    /// }
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn solve_quadratic(&self, c: u16) -> Option<u16> {
+        let z = self.qroot[c as usize];
+        (z != u16::MAX).then_some(z)
     }
 
     /// The cyclotomic coset of `i` modulo `2^m - 1`: `{i, 2i, 4i, ...}`.
@@ -460,6 +515,48 @@ mod tests {
         assert_eq!(poly_rem(prod ^ 0b10, b), poly_rem(0b10, b));
         let v = poly_to_bitvec_be(0b1011, 6);
         assert_eq!(v.to_string01(), "001011");
+    }
+
+    #[test]
+    fn square_is_frobenius() {
+        for m in 2..=8 {
+            let f = Gf2m::new(m);
+            for a in 0..(1u16 << m) {
+                for b in 0..(1u16 << m) {
+                    assert_eq!(f.square(a ^ b), f.square(a) ^ f.square(b));
+                }
+                assert_eq!(f.square(a), f.pow(a, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_quadratic_finds_exactly_the_trace_zero_half() {
+        for m in 2..=8 {
+            let f = Gf2m::new(m);
+            let mut solvable = 0usize;
+            for c in 0..(1u16 << m) {
+                match f.solve_quadratic(c) {
+                    Some(z) => {
+                        solvable += 1;
+                        assert_eq!(f.square(z) ^ z, c, "m={m} c={c}");
+                        assert_eq!(f.square(z ^ 1) ^ (z ^ 1), c, "m={m} c={c} twin");
+                        // Exactly two roots: any other element misses.
+                        for w in 0..(1u16 << m) {
+                            if w != z && w != (z ^ 1) {
+                                assert_ne!(f.square(w) ^ w, c);
+                            }
+                        }
+                    }
+                    None => {
+                        for w in 0..(1u16 << m) {
+                            assert_ne!(f.square(w) ^ w, c, "m={m} c={c} claimed no root");
+                        }
+                    }
+                }
+            }
+            assert_eq!(solvable, 1 << (m - 1), "half the field is trace-zero");
+        }
     }
 
     #[test]

@@ -31,11 +31,16 @@
 #![warn(missing_docs)]
 
 pub mod field;
+pub mod limb;
 pub mod mat;
 pub mod slice;
 pub mod vec;
 
 pub use field::Gf2m;
+pub use limb::{
+    and_xnor_reduce_limb, byte_transpose_8x8, or_reduce_limb, syndrome_bytes,
+    syndrome_bytes_inverse, transpose8x8, Limb,
+};
 pub use mat::BitMat;
 pub use slice::{and_xnor_reduce, or_reduce, BitSlice64};
 pub use vec::BitVec;

@@ -167,6 +167,17 @@ impl BitSlice64 {
         &mut self.lanes[bit * self.words..(bit + 1) * self.words]
     }
 
+    /// The raw lane-major storage: lane `b` occupies words
+    /// `[b * self.words() .. (b + 1) * self.words())`.
+    ///
+    /// Kernel hot loops index this directly — one flat bounds check per
+    /// store instead of re-deriving a lane slice per access. The same
+    /// tail-bit invariant as [`lane_mut`](Self::lane_mut) applies.
+    #[inline]
+    pub fn lane_words_mut(&mut self) -> &mut [u64] {
+        &mut self.lanes
+    }
+
     /// XORs `src`'s lane `src_bit` into `self`'s lane `dst_bit`.
     ///
     /// # Panics

@@ -12,12 +12,14 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sfq_ecc::batch::BatchCodec;
+use sfq_ecc::batch::{BatchCodec, KernelKind};
 use sfq_ecc::ecc::{
     validate_code_matrices, BatchDecode, BatchEncode, BlockCode, DecodeOutcome, Decoded, Hamming74,
     Hamming84, HardDecoder, Repetition, Rm13, SecDed, ShortenedHamming, SyndromeClass, Uncoded,
 };
-use sfq_ecc::gf2::{BitMat, BitSlice64, BitVec, WeightPatterns};
+use sfq_ecc::gf2::{
+    syndrome_bytes, syndrome_bytes_inverse, BitMat, BitSlice64, BitVec, WeightPatterns,
+};
 
 /// Every codeword corrupted with every error pattern of weight 0, 1, or 2.
 fn low_weight_corpus<C: BlockCode>(code: &C) -> Vec<BitVec> {
@@ -609,6 +611,161 @@ proptest! {
             corpus.push(w);
         }
         assert_batch_matches_scalar_on(&code, &corpus);
+    }
+}
+
+/// Batch sizes straddling every limb boundary the kernels care about: a
+/// single lane, one bit short of a limb, exactly one limb, one lane over,
+/// a ragged two-limb batch, a ragged 256-bit-chunk batch, and a batch with
+/// both full 256-bit chunks *and* a ragged `u64` remainder.
+const RAGGED_BATCH_SIZES: [usize; 7] = [1, 63, 64, 65, 130, 257, 320];
+
+/// Every kernel override the dispatch layer accepts, reference first.
+const FORCED_KERNELS: [KernelKind; 4] = [
+    KernelKind::Auto,
+    KernelKind::U128,
+    KernelKind::Wide256,
+    KernelKind::Direct,
+];
+
+/// Decodes dense random noise plus guaranteed clean/single-error words
+/// through the reference `scalar-u64` walk and through every forced kernel,
+/// and demands bit-identical output — messages, codewords, flag masks, and
+/// correction masks — at every ragged batch size.
+fn assert_every_kernel_matches_the_scalar_walk<C>(code: &C, seed: u64)
+where
+    C: BlockCode + HardDecoder,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    for batch_size in RAGGED_BATCH_SIZES {
+        let mut words: Vec<BitVec> = (0..batch_size)
+            .map(|_| {
+                (0..code.n())
+                    .map(|_| rng.random::<u64>() & 1 == 1)
+                    .collect()
+            })
+            .collect();
+        // Guarantee the accept and single-correction arms are present even
+        // at tiny batch sizes.
+        let msg: BitVec = (0..code.k())
+            .map(|_| rng.random::<u64>() & 1 == 1)
+            .collect();
+        let cw = code.encode(&msg);
+        words[0] = cw.clone();
+        if batch_size > 1 {
+            let mut single = cw.clone();
+            single.flip(rng.random_range(0..code.n()));
+            words[1] = single;
+        }
+        let batch = BitSlice64::pack(&words);
+        let reference = BatchCodec::new(code)
+            .with_kernel(KernelKind::ScalarU64)
+            .decode_batch(&batch);
+        for kind in FORCED_KERNELS {
+            let decoded = BatchCodec::new(code).with_kernel(kind).decode_batch(&batch);
+            let label = format!("{} {kind:?} batch {batch_size}", code.name());
+            assert_eq!(decoded.messages, reference.messages, "{label}: messages");
+            assert_eq!(decoded.codewords, reference.codewords, "{label}: codewords");
+            assert_eq!(decoded.flagged, reference.flagged, "{label}: flag mask");
+            assert_eq!(
+                decoded.corrected, reference.corrected,
+                "{label}: correction mask"
+            );
+        }
+    }
+}
+
+/// The forced-dispatch equivalence sweep over the whole catalog: every code
+/// × every kernel override × every ragged batch size must be bit-identical
+/// to the reference scalar walk. This is the proof that lets the dispatch
+/// layer pick kernels freely.
+#[test]
+fn every_catalog_code_decodes_identically_under_every_forced_kernel() {
+    assert_every_kernel_matches_the_scalar_walk(&Hamming74::new(), 0xD15_0001);
+    assert_every_kernel_matches_the_scalar_walk(&Hamming84::new(), 0xD15_0002);
+    assert_every_kernel_matches_the_scalar_walk(&Rm13::new(), 0xD15_0003);
+    assert_every_kernel_matches_the_scalar_walk(&Repetition::new(4, 2), 0xD15_0004);
+    assert_every_kernel_matches_the_scalar_walk(&Repetition::new(2, 3), 0xD15_0005);
+    assert_every_kernel_matches_the_scalar_walk(&Uncoded::new(4), 0xD15_0006);
+    for m in 3..=6 {
+        assert_every_kernel_matches_the_scalar_walk(&SecDed::new(m), 0xD15_0010 + m as u64);
+    }
+    assert_every_kernel_matches_the_scalar_walk(&ShortenedHamming::wide_85_64(), 0xD15_0020);
+}
+
+/// The kernel override must not change the algebraic engine's output: the
+/// sliced BCH codec produces bit-identical results under every forced
+/// kernel, and all of them agree with the scalar-fallback engine (which
+/// re-derives each dirty lane from scratch through the `ecc` decoder).
+#[test]
+fn bch_sliced_engine_is_kernel_invariant_and_matches_the_scalar_fallback() {
+    let code = sfq_ecc::ecc::Bch::bch_31_16();
+    let mut rng = StdRng::seed_from_u64(0xBC43_2001);
+    for batch_size in RAGGED_BATCH_SIZES {
+        let words: Vec<BitVec> = (0..batch_size)
+            .map(|i| {
+                let msg: BitVec = (0..code.k())
+                    .map(|_| rng.random::<u64>() & 1 == 1)
+                    .collect();
+                let mut w = code.encode(&msg);
+                for _ in 0..(i % 4) {
+                    w.flip(rng.random_range(0..code.n()));
+                }
+                w
+            })
+            .collect();
+        let batch = BitSlice64::pack(&words);
+        let reference = BatchCodec::with_scalar_fallback(&code, code.n()).decode_batch(&batch);
+        for kind in [KernelKind::ScalarU64].into_iter().chain(FORCED_KERNELS) {
+            let decoded = BatchCodec::bch().with_kernel(kind).decode_batch(&batch);
+            let label = format!("bch {kind:?} batch {batch_size}");
+            assert_eq!(decoded.messages, reference.messages, "{label}: messages");
+            assert_eq!(decoded.codewords, reference.codewords, "{label}: codewords");
+            assert_eq!(decoded.flagged, reference.flagged, "{label}: flag mask");
+            assert_eq!(
+                decoded.corrected, reference.corrected,
+                "{label}: correction mask"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// The byte-transpose round trip is the identity on random syndrome
+    /// slices: `syndrome_bytes` followed by `syndrome_bytes_inverse`
+    /// recovers every slice bit, for every redundancy `r ≤ 8` the direct8
+    /// kernel dispatches on.
+    #[test]
+    fn syndrome_byte_transpose_roundtrips_random_slices(
+        raw in prop::collection::vec(any::<u64>(), 8),
+        r in 1usize..=8,
+    ) {
+        let slices = &raw[..r];
+        let mut bytes = [0u64; 8];
+        syndrome_bytes(slices, &mut bytes);
+        let mut recovered = vec![0u64; r];
+        syndrome_bytes_inverse(&bytes, &mut recovered);
+        prop_assert_eq!(&recovered[..], slices);
+    }
+
+    /// The transposed layout means what the direct8 kernel assumes: byte
+    /// `j` of output word `q` is exactly the syndrome of lane `8q + j`,
+    /// assembled bit-by-bit from the input slices.
+    #[test]
+    fn syndrome_byte_transpose_places_each_lane_syndrome(
+        raw in prop::collection::vec(any::<u64>(), 8),
+        r in 1usize..=8,
+        lane in 0usize..64,
+    ) {
+        let slices = &raw[..r];
+        let mut bytes = [0u64; 8];
+        syndrome_bytes(slices, &mut bytes);
+        let mut expected = 0u64;
+        for (t, &slice) in slices.iter().enumerate() {
+            expected |= ((slice >> lane) & 1) << t;
+        }
+        let got = (bytes[lane / 8] >> (8 * (lane % 8))) & 0xFF;
+        prop_assert_eq!(got, expected);
     }
 }
 
