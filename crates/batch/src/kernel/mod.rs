@@ -57,27 +57,90 @@ pub enum KernelKind {
     Direct,
 }
 
+/// An unrecognized kernel-override value (from `SFQ_BATCH_KERNEL` or
+/// [`KernelKind::parse`]). Carries the offending string; the [`Display`]
+/// (std::fmt::Display) message lists the accepted values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelEnvError {
+    value: String,
+}
+
+impl KernelEnvError {
+    /// The rejected override string, verbatim.
+    #[must_use]
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+}
+
+impl std::fmt::Display for KernelEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SFQ_BATCH_KERNEL={:?} is not one of \
+             auto | scalar-u64 | u128 | wide256 | direct",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for KernelEnvError {}
+
 impl KernelKind {
-    /// Parses the `SFQ_BATCH_KERNEL` environment value.
+    /// Parses a kernel-override string (the `SFQ_BATCH_KERNEL` value
+    /// grammar). The empty string means `auto`.
     ///
-    /// # Panics
-    /// Panics on an unrecognized value, so CI matrix typos fail loudly
-    /// instead of silently testing `auto`.
-    pub(crate) fn from_env() -> Self {
-        match std::env::var("SFQ_BATCH_KERNEL") {
-            Err(_) => KernelKind::Auto,
-            Ok(value) => match value.as_str() {
-                "" | "auto" => KernelKind::Auto,
-                "scalar-u64" => KernelKind::ScalarU64,
-                "u128" => KernelKind::U128,
-                "wide256" => KernelKind::Wide256,
-                "direct" => KernelKind::Direct,
-                other => panic!(
-                    "SFQ_BATCH_KERNEL={other:?} is not one of \
-                     auto | scalar-u64 | u128 | wide256 | direct"
-                ),
-            },
+    /// # Errors
+    /// Returns [`KernelEnvError`] on an unrecognized value.
+    pub fn parse(value: &str) -> Result<Self, KernelEnvError> {
+        match value {
+            "" | "auto" => Ok(KernelKind::Auto),
+            "scalar-u64" => Ok(KernelKind::ScalarU64),
+            "u128" => Ok(KernelKind::U128),
+            "wide256" => Ok(KernelKind::Wide256),
+            "direct" => Ok(KernelKind::Direct),
+            other => Err(KernelEnvError {
+                value: other.to_owned(),
+            }),
         }
+    }
+
+    /// Reads and validates the `SFQ_BATCH_KERNEL` environment variable.
+    /// Unset parses as `Auto`.
+    ///
+    /// Long-running services should call this once at startup and surface
+    /// the error to the operator; codec construction itself never aborts on
+    /// a bad value (see [`KernelKind::from_env_or_auto`]).
+    ///
+    /// # Errors
+    /// Returns [`KernelEnvError`] when the variable is set to an
+    /// unrecognized value.
+    pub fn from_env() -> Result<Self, KernelEnvError> {
+        match std::env::var("SFQ_BATCH_KERNEL") {
+            Err(_) => Ok(KernelKind::Auto),
+            Ok(value) => Self::parse(&value),
+        }
+    }
+
+    /// The environment read used at codec construction: an unrecognized
+    /// value falls back to `Auto` instead of aborting the process — bad env
+    /// config must not take down a long-running scrubbing service. The
+    /// rejection is still loud: a warning is printed once per process and
+    /// every affected construction bumps the `batch.kernel.env_error`
+    /// counter. CI matrix typos are caught by the dispatch workflow's
+    /// `kernel_env_parses` test, which asserts [`KernelKind::from_env`]
+    /// succeeds under each pinned value.
+    pub(crate) fn from_env_or_auto() -> Self {
+        Self::from_env().unwrap_or_else(|error| {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("warning: {error}; falling back to auto dispatch");
+            });
+            sfq_telemetry::global()
+                .counter("batch.kernel.env_error")
+                .inc();
+            KernelKind::Auto
+        })
     }
 }
 
@@ -238,6 +301,36 @@ mod tests {
             select(KernelKind::Direct, false, 21, 64),
             KernelChoice::Walk64
         );
+    }
+
+    #[test]
+    fn kernel_override_grammar_parses() {
+        for (value, kind) in [
+            ("", KernelKind::Auto),
+            ("auto", KernelKind::Auto),
+            ("scalar-u64", KernelKind::ScalarU64),
+            ("u128", KernelKind::U128),
+            ("wide256", KernelKind::Wide256),
+            ("direct", KernelKind::Direct),
+        ] {
+            assert_eq!(KernelKind::parse(value), Ok(kind), "{value:?}");
+        }
+        let error = KernelKind::parse("wide-256").unwrap_err();
+        assert_eq!(error.value(), "wide-256");
+        let message = error.to_string();
+        assert!(message.contains("wide-256"), "{message}");
+        assert!(message.contains("scalar-u64"), "{message}");
+    }
+
+    /// Guards the CI dispatch matrix: each leg pins `SFQ_BATCH_KERNEL`, and
+    /// this test failing under a pinned value means the matrix entry is a
+    /// typo (construction itself no longer panics — it falls back to auto —
+    /// so this is where a bad matrix value fails loudly).
+    #[test]
+    fn kernel_env_parses() {
+        if let Err(error) = KernelKind::from_env() {
+            panic!("invalid SFQ_BATCH_KERNEL in the environment: {error}");
+        }
     }
 
     #[test]

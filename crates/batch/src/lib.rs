@@ -105,7 +105,7 @@ use std::sync::Arc;
 
 mod kernel;
 
-pub use kernel::KernelKind;
+pub use kernel::{KernelEnvError, KernelKind};
 
 use kernel::direct::DirectTable;
 use kernel::sliced::{run_sliced, SlicedStats};
@@ -292,6 +292,12 @@ struct DecodeMetrics {
     /// `batch.kernel.<name>.limbs`, indexed by [`KernelChoice::index`] —
     /// limbs each kernel processed.
     kernel_limbs: Vec<sfq_telemetry::Counter>,
+    /// Detection-only calls (one per [`BatchCodec::detect_batch_with`]).
+    detect_calls: sfq_telemetry::Counter,
+    /// Limbs screened by detection-only calls.
+    detect_limbs: sfq_telemetry::Counter,
+    /// Dirty (nonzero-syndrome) lanes found by detection-only calls.
+    detect_dirty_lanes: sfq_telemetry::Counter,
 }
 
 impl DecodeMetrics {
@@ -314,6 +320,9 @@ impl DecodeMetrics {
                 .iter()
                 .map(|c| registry.counter(&format!("batch.kernel.{}.limbs", c.name())))
                 .collect(),
+            detect_calls: registry.counter("batch.detect.calls"),
+            detect_limbs: registry.counter("batch.detect.limbs"),
+            detect_dirty_lanes: registry.counter("batch.detect.dirty_lanes"),
         }
     }
 }
@@ -347,6 +356,16 @@ impl ColumnMatchProgram {
             direct,
         }
     }
+}
+
+/// Outcome counts of one detection-only screen
+/// ([`BatchCodec::detect_batch_with`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectSummary {
+    /// Messages whose syndrome was zero (delivered unchanged).
+    pub clean: u64,
+    /// Messages whose syndrome was nonzero (flagged for rescrub).
+    pub dirty: u64,
 }
 
 /// A bit-sliced batch encoder/decoder for one short block code.
@@ -521,7 +540,7 @@ impl BatchCodec {
             syndrome_masks,
             engine,
             extract_masks,
-            kernel: KernelKind::from_env(),
+            kernel: KernelKind::from_env_or_auto(),
             metrics: DecodeMetrics::new(),
         }
     }
@@ -831,6 +850,73 @@ impl BatchCodec {
         fallback.metrics.kernel_limbs.add(words as u64);
 
         self.extract_message_lanes(received.batch(), out);
+    }
+
+    /// Detection-only decode: computes the syndrome batch and classifies
+    /// each message as clean (zero syndrome) or dirty (nonzero), **without
+    /// running any correction kernel** — no column matching, no per-lane
+    /// algebra, no message extraction. This is the degraded decode mode of
+    /// the streaming scrub service (`sfq-stream`): under overload a
+    /// SEC-DED-class code stops correcting and merely *detects*, delivering
+    /// clean words unchanged and flagging dirty ones for rescrub at a
+    /// fraction of the full-decode cost.
+    ///
+    /// `dirty` receives one limb per 64 messages (bit `i % 64` of limb
+    /// `i / 64` set when message `i` has a nonzero syndrome), re-shaped in
+    /// place like every other `_with` buffer. Note the semantics are weaker
+    /// than a full decode on purpose: a dirty lane may carry a *correctable*
+    /// error — detection-only mode trades that correction away for latency.
+    ///
+    /// # Panics
+    /// Panics if `received.bits() != self.n()`.
+    pub fn detect_batch_with(
+        &self,
+        received: &BitSlice64,
+        scratch: &mut BatchScratch,
+        dirty: &mut Vec<u64>,
+    ) -> DetectSummary {
+        assert_eq!(received.bits(), self.n, "received lanes must equal n");
+        let redundancy = self.syndrome_masks.len();
+        let words = received.words();
+        let tail = received.tail_mask();
+
+        self.syndrome_batch_into(received, &mut scratch.syndromes);
+        if scratch.gather.len() < redundancy {
+            scratch.gather.resize(redundancy, 0);
+        }
+        dirty.clear();
+        dirty.resize(words, 0);
+
+        let mut dirty_lanes = 0u64;
+        for (w, slot) in dirty.iter_mut().enumerate() {
+            let valid = if w + 1 == words { tail } else { u64::MAX };
+            let gather = &mut scratch.gather[..redundancy];
+            scratch.syndromes.gather_word(w, gather);
+            let mask = or_reduce(gather) & valid;
+            *slot = mask;
+            dirty_lanes += u64::from(mask.count_ones());
+        }
+
+        self.metrics.detect_calls.inc();
+        self.metrics.detect_limbs.add(words as u64);
+        self.metrics.detect_dirty_lanes.add(dirty_lanes);
+
+        DetectSummary {
+            clean: received.batch() as u64 - dirty_lanes,
+            dirty: dirty_lanes,
+        }
+    }
+
+    /// Allocating convenience form of [`BatchCodec::detect_batch_with`].
+    ///
+    /// # Panics
+    /// Panics if `received.bits() != self.n()`.
+    #[must_use]
+    pub fn detect_batch(&self, received: &BitSlice64) -> (Vec<u64>, DetectSummary) {
+        let mut scratch = BatchScratch::new();
+        let mut dirty = Vec::new();
+        let summary = self.detect_batch_with(received, &mut scratch, &mut dirty);
+        (dirty, summary)
     }
 
     /// Message lanes: parity of the extraction support over the corrected
@@ -1171,6 +1257,88 @@ mod tests {
             }
         }
         assert_eq!(decoded.flagged_count(), 2);
+    }
+
+    /// Detection-only screening agrees with the full decode on every code
+    /// family: a lane is dirty exactly when the full decoder either corrects
+    /// or flags it (zero syndrome ⇔ untouched codeword), for ragged batches
+    /// and across all three engines (column match, sliced algebraic).
+    #[test]
+    fn detect_batch_matches_full_decode_classification() {
+        for codec in [
+            BatchCodec::sec_ded(3),
+            BatchCodec::hamming84(),
+            BatchCodec::bch(),
+        ] {
+            let batch = 190usize;
+            let msgs = random_messages(codec.k(), batch, 21);
+            let mut received = codec.encode_batch(&BitSlice64::pack(&msgs));
+            // Sprinkle deterministic errors: single flips, double flips, and
+            // untouched lanes.
+            let mut rng = StdRng::seed_from_u64(33);
+            for i in (0..batch).step_by(3) {
+                let p = rng.random_range(0..codec.n());
+                received.set(i, p, !received.get(i, p));
+                if i % 6 == 0 {
+                    let q = (p + 1) % codec.n();
+                    received.set(i, q, !received.get(i, q));
+                }
+            }
+
+            let (dirty, summary) = codec.detect_batch(&received);
+            let decoded = codec.decode_batch(&received);
+            for (w, mask) in dirty.iter().enumerate() {
+                assert_eq!(
+                    *mask,
+                    decoded.corrected[w] | decoded.flagged[w],
+                    "{}: limb {w} dirty mask must equal corrected|flagged",
+                    codec.name()
+                );
+            }
+            let expect_dirty = (decoded.corrected_count() + decoded.flagged_count()) as u64;
+            assert_eq!(summary.dirty, expect_dirty, "{}", codec.name());
+            assert_eq!(summary.clean + summary.dirty, batch as u64);
+        }
+    }
+
+    #[test]
+    fn detect_batch_reuses_scratch_without_allocating_results() {
+        let codec = BatchCodec::sec_ded(6);
+        let messages = random_messages(63, 200, 5);
+        let padded: Vec<BitVec> = messages
+            .iter()
+            .map(|m| {
+                let mut v = BitVec::zeros(64);
+                for b in 0..63 {
+                    v.set(b, m.get(b));
+                }
+                v
+            })
+            .collect();
+        let clean = codec.encode_batch(&BitSlice64::pack(&padded));
+        let mut scratch = BatchScratch::new();
+        let mut dirty = Vec::new();
+        let summary = codec.detect_batch_with(&clean, &mut scratch, &mut dirty);
+        assert_eq!(
+            summary,
+            DetectSummary {
+                clean: 200,
+                dirty: 0
+            }
+        );
+        assert!(dirty.iter().all(|&m| m == 0));
+        // A second call with one corrupted lane re-shapes the same buffers.
+        let mut received = clean.clone();
+        received.set(130, 7, !received.get(130, 7));
+        let summary = codec.detect_batch_with(&received, &mut scratch, &mut dirty);
+        assert_eq!(
+            summary,
+            DetectSummary {
+                clean: 199,
+                dirty: 1
+            }
+        );
+        assert_eq!(dirty[130 / 64], 1u64 << (130 % 64));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod ablation;
 pub mod batch_link;
+pub mod burst;
 pub mod calibrate;
 pub mod channel;
 pub mod link;
@@ -30,6 +31,7 @@ pub mod montecarlo;
 pub mod waveform;
 
 pub use batch_link::{batch_codec_for, BatchLink, BatchLinkContext, BatchLinkStats, LinkScratch};
+pub use burst::{BurstSource, Interleaver, SparseFlipSource};
 pub use channel::{ChannelConfig, CryoCable};
 pub use link::{CryoLink, LinkOutcome, TransmissionResult};
 pub use montecarlo::{

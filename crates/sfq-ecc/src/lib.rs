@@ -16,6 +16,7 @@
 //! | [`encoders`] | `encoders` | the code catalog: the paper's encoder circuits, synthesized SEC-DED encoders, Table II |
 //! | [`batch`] | `sfq-batch` | bit-sliced batch codec engine (64 codewords per `u64` limb) |
 //! | [`link`] | `cryolink` | the Fig. 1 data link, the Fig. 5 Monte-Carlo experiments, and the batch link driver |
+//! | [`stream`] | `sfq-stream` | online scrubbing service: bounded queues, fault injection, latency contract, degradation ladder |
 //! | [`telemetry`] | `sfq-telemetry` | metrics registry, span timers, run-report snapshots (no-ops without the `telemetry` feature) |
 //!
 //! ## Quick start
@@ -46,6 +47,7 @@ pub use sfq_batch as batch;
 pub use sfq_cells as cells;
 pub use sfq_netlist as netlist;
 pub use sfq_sim as sim;
+pub use sfq_stream as stream;
 pub use sfq_telemetry as telemetry;
 
 /// Paper metadata for reports and tooling.

@@ -1,0 +1,96 @@
+//! The seeded simulation clock's arrival process.
+//!
+//! Syndrome batches arrive on a discrete cycle clock at a *rational* rate:
+//! `arrivals_per_1024` batches per 1024 cycles, accumulated in integer
+//! arithmetic so that every run with the same configuration produces the
+//! same arrival cycle for every batch — the determinism the latency
+//! contract's tests are built on. Overload experiments scale the rate by a
+//! spike factor in milli-units (`1500` = 1.5×), again exactly.
+
+/// Deterministic batch-arrival process: integer rational-rate accumulator
+/// with a multiplicative spike window.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    /// Base rate: batches per 1024 cycles.
+    per_1024: u64,
+    /// Rate multiplier in milli-units (1000 = nominal).
+    factor_milli: u64,
+    /// Cycle at which the current spike window ends (factor reverts to
+    /// 1000).
+    spike_until: u64,
+    /// Fixed-point accumulator, in units of 1/(1024·1000) batches.
+    acc: u64,
+}
+
+/// One accumulator quantum equals a full batch.
+const QUANTUM: u64 = 1024 * 1000;
+
+impl ArrivalProcess {
+    /// An arrival process at `per_1024` batches per 1024 cycles.
+    #[must_use]
+    pub fn new(per_1024: u64) -> Self {
+        ArrivalProcess {
+            per_1024,
+            factor_milli: 1000,
+            spike_until: 0,
+            acc: 0,
+        }
+    }
+
+    /// Applies a rate spike: the arrival rate is multiplied by
+    /// `factor_milli / 1000` until `until_cycle`.
+    pub fn spike(&mut self, factor_milli: u64, until_cycle: u64) {
+        self.factor_milli = factor_milli;
+        self.spike_until = until_cycle;
+    }
+
+    /// The rate multiplier active at `cycle`, in milli-units.
+    #[must_use]
+    pub fn factor_at(&self, cycle: u64) -> u64 {
+        if cycle < self.spike_until {
+            self.factor_milli
+        } else {
+            1000
+        }
+    }
+
+    /// Advances one cycle; returns how many batches arrive this cycle
+    /// (usually 0 or 1; more under extreme spikes).
+    pub fn tick(&mut self, cycle: u64) -> u64 {
+        self.acc += self.per_1024 * self.factor_at(cycle);
+        let arrivals = self.acc / QUANTUM;
+        self.acc %= QUANTUM;
+        arrivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_exact_over_long_windows() {
+        let mut process = ArrivalProcess::new(52);
+        let total: u64 = (0..1024 * 100).map(|c| process.tick(c)).sum();
+        assert_eq!(total, 52 * 100, "52 per 1024 cycles, exactly");
+    }
+
+    #[test]
+    fn spike_scales_the_rate_and_reverts() {
+        let mut process = ArrivalProcess::new(64);
+        process.spike(1500, 1024);
+        let during: u64 = (0..1024).map(|c| process.tick(c)).sum();
+        let after: u64 = (1024..2048).map(|c| process.tick(c)).sum();
+        assert_eq!(during, 96, "1.5 × 64");
+        assert_eq!(after, 64);
+    }
+
+    #[test]
+    fn arrivals_are_deterministic() {
+        let run = || -> Vec<u64> {
+            let mut p = ArrivalProcess::new(37);
+            (0..5000).map(|c| p.tick(c)).collect()
+        };
+        assert_eq!(run(), run());
+    }
+}

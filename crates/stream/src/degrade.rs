@@ -1,0 +1,252 @@
+//! The graceful-degradation ladder.
+//!
+//! Under sustained overload the scrub service sheds work in defined steps
+//! rather than letting its backlog (and therefore every batch's latency)
+//! grow without bound:
+//!
+//! 1. [`ServiceMode::FullCorrection`] — the contract: every batch fully
+//!    decoded, errors corrected, uncorrectables flagged.
+//! 2. [`ServiceMode::WidenedAdmission`] — batches are coalesced into wider
+//!    decode jobs, amortizing the per-job fixed cost. Nothing is lost;
+//!    per-batch latency rises slightly in exchange for throughput.
+//! 3. [`ServiceMode::DetectionOnly`] — SEC-DED-class codes stop correcting
+//!    and merely *detect*: clean words are delivered unchanged, dirty words
+//!    are flagged for rescrub. A fraction of the full decode cost.
+//! 4. [`ServiceMode::ShedAndRescrub`] — arrivals beyond the intake bound
+//!    are dropped *and flagged for rescrub* (never silently lost); the
+//!    backlog is actively trimmed.
+//!
+//! Transitions are driven by backlog depth with **hysteresis** (a rung
+//! releases at a fraction of its engage threshold) and a **minimum dwell**
+//! (no rung flaps within `min_dwell` cycles), escalating and recovering one
+//! rung at a time. The controller is pure integer state — the transition
+//! sequence for a seeded scenario is exactly reproducible, which is what
+//! the ladder tests assert.
+
+/// The service's operating mode — one rung of the degradation ladder,
+/// ordered from full service to maximum shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServiceMode {
+    /// Full decode: correct everything correctable, flag the rest.
+    FullCorrection,
+    /// Full decode with widened (coalesced) batch admission.
+    WidenedAdmission,
+    /// Syndrome screen only: deliver clean words, flag dirty ones.
+    DetectionOnly,
+    /// Detection plus active shedding of over-bound arrivals.
+    ShedAndRescrub,
+}
+
+impl ServiceMode {
+    /// Every mode, in ladder order.
+    pub const ALL: [ServiceMode; 4] = [
+        ServiceMode::FullCorrection,
+        ServiceMode::WidenedAdmission,
+        ServiceMode::DetectionOnly,
+        ServiceMode::ShedAndRescrub,
+    ];
+
+    /// Ladder rung index (0 = full service).
+    #[must_use]
+    pub fn rung(self) -> usize {
+        match self {
+            ServiceMode::FullCorrection => 0,
+            ServiceMode::WidenedAdmission => 1,
+            ServiceMode::DetectionOnly => 2,
+            ServiceMode::ShedAndRescrub => 3,
+        }
+    }
+
+    /// Stable name, used by telemetry and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceMode::FullCorrection => "full-correction",
+            ServiceMode::WidenedAdmission => "widened-admission",
+            ServiceMode::DetectionOnly => "detection-only",
+            ServiceMode::ShedAndRescrub => "shed-and-rescrub",
+        }
+    }
+}
+
+/// Ladder thresholds, all in backlog depth (batches waiting anywhere in the
+/// pipeline: deferred at admission, in intake, or queued on a shard).
+#[derive(Debug, Clone, Copy)]
+pub struct LadderConfig {
+    /// Backlog at which rung 1 (widened admission) engages.
+    pub widen_engage: usize,
+    /// Backlog at which rung 2 (detection-only) engages.
+    pub detect_engage: usize,
+    /// Backlog at which rung 3 (shed-and-rescrub) engages.
+    pub shed_engage: usize,
+    /// A rung releases when backlog falls to this percentage of its engage
+    /// threshold (hysteresis; 100 would flap, 0 never releases).
+    pub release_percent: usize,
+    /// Minimum cycles between transitions of the same direction at one rung
+    /// (anti-flap dwell).
+    pub min_dwell: u64,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            widen_engage: 12,
+            detect_engage: 24,
+            shed_engage: 48,
+            release_percent: 50,
+            min_dwell: 512,
+        }
+    }
+}
+
+impl LadderConfig {
+    fn engage_threshold(&self, rung: usize) -> usize {
+        match rung {
+            1 => self.widen_engage,
+            2 => self.detect_engage,
+            3 => self.shed_engage,
+            _ => usize::MAX,
+        }
+    }
+
+    fn release_threshold(&self, rung: usize) -> usize {
+        self.engage_threshold(rung) * self.release_percent / 100
+    }
+}
+
+/// One recorded mode transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Simulated cycle of the transition.
+    pub cycle: u64,
+    /// Mode before.
+    pub from: ServiceMode,
+    /// Mode after.
+    pub to: ServiceMode,
+}
+
+/// The ladder controller: current mode plus the anti-flap state.
+#[derive(Debug, Clone)]
+pub struct Ladder {
+    config: LadderConfig,
+    mode: ServiceMode,
+    last_transition: u64,
+}
+
+impl Ladder {
+    /// A ladder starting at full correction.
+    #[must_use]
+    pub fn new(config: LadderConfig) -> Self {
+        Ladder {
+            config,
+            mode: ServiceMode::FullCorrection,
+            last_transition: 0,
+        }
+    }
+
+    /// Current operating mode.
+    #[must_use]
+    pub fn mode(&self) -> ServiceMode {
+        self.mode
+    }
+
+    /// Re-evaluates the ladder against the current backlog. Escalates or
+    /// releases at most one rung, honoring hysteresis and dwell; returns the
+    /// transition if one occurred.
+    pub fn update(&mut self, backlog: usize, cycle: u64) -> Option<Transition> {
+        let rung = self.mode.rung();
+        let dwell_ok = cycle.saturating_sub(self.last_transition) >= self.config.min_dwell;
+
+        // Escalation is eager (overload must be answered promptly) but
+        // still one rung per update and dwell-limited so a single spike
+        // cannot skip the intermediate rungs' telemetry trail.
+        if rung < 3 && backlog >= self.config.engage_threshold(rung + 1) && dwell_ok {
+            return Some(self.transition_to(ServiceMode::ALL[rung + 1], cycle));
+        }
+        // Release is conservative: hysteresis below the *current* rung's
+        // engage point, plus the dwell.
+        if rung > 0 && backlog <= self.config.release_threshold(rung) && dwell_ok {
+            return Some(self.transition_to(ServiceMode::ALL[rung - 1], cycle));
+        }
+        None
+    }
+
+    fn transition_to(&mut self, to: ServiceMode, cycle: u64) -> Transition {
+        let from = self.mode;
+        self.mode = to;
+        self.last_transition = cycle;
+        Transition { cycle, from, to }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> LadderConfig {
+        LadderConfig {
+            widen_engage: 10,
+            detect_engage: 20,
+            shed_engage: 40,
+            release_percent: 50,
+            min_dwell: 4,
+        }
+    }
+
+    #[test]
+    fn escalates_one_rung_at_a_time() {
+        let mut ladder = Ladder::new(quick_config());
+        // Backlog jumps straight past every threshold; rungs still step.
+        let t = ladder.update(100, 10).expect("must escalate");
+        assert_eq!(
+            (t.from, t.to),
+            (ServiceMode::FullCorrection, ServiceMode::WidenedAdmission)
+        );
+        assert_eq!(ladder.update(100, 11), None, "dwell blocks the next step");
+        let t = ladder.update(100, 14).expect("dwell elapsed");
+        assert_eq!(t.to, ServiceMode::DetectionOnly);
+        let t = ladder.update(100, 18).expect("dwell elapsed");
+        assert_eq!(t.to, ServiceMode::ShedAndRescrub);
+        assert_eq!(ladder.update(100, 30), None, "top rung holds");
+    }
+
+    #[test]
+    fn releases_with_hysteresis() {
+        let mut ladder = Ladder::new(quick_config());
+        ladder.update(15, 10).expect("engage widen");
+        // Backlog at 60% of the widen threshold: inside the hysteresis band,
+        // no release.
+        assert_eq!(ladder.update(6, 20), None);
+        // At 50% the rung releases.
+        let t = ladder.update(5, 24).expect("release");
+        assert_eq!(
+            (t.from, t.to),
+            (ServiceMode::WidenedAdmission, ServiceMode::FullCorrection)
+        );
+    }
+
+    #[test]
+    fn recovery_walks_the_whole_ladder_down() {
+        let mut ladder = Ladder::new(quick_config());
+        ladder.update(50, 4).unwrap();
+        ladder.update(50, 8).unwrap();
+        ladder.update(50, 12).unwrap();
+        assert_eq!(ladder.mode(), ServiceMode::ShedAndRescrub);
+        let mut modes = Vec::new();
+        let mut cycle = 16;
+        while ladder.mode() != ServiceMode::FullCorrection {
+            if let Some(t) = ladder.update(0, cycle) {
+                modes.push(t.to);
+            }
+            cycle += 1;
+        }
+        assert_eq!(
+            modes,
+            vec![
+                ServiceMode::DetectionOnly,
+                ServiceMode::WidenedAdmission,
+                ServiceMode::FullCorrection
+            ]
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The fault injector: a deterministic script of pipeline perturbations.
+//!
+//! Robustness claims are only as good as the faults they were tested
+//! against, so the injector perturbs the *pipeline itself*, not just the
+//! data: worker stalls (a shard stops decoding for a window), clock-tree
+//! burst errors (one event flips adjacent lanes across a whole limb of a
+//! batch — see [`cryolink::burst::BurstSource`]), arrival-rate spikes
+//! (overload), and poisoned batches (malformed frames that must be rejected
+//! gracefully, never decoded or panicked on).
+//!
+//! Faults are *scripted*: a sorted list of `(cycle, fault)` events replayed
+//! by the scheduler, so every seeded scenario — including the CI soak run —
+//! perturbs the service identically on every machine. To add a new fault
+//! kind, see the "adding a fault injector" guide in `docs/STREAMING.md`.
+
+/// One pipeline perturbation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Shard `shard` stops decoding for `cycles` simulated cycles (its next
+    /// job is delayed by that much) — a worker stall.
+    WorkerStall {
+        /// Stalled shard index.
+        shard: usize,
+        /// Stall length in cycles.
+        cycles: u64,
+    },
+    /// The arrival rate is multiplied by `factor_milli / 1000` for
+    /// `duration` cycles — a scrub-pointer burst or upstream backlog flush.
+    RateSpike {
+        /// Rate multiplier in milli-units (1500 = 1.5×).
+        factor_milli: u64,
+        /// Spike window length in cycles.
+        duration: u64,
+    },
+    /// The next arriving batch carries a clock-tree burst: one event flips
+    /// `width` adjacent lanes across a whole limb.
+    ClockTreeBurst {
+        /// Number of adjacent lanes flipped.
+        width: usize,
+    },
+    /// The next arriving batch is poisoned: its frame is malformed and must
+    /// be rejected by validation, not decoded.
+    PoisonedBatch,
+}
+
+impl Fault {
+    /// Stable name for telemetry attribution.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::WorkerStall { .. } => "worker-stall",
+            Fault::RateSpike { .. } => "rate-spike",
+            Fault::ClockTreeBurst { .. } => "clock-tree-burst",
+            Fault::PoisonedBatch => "poisoned-batch",
+        }
+    }
+}
+
+/// A deterministic fault schedule: `(cycle, fault)` events, replayed in
+/// cycle order by the scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    events: Vec<(u64, Fault)>,
+}
+
+impl FaultScript {
+    /// An empty script (no faults).
+    #[must_use]
+    pub fn quiet() -> Self {
+        FaultScript::default()
+    }
+
+    /// A script from explicit events; sorted by cycle (stable, so same-cycle
+    /// events keep their listed order).
+    #[must_use]
+    pub fn new(mut events: Vec<(u64, Fault)>) -> Self {
+        events.sort_by_key(|&(cycle, _)| cycle);
+        FaultScript { events }
+    }
+
+    /// Appends one event (builder style).
+    #[must_use]
+    pub fn with(mut self, cycle: u64, fault: Fault) -> Self {
+        self.events.push((cycle, fault));
+        self.events.sort_by_key(|&(c, _)| c);
+        self
+    }
+
+    /// Appends `count` repetitions of a fault starting at `start`, one every
+    /// `period` cycles (builder style) — the soak run's background noise.
+    #[must_use]
+    pub fn repeat(mut self, start: u64, period: u64, count: usize, fault: Fault) -> Self {
+        for i in 0..count as u64 {
+            self.events.push((start + i * period, fault));
+        }
+        self.events.sort_by_key(|&(c, _)| c);
+        self
+    }
+
+    /// The scheduled events, in cycle order.
+    #[must_use]
+    pub fn events(&self) -> &[(u64, Fault)] {
+        &self.events
+    }
+
+    /// The standard soak-mix: periodic worker stalls, bursts, and poisoned
+    /// batches spread across `total_cycles` over `shards` shards, dense
+    /// enough that every fault kind fires many times in a ~30 s run but
+    /// light enough that a nominally-loaded service stays inside its
+    /// latency contract.
+    #[must_use]
+    pub fn soak_mix(total_cycles: u64, shards: usize, burst_width: usize) -> Self {
+        let mut script = FaultScript::quiet();
+        let stall_period = total_cycles / 64;
+        for i in 0..48u64 {
+            script.events.push((
+                stall_period / 2 + i * stall_period,
+                Fault::WorkerStall {
+                    shard: (i as usize) % shards,
+                    cycles: 24,
+                },
+            ));
+        }
+        let burst_period = total_cycles / 96;
+        for i in 0..90u64 {
+            script.events.push((
+                burst_period / 3 + i * burst_period,
+                Fault::ClockTreeBurst { width: burst_width },
+            ));
+        }
+        let poison_period = total_cycles / 32;
+        for i in 0..30u64 {
+            script
+                .events
+                .push((poison_period / 4 + i * poison_period, Fault::PoisonedBatch));
+        }
+        script.events.sort_by_key(|&(c, _)| c);
+        script
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_replay_in_cycle_order() {
+        let script = FaultScript::quiet()
+            .with(30, Fault::PoisonedBatch)
+            .with(10, Fault::ClockTreeBurst { width: 2 })
+            .repeat(
+                5,
+                20,
+                2,
+                Fault::WorkerStall {
+                    shard: 0,
+                    cycles: 8,
+                },
+            );
+        let cycles: Vec<u64> = script.events().iter().map(|&(c, _)| c).collect();
+        assert_eq!(cycles, vec![5, 10, 25, 30]);
+    }
+
+    #[test]
+    fn soak_mix_covers_every_fault_kind() {
+        let script = FaultScript::soak_mix(1 << 16, 4, 3);
+        let names: std::collections::BTreeSet<&str> =
+            script.events().iter().map(|(_, f)| f.name()).collect();
+        assert!(names.contains("worker-stall"));
+        assert!(names.contains("clock-tree-burst"));
+        assert!(names.contains("poisoned-batch"));
+        assert!(script.events().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,52 @@
+//! Online memory-scrubbing service with a latency contract.
+//!
+//! The paper's encoders assume a *continuous* scrubbing regime: a scrub
+//! pointer walks cryogenic memory, syndrome batches stream into the decode
+//! pipeline on every clock, and the room-temperature stage must keep up —
+//! an offline batch decoder that is fast "on average" is useless if its
+//! tail latency lets the scrub backlog grow without bound. This crate wraps
+//! the bit-sliced [`sfq_batch::BatchCodec`] in exactly that service regime
+//! and makes the contract testable:
+//!
+//! * **[`clock`]** — a deterministic rational-rate arrival process on a
+//!   simulated cycle clock.
+//! * **[`queue`]** — bounded blocking SPSC/MPSC queues; the admission and
+//!   execution backpressure edges.
+//! * **[`degrade`]** — the graceful-degradation ladder: full correction →
+//!   widened admission → detection-only → shed-and-rescrub, with
+//!   hysteresis and anti-flap dwell, always recovering to full correction.
+//! * **[`fault`]** — the scripted fault injector: worker stalls, clock-tree
+//!   bursts, rate spikes, poisoned batches.
+//! * **[`service`]** — the scheduler (a cycle-stepped discrete-event
+//!   simulation that owns all latency accounting) plus real decode worker
+//!   threads executing the same jobs.
+//! * **[`report`]** — run reports whose deterministic section is
+//!   bit-identical across machines and worker-thread counts.
+//!
+//! ```
+//! use sfq_stream::{FaultScript, ScrubService, StreamConfig};
+//!
+//! let mut config = StreamConfig::nominal();
+//! config.batch_messages = 256; // keep the doctest quick
+//! config.total_cycles = 1 << 12;
+//! let report = ScrubService::run(&config, &FaultScript::quiet());
+//! report.validate().expect("contract held");
+//! assert_eq!(report.deadline_misses, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod degrade;
+pub mod fault;
+pub mod queue;
+pub mod report;
+pub mod service;
+
+pub use clock::ArrivalProcess;
+pub use degrade::{Ladder, LadderConfig, ServiceMode, Transition};
+pub use fault::{Fault, FaultScript};
+pub use queue::{BoundedQueue, TryPushError};
+pub use report::{LatencySummary, StreamReport};
+pub use service::{ScrubService, StreamConfig};
