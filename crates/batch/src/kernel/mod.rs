@@ -28,6 +28,7 @@
 //! kernel runs on every machine — feature detection only affects which one
 //! *auto* picks.
 
+pub(crate) mod bitflip;
 pub(crate) mod direct;
 pub(crate) mod sliced;
 pub(crate) mod wide;

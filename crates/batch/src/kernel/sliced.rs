@@ -49,8 +49,23 @@ pub(crate) struct SlicedStats {
 /// kernel reads each limb's lanes from it *before* applying that limb's
 /// flips, so the accumulation always sees the received bits. `gather` is the
 /// per-limb full-syndrome scratch (`redundancy` words).
+///
+/// `prefilter` is the weight-1 column screen: `prefilter[j]` is the full
+/// syndrome of a single-bit error at position `j` (column `j` of `H`). Per
+/// dirty limb, before any per-lane algebra, each column's pattern is matched
+/// against the whole limb with an XNOR-AND chain over the syndrome slices
+/// (early exit on the first zero), and matching lanes — exactly the
+/// distance-1 cosets, the dominant dirty population in Monte-Carlo traffic —
+/// are flipped and retired wholesale. Bit-exactness is unconditional: a
+/// syndrome equal to column `j` means the received word is in the coset of
+/// `e_j`, whose unique bounded-distance correction is "flip `j`" (the
+/// engine's constructor probes every column against the scalar decoder).
+/// Only *residual* lanes pay for power-syndrome accumulation and
+/// Berlekamp–Massey; a limb with no residue skips accumulation entirely,
+/// which is what lifts the all-dirty worst case.
 pub(crate) fn run_sliced(
     plan: &SlicedSyndromePlan,
+    prefilter: &[u128],
     action: &(dyn Fn(&[u16], u128) -> AlgebraicAction + Send + Sync),
     syndromes: &BitSlice64,
     gather: &mut [u64],
@@ -74,8 +89,42 @@ pub(crate) fn run_sliced(
             stats.clean_limbs += 1;
             continue;
         }
-        stats.sliced_limbs += 1;
         stats.dirty_lanes += u64::from(dirty.count_ones());
+
+        // Weight-1 column prefilter: retire every lane whose full syndrome
+        // equals a column of `H` without touching the per-lane algebra. One
+        // locator evaluation per matched lane (the single applied flip bit),
+        // identical to what Berlekamp–Massey + the closed-form solve would
+        // have metered for the same lane.
+        let mut residual = dirty;
+        for (j, &pattern) in prefilter.iter().enumerate() {
+            if residual == 0 {
+                break;
+            }
+            let mut matched = residual;
+            for (t, &slice) in gather.iter().enumerate() {
+                matched &= if (pattern >> t) & 1 == 1 {
+                    slice
+                } else {
+                    !slice
+                };
+                if matched == 0 {
+                    break;
+                }
+            }
+            if matched != 0 {
+                out.codewords.lane_mut(j)[w] ^= matched;
+                out.corrected[w] |= matched;
+                let count = u64::from(matched.count_ones());
+                stats.corrected += count;
+                stats.locator_evals += count;
+                residual &= !matched;
+            }
+        }
+        if residual == 0 {
+            continue;
+        }
+        stats.sliced_limbs += 1;
 
         // Bit-sliced accumulation: word `h·m + b` holds, in lane order, bit
         // `b` of odd power syndrome S_{2h+1} for all 64 lanes at once — one
@@ -93,9 +142,11 @@ pub(crate) fn run_sliced(
             }
         }
 
-        // Per dirty lane: read the odd syndromes out of the slices, square
-        // up the even ones, and hand the algebra its inputs for free.
-        let mut rest = dirty;
+        // Per residual lane: read the odd syndromes out of the slices,
+        // square up the even ones, and hand the algebra its inputs for free.
+        // (Prefilter-corrected lanes changed only their own bit columns, so
+        // the residual lanes' extracted syndromes still see received bits.)
+        let mut rest = residual;
         while rest != 0 {
             let lane = rest.trailing_zeros();
             let bit = 1u64 << lane;

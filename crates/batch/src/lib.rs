@@ -96,9 +96,9 @@
 
 use ecc::{
     generator_right_inverse, AlgebraicAction, AlgebraicDecode, BatchDecode, BatchDecoded,
-    BatchEncode, BatchScratch, Bch, BlockCode, DecodeOutcome, Decoded, Hamming74, Hamming84,
-    HardDecoder, Repetition, Rm13, SecDed, ShortenedHamming, SlicedSyndromePlan, SyndromeClass,
-    Uncoded,
+    BatchEncode, BatchScratch, Bch, BchSpec, BitFlipPlan, BlockCode, DecodeOutcome, Decoded,
+    Hamming74, Hamming84, HardDecoder, IterativeDecode, Ldpc, Repetition, Rm13, SecDed,
+    ShortenedHamming, SlicedSyndromePlan, SyndromeClass, Uncoded,
 };
 use gf2::{or_reduce, BitMat, BitSlice64, BitVec};
 use std::sync::Arc;
@@ -107,6 +107,7 @@ mod kernel;
 
 pub use kernel::{KernelEnvError, KernelKind};
 
+use kernel::bitflip::{run_bit_flip, BitFlipStats};
 use kernel::direct::DirectTable;
 use kernel::sliced::{run_sliced, SlicedStats};
 use kernel::wide::{run_walk_chunked, W256};
@@ -195,6 +196,12 @@ type AlgebraicActionFn = Arc<dyn Fn(&[u16], u128) -> AlgebraicAction + Send + Sy
 struct SlicedAlgebraic {
     /// The code's constant accumulation plan (supports, squaring table).
     plan: SlicedSyndromePlan,
+    /// The weight-1 column prefilter: `col_syndromes[j]` is the full
+    /// syndrome of a single-bit error at position `j`. Dirty lanes matching
+    /// a column are flipped and retired whole-limb before any per-lane
+    /// algebra runs; each column is probed against the scalar decoder at
+    /// construction, so the shortcut is provably bit-identical.
+    col_syndromes: Vec<u128>,
     /// The per-lane algebra.
     action: AlgebraicActionFn,
     /// `batch.bch.*` telemetry handles.
@@ -209,6 +216,18 @@ impl std::fmt::Debug for SlicedAlgebraic {
     }
 }
 
+/// The whole-limb bit-flipping engine for [`SyndromeClass::Iterative`]
+/// decoders: each synchronous round is one XOR reduction per low-density
+/// check plus one 3-input majority per variable, shared by 64 lanes — no
+/// per-lane work at all, even on all-dirty limbs.
+#[derive(Debug, Clone)]
+struct BitFlipEngine {
+    /// The code's constant synchronous schedule.
+    plan: BitFlipPlan,
+    /// `batch.ldpc.*` telemetry handles.
+    metrics: BitFlipMetrics,
+}
+
 /// How a [`BatchCodec`] turns syndromes into corrections.
 #[derive(Debug, Clone)]
 enum DecodeEngine {
@@ -220,6 +239,9 @@ enum DecodeEngine {
     /// Bit-sliced syndrome screen + scalar decode of dirty lanes
     /// (`Algebraic`, reference engine).
     ScalarFallback(AlgebraicFallback),
+    /// Whole-limb synchronous bit flipping (`Iterative`, the engine for
+    /// LDPC).
+    BitFlip(BitFlipEngine),
 }
 
 /// Telemetry handles of the algebraic fallback path, registered under the
@@ -258,6 +280,45 @@ impl AlgebraicMetrics {
             sliced_syndrome_limbs: registry.counter("batch.bch.sliced_syndrome_limbs"),
             kernel_selected: registry.counter(&format!("batch.kernel.selected.{engine}")),
             kernel_limbs: registry.counter(&format!("batch.kernel.{engine}.limbs")),
+        }
+    }
+}
+
+/// Telemetry handles of the bit-flipping engine, registered under the
+/// `batch.ldpc.*` names (see `docs/OBSERVABILITY.md`). Accumulated in
+/// locals and flushed once per decode call, like every other engine.
+#[derive(Debug, Clone)]
+struct BitFlipMetrics {
+    /// Lanes whose syndrome was nonzero.
+    dirty_lanes: sfq_telemetry::Counter,
+    /// Dirty lanes whose checks all cleared (corrected).
+    corrected: sfq_telemetry::Counter,
+    /// Dirty lanes still unsatisfied at the iteration cap (flagged).
+    flagged: sfq_telemetry::Counter,
+    /// Synchronous flip rounds executed (whole-limb each).
+    rounds: sfq_telemetry::Counter,
+    /// Variable flips applied (lane-bits across all rounds).
+    flips: sfq_telemetry::Counter,
+    /// Limbs that ran at least one flip round (clean limbs short-circuit).
+    flip_limbs: sfq_telemetry::Counter,
+    /// `batch.kernel.selected.bit-flip` — decode calls served.
+    kernel_selected: sfq_telemetry::Counter,
+    /// `batch.kernel.bit-flip.limbs` — limbs processed.
+    kernel_limbs: sfq_telemetry::Counter,
+}
+
+impl BitFlipMetrics {
+    fn new() -> Self {
+        let registry = sfq_telemetry::global();
+        BitFlipMetrics {
+            dirty_lanes: registry.counter("batch.ldpc.dirty_lanes"),
+            corrected: registry.counter("batch.ldpc.corrected"),
+            flagged: registry.counter("batch.ldpc.flagged"),
+            rounds: registry.counter("batch.ldpc.rounds"),
+            flips: registry.counter("batch.ldpc.flips"),
+            flip_limbs: registry.counter("batch.ldpc.flip_limbs"),
+            kernel_selected: registry.counter("batch.kernel.selected.bit-flip"),
+            kernel_limbs: registry.counter("batch.kernel.bit-flip.limbs"),
         }
     }
 }
@@ -415,9 +476,11 @@ impl BatchCodec {
     /// Panics if the code exceeds `n ≤ 128` (masks are single `u128`s), if
     /// the parity-check matrix does not have full row rank, if a
     /// `ColumnFlip` decoder fails its per-column scalar probe, or if the
-    /// decoder declares [`SyndromeClass::Algebraic`] (those codecs own their
-    /// scalar decoder — build them with
-    /// [`BatchCodec::with_scalar_fallback`]).
+    /// decoder declares [`SyndromeClass::Algebraic`] (build those with
+    /// [`BatchCodec::with_sliced_algebraic`] — or
+    /// [`BatchCodec::with_scalar_fallback`] for the reference engine) or
+    /// [`SyndromeClass::Iterative`] (build those with
+    /// [`BatchCodec::with_bit_flip`]).
     #[must_use]
     pub fn new<C: BlockCode + HardDecoder>(code: &C) -> Self {
         let engine = |code: &C, redundancy: usize| {
@@ -431,8 +494,16 @@ impl BatchCodec {
                     SyndromeClass::ColumnFlip => column_flip_entries(code),
                     SyndromeClass::General => interrogated_entries(code),
                     SyndromeClass::Algebraic => panic!(
-                        "{}: algebraic decoders keep a scalar fallback; \
-                         build with BatchCodec::with_scalar_fallback",
+                        "{}: algebraic decoders have too many correctable syndromes to \
+                         tabulate; build with BatchCodec::with_sliced_algebraic (the \
+                         default engine — registry members are one BatchCodec::bch_spec \
+                         call away), or BatchCodec::with_scalar_fallback for the slow \
+                         reference engine",
+                        code.name()
+                    ),
+                    SyndromeClass::Iterative => panic!(
+                        "{}: iterative decoders correct by synchronous flip rounds, not \
+                         per-syndrome lookup; build with BatchCodec::with_bit_flip",
                         code.name()
                     ),
                 };
@@ -490,11 +561,70 @@ impl BatchCodec {
     {
         let engine = |code: &C, _redundancy: usize| {
             let plan = code.sliced_syndrome_plan();
+            // Weight-1 prefilter: column `j`'s syndrome pattern, probed
+            // against the scalar decoder exactly like the ColumnFlip
+            // builder's probe — a code whose decoder would not answer
+            // syndrome H[:,j] with "flip j" fails loudly here instead of
+            // silently diverging from the scalar path.
+            let h = code.parity_check();
+            let n = code.n();
+            let col_syndromes: Vec<u128> = (0..n)
+                .map(|j| {
+                    let pattern = h.col(j).to_u128();
+                    let mut e_j = BitVec::zeros(n);
+                    e_j.set(j, true);
+                    let decoded = code.decode(&e_j);
+                    let corrected_to_zero = decoded
+                        .codeword
+                        .as_ref()
+                        .is_some_and(|cw| cw.is_zero() && decoded.outcome.corrected());
+                    assert!(
+                        corrected_to_zero,
+                        "{}: scalar decoder does not flip position {j} on syndrome \
+                         H[:,{j}] — the weight-1 prefilter would diverge",
+                        code.name()
+                    );
+                    pattern
+                })
+                .collect();
             let owned = code.clone();
             DecodeEngine::SlicedAlgebraic(SlicedAlgebraic {
                 plan,
+                col_syndromes,
                 action: Arc::new(move |synd: &[u16], full: u128| owned.decode_action(synd, full)),
                 metrics: AlgebraicMetrics::new("sliced"),
+            })
+        };
+        Self::build(code, engine)
+    }
+
+    /// Builds the batch engine for a [`SyndromeClass::Iterative`] decoder
+    /// that implements [`IterativeDecode`]: the code's synchronous bit-flip
+    /// schedule runs **whole-limb bit-sliced** — each round is one XOR
+    /// reduction per low-density check plus one 3-input majority per
+    /// variable, shared by up to 64 lanes. Unlike the algebraic engines
+    /// there is no per-lane region at all: even an all-dirty limb never
+    /// unpacks a lane. This is the engine behind [`BatchCodec::ldpc`].
+    ///
+    /// # Panics
+    /// Panics under the same size/rank conditions as [`BatchCodec::new`],
+    /// or if the plan fails [`BitFlipPlan::validate`].
+    #[must_use]
+    pub fn with_bit_flip<C>(code: &C) -> Self
+    where
+        C: BlockCode + IterativeDecode,
+    {
+        let engine = |code: &C, _redundancy: usize| {
+            let plan = code.bit_flip_plan();
+            plan.validate();
+            assert!(
+                plan.check_supports.len() <= 64,
+                "{}: bit-flip parity slices are a fixed 64-entry array",
+                code.name()
+            );
+            DecodeEngine::BitFlip(BitFlipEngine {
+                plan,
+                metrics: BitFlipMetrics::new(),
             })
         };
         Self::build(code, engine)
@@ -557,10 +687,10 @@ impl BatchCodec {
     }
 
     /// The kernel dispatch would run for a batch of `batch` messages:
-    /// `direct4`, `direct8`, `walk-u64`, `walk-u128`, `walk-w256`, `sliced`,
-    /// or `scalar-fallback` (the engine-named algebraic paths are fixed per
-    /// constructor). Used by benches and reports; decode results never
-    /// depend on it.
+    /// `direct4`, `direct8`, `walk-u64`, `walk-u128`, `walk-w256`,
+    /// `sliced`, `scalar-fallback`, or `bit-flip` (the engine-named
+    /// algebraic/iterative paths are fixed per constructor). Used by benches
+    /// and reports; decode results never depend on it.
     #[must_use]
     pub fn selected_kernel_name(&self, batch: usize) -> &'static str {
         match &self.engine {
@@ -573,6 +703,7 @@ impl BatchCodec {
             .name(),
             DecodeEngine::SlicedAlgebraic(_) => "sliced",
             DecodeEngine::ScalarFallback(_) => "scalar-fallback",
+            DecodeEngine::BitFlip(_) => "bit-flip",
         }
     }
 
@@ -622,10 +753,39 @@ impl BatchCodec {
 
     /// Batch engine for the multi-error BCH(31,16) code (`t = 2`,
     /// `d_min = 7`): bit-sliced power-syndrome accumulation, per-lane
-    /// Berlekamp–Massey + closed-form locator solve on dirty lanes only.
+    /// Berlekamp–Massey + closed-form locator solve on residual dirty lanes
+    /// only.
     #[must_use]
     pub fn bch() -> Self {
-        Self::with_sliced_algebraic(&Bch::bch_31_16())
+        Self::bch_spec(BchSpec::BCH_31_16)
+    }
+
+    /// Batch engine for any registry BCH member (see [`BchSpec::REGISTRY`]):
+    /// the sliced-syndrome engine parameterized by `(m, t, decode_radius)`.
+    #[must_use]
+    pub fn bch_spec(spec: BchSpec) -> Self {
+        Self::with_sliced_algebraic(&Bch::from_spec(spec))
+    }
+
+    /// Batch engine for the BCH(63,51) registry member (`t = 2`).
+    #[must_use]
+    pub fn bch_63_51() -> Self {
+        Self::bch_spec(BchSpec::BCH_63_51)
+    }
+
+    /// Batch engine for the BCH(63,45) registry member (`t = 3`) — the
+    /// strongest algebraic code in the catalog.
+    #[must_use]
+    pub fn bch_63_45() -> Self {
+        Self::bch_spec(BchSpec::BCH_63_45)
+    }
+
+    /// Batch engine for the regular Gallager LDPC(60,32) code: whole-limb
+    /// synchronous bit flipping, the first decode engine with no per-lane
+    /// region even on all-dirty limbs.
+    #[must_use]
+    pub fn ldpc() -> Self {
+        Self::with_bit_flip(&Ldpc::gallager_60_32())
     }
 
     /// Human-readable name, derived from the scalar code's.
@@ -640,7 +800,9 @@ impl BatchCodec {
     pub fn program_len(&self) -> usize {
         match &self.engine {
             DecodeEngine::ColumnMatch(program) => program.entries.len(),
-            DecodeEngine::SlicedAlgebraic(_) | DecodeEngine::ScalarFallback(_) => 0,
+            DecodeEngine::SlicedAlgebraic(_)
+            | DecodeEngine::ScalarFallback(_)
+            | DecodeEngine::BitFlip(_) => 0,
         }
     }
 
@@ -731,6 +893,7 @@ impl BatchCodec {
         let mut stats = SlicedStats::default();
         run_sliced(
             &engine.plan,
+            &engine.col_syndromes,
             engine.action.as_ref(),
             &scratch.syndromes,
             &mut scratch.gather[..redundancy],
@@ -748,6 +911,57 @@ impl BatchCodec {
         engine.metrics.fallback_flagged.add(stats.flagged);
         engine.metrics.locator_evals.add(stats.locator_evals);
         engine.metrics.sliced_syndrome_limbs.add(stats.sliced_limbs);
+        engine.metrics.kernel_selected.inc();
+        engine.metrics.kernel_limbs.add(words as u64);
+
+        self.extract_message_lanes(received.batch(), out);
+    }
+
+    /// The bit-flipping decode entry point for iterative codes: the whole
+    /// decoder — check parities and majority flips alike — runs bit-sliced,
+    /// with the usual clean-limb short-circuit and no per-lane region.
+    fn run_bit_flip_engine(
+        &self,
+        engine: &BitFlipEngine,
+        received: &BitSlice64,
+        scratch: &mut BatchScratch,
+        out: &mut BatchDecoded,
+    ) {
+        let redundancy = self.syndrome_masks.len();
+        let words = received.words();
+
+        self.syndrome_batch_into(received, &mut scratch.syndromes);
+        if scratch.gather.len() < redundancy {
+            scratch.gather.resize(redundancy, 0);
+        }
+
+        out.codewords.copy_from(received);
+        out.flagged.clear();
+        out.flagged.resize(words, 0);
+        out.corrected.clear();
+        out.corrected.resize(words, 0);
+
+        let mut stats = BitFlipStats::default();
+        run_bit_flip(
+            &engine.plan,
+            received,
+            &scratch.syndromes,
+            &mut scratch.gather[..redundancy],
+            out,
+            &mut stats,
+        );
+
+        self.metrics.calls.inc();
+        self.metrics.limbs.add(words as u64);
+        self.metrics.clean_limbs.add(stats.clean_limbs);
+        self.metrics.lanes_matched.add(stats.corrected);
+        self.metrics.lanes_flagged.add(stats.flagged);
+        engine.metrics.dirty_lanes.add(stats.dirty_lanes);
+        engine.metrics.corrected.add(stats.corrected);
+        engine.metrics.flagged.add(stats.flagged);
+        engine.metrics.rounds.add(stats.rounds);
+        engine.metrics.flips.add(stats.flips);
+        engine.metrics.flip_limbs.add(stats.flip_limbs);
         engine.metrics.kernel_selected.inc();
         engine.metrics.kernel_limbs.add(words as u64);
 
@@ -1011,6 +1225,9 @@ impl BatchDecode for BatchCodec {
             DecodeEngine::ScalarFallback(fallback) => {
                 self.run_fallback(fallback, received, scratch, out);
             }
+            DecodeEngine::BitFlip(engine) => {
+                self.run_bit_flip_engine(engine, received, scratch, out);
+            }
         }
     }
 }
@@ -1269,6 +1486,8 @@ mod tests {
             BatchCodec::sec_ded(3),
             BatchCodec::hamming84(),
             BatchCodec::bch(),
+            BatchCodec::bch_63_45(),
+            BatchCodec::ldpc(),
         ] {
             let batch = 190usize;
             let msgs = random_messages(codec.k(), batch, 21);
@@ -1410,10 +1629,12 @@ mod tests {
         assert_eq!(BatchCodec::rm13().program_len(), 8);
         assert_eq!(BatchCodec::sec_ded(6).program_len(), 72);
         assert_eq!(BatchCodec::wide_hamming_85_64().program_len(), 85);
-        // The r = 0 degenerate case has nothing to match, and the algebraic
-        // BCH engine compiles no entries at all (scalar fallback).
+        // The r = 0 degenerate case has nothing to match; the algebraic and
+        // iterative engines compile no entries at all.
         assert_eq!(BatchCodec::uncoded(4).program_len(), 0);
         assert_eq!(BatchCodec::bch().program_len(), 0);
+        assert_eq!(BatchCodec::bch_63_45().program_len(), 0);
+        assert_eq!(BatchCodec::ldpc().program_len(), 0);
         // General-class codes keep interrogated entries (correctable
         // syndromes only): the (8,4) factor-2 repetition code corrects
         // nothing (every disagreement is a tie), the (6,2) factor-3 code
@@ -1623,38 +1844,196 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scalar fallback")]
+    #[should_panic(expected = "with_sliced_algebraic")]
     fn algebraic_decoders_reject_the_plain_constructor() {
         let _ = BatchCodec::new(&Bch::bch_31_16());
     }
 
     #[test]
+    #[should_panic(expected = "with_bit_flip")]
+    fn iterative_decoders_reject_the_plain_constructor() {
+        let _ = BatchCodec::new(&Ldpc::gallager_60_32());
+    }
+
+    #[test]
     fn sliced_bch_engine_matches_the_scalar_fallback_engine() {
-        // The sliced-syndrome engine (default) and the unpack-and-decode
-        // reference engine must agree on every output word, including
-        // all-dirty batches and beyond-capacity error weights.
-        let code = Bch::bch_31_16();
-        let sliced = BatchCodec::bch();
-        let reference = BatchCodec::with_scalar_fallback(&code, 31);
+        // The sliced-syndrome engine (default, with the weight-1 column
+        // prefilter) and the unpack-and-decode reference engine must agree
+        // on every output word, including all-dirty batches and
+        // beyond-capacity error weights — for every registry member.
         let mut rng = StdRng::seed_from_u64(0x51_1CED);
+        for spec in BchSpec::REGISTRY {
+            let code = Bch::from_spec(spec);
+            let sliced = BatchCodec::bch_spec(spec);
+            let reference = BatchCodec::with_scalar_fallback(&code, code.n());
+            let (n, k) = (code.n(), code.k());
+            for batch_size in [1usize, 63, 64, 65, 130, 257] {
+                let words: Vec<BitVec> = (0..batch_size)
+                    .map(|i| {
+                        let msg: BitVec = (0..k).map(|_| rng.random::<u64>() & 1 == 1).collect();
+                        let mut w = code.encode(&msg);
+                        for _ in 0..(i % 5) {
+                            let pos = rng.random_range(0..n);
+                            w.set(pos, !w.get(pos));
+                        }
+                        w
+                    })
+                    .collect();
+                let batch = BitSlice64::pack(&words);
+                let a = sliced.decode_batch(&batch);
+                let b = reference.decode_batch(&batch);
+                let label = format!("{spec:?} batch {batch_size}");
+                assert_eq!(a.messages, b.messages, "{label}");
+                assert_eq!(a.codewords, b.codewords, "{label}");
+                assert_eq!(a.flagged, b.flagged, "{label}");
+                assert_eq!(a.corrected, b.corrected, "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn bch_registry_codecs_correct_up_to_their_radius() {
+        // BCH(63,51) recovers every ≤2-error word; BCH(63,45) every
+        // ≤3-error word. Error positions are spread deterministically.
+        for (codec, scalar, radius) in [
+            (BatchCodec::bch_63_51(), Bch::bch_63_51(), 2usize),
+            (BatchCodec::bch_63_45(), Bch::bch_63_45(), 3usize),
+        ] {
+            assert_eq!((codec.n(), codec.k()), (scalar.n(), scalar.k()));
+            assert!(codec.name().contains(scalar.name()));
+            let mut rng = StdRng::seed_from_u64(0x63_0000 + radius as u64);
+            let messages: Vec<BitVec> = (0..130)
+                .map(|_| {
+                    (0..scalar.k())
+                        .map(|_| rng.random::<u64>() & 1 == 1)
+                        .collect()
+                })
+                .collect();
+            let clean = codec.encode_batch(&BitSlice64::pack(&messages));
+            for (i, msg) in messages.iter().enumerate() {
+                assert_eq!(clean.extract(i), scalar.encode(msg), "word {i}");
+            }
+            let mut received = clean.clone();
+            for i in 0..130 {
+                let errors = i % (radius + 1);
+                let mut hit = Vec::new();
+                while hit.len() < errors {
+                    let pos = rng.random_range(0..63usize);
+                    if !hit.contains(&pos) {
+                        hit.push(pos);
+                        received.set(i, pos, !received.get(i, pos));
+                    }
+                }
+            }
+            let decoded = codec.decode_batch(&received);
+            for (i, message) in messages.iter().enumerate() {
+                assert!(!decoded.is_flagged(i), "{} word {i}", codec.name());
+                assert_eq!(
+                    decoded.is_corrected(i),
+                    i % (radius + 1) != 0,
+                    "{} word {i}",
+                    codec.name()
+                );
+                assert_eq!(
+                    decoded.messages.extract(i),
+                    *message,
+                    "{} word {i}",
+                    codec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ldpc_codec_matches_the_scalar_decoder_bit_for_bit() {
+        // The whole-limb bit-flip engine against the scalar synchronous
+        // decoder: same messages, same flags, same corrected codewords —
+        // over clean, single-error, double-error, and random-noise lanes,
+        // at ragged batch sizes.
+        let scalar = Ldpc::gallager_60_32();
+        let codec = BatchCodec::ldpc();
+        assert_eq!((codec.n(), codec.k()), (60, 32));
+        let mut rng = StdRng::seed_from_u64(0x1D9C);
         for batch_size in [1usize, 63, 64, 65, 130, 257] {
             let words: Vec<BitVec> = (0..batch_size)
                 .map(|i| {
-                    let mut w = code.encode(&BitVec::from_u64(16, rng.random_range(0..1 << 16)));
-                    for _ in 0..(i % 5) {
-                        let pos = rng.random_range(0..31usize);
-                        w.set(pos, !w.get(pos));
+                    let msg: BitVec = (0..32).map(|_| rng.random::<u64>() & 1 == 1).collect();
+                    let mut w = scalar.encode(&msg);
+                    if i % 7 == 6 {
+                        // Dense noise lane: exercises non-convergence.
+                        for p in 0..60 {
+                            if rng.random::<u64>() & 1 == 1 {
+                                w.set(p, !w.get(p));
+                            }
+                        }
+                    } else {
+                        for _ in 0..(i % 3) {
+                            let pos = rng.random_range(0..60usize);
+                            w.set(pos, !w.get(pos));
+                        }
                     }
                     w
                 })
                 .collect();
             let batch = BitSlice64::pack(&words);
-            let a = sliced.decode_batch(&batch);
-            let b = reference.decode_batch(&batch);
-            assert_eq!(a.messages, b.messages, "batch {batch_size}");
-            assert_eq!(a.codewords, b.codewords, "batch {batch_size}");
-            assert_eq!(a.flagged, b.flagged, "batch {batch_size}");
-            assert_eq!(a.corrected, b.corrected, "batch {batch_size}");
+            let decoded = codec.decode_batch(&batch);
+            for (i, w) in words.iter().enumerate() {
+                let reference = scalar.decode(w);
+                let label = format!("batch {batch_size} word {i}");
+                match reference.outcome {
+                    DecodeOutcome::DetectedUncorrectable => {
+                        assert!(decoded.is_flagged(i), "{label}");
+                        // Flagged lanes deliver the received word unchanged.
+                        assert_eq!(decoded.codewords.extract(i), *w, "{label}");
+                    }
+                    DecodeOutcome::NoErrorDetected => {
+                        assert!(!decoded.is_flagged(i), "{label}");
+                        assert!(!decoded.is_corrected(i), "{label}");
+                        assert_eq!(
+                            Some(decoded.messages.extract(i)),
+                            reference.message,
+                            "{label}"
+                        );
+                    }
+                    DecodeOutcome::Corrected { .. } => {
+                        assert!(decoded.is_corrected(i), "{label}");
+                        assert_eq!(
+                            Some(decoded.codewords.extract(i)),
+                            reference.codeword,
+                            "{label}"
+                        );
+                        assert_eq!(
+                            Some(decoded.messages.extract(i)),
+                            reference.message,
+                            "{label}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ldpc_scratch_reuse_is_bit_exact() {
+        let codec = BatchCodec::ldpc();
+        let mut scratch = BatchScratch::new();
+        let mut out = BatchDecoded::empty();
+        let mut rng = StdRng::seed_from_u64(0x1D9C_5C8A);
+        for batch_size in [3usize, 64, 131] {
+            let words: Vec<BitVec> = (0..batch_size)
+                .map(|_| {
+                    (0..60)
+                        .map(|_| rng.random::<u64>() & 1 == 1)
+                        .collect::<BitVec>()
+                })
+                .collect();
+            let batch = BitSlice64::pack(&words);
+            let reference = codec.decode_batch(&batch);
+            codec.decode_batch_with(&batch, &mut scratch, &mut out);
+            assert_eq!(out.messages, reference.messages);
+            assert_eq!(out.codewords, reference.codewords);
+            assert_eq!(out.flagged, reference.flagged);
+            assert_eq!(out.corrected, reference.corrected);
         }
     }
 
@@ -1723,6 +2102,8 @@ mod tests {
             "walk-u64"
         );
         assert_eq!(BatchCodec::bch().selected_kernel_name(4096), "sliced");
+        assert_eq!(BatchCodec::bch_63_51().selected_kernel_name(4096), "sliced");
+        assert_eq!(BatchCodec::ldpc().selected_kernel_name(4096), "bit-flip");
         assert_eq!(
             BatchCodec::with_scalar_fallback(&Bch::bch_31_16(), 31).selected_kernel_name(64),
             "scalar-fallback"

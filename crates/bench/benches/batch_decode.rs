@@ -46,16 +46,39 @@ const SECDED_72_64_DECODE_FLOOR: f64 = 5.0e7;
 /// CI throughput floor for BCH(31,16) batch decode (messages/second),
 /// checked in `--quick` mode. The measurement input puts one random error in
 /// *every* word, so every lane is dirty and the number is the worst case for
-/// the algebraic engine: pure scalar-fallback (Berlekamp–Massey + Chien)
-/// throughput with none of the clean-limb short-circuiting that carries
-/// Monte-Carlo traffic. Measured ≈ 3.3–4.5e6 msg/s with the bit-sliced
-/// syndrome engine (S₁/S₃ accumulated across whole limbs, scalar
-/// Berlekamp–Massey only on dirty lanes) on the commit that introduced it —
-/// the pure scalar-fallback engine it replaced managed ≈ 4e5 on the same
-/// machine. The floor is roughly half the low end of the measurement band,
-/// so it catches a fall back to per-lane syndrome evaluation (or an
-/// accidental per-lane table rebuild), not runner noise.
-const BCH_31_16_DECODE_FLOOR: f64 = 1.5e6;
+/// the algebraic engine. Measured ≈ 5.1–7.7e7 msg/s on the commit that added
+/// the weight-1 column prefilter to the sliced engine (every dirty lane of
+/// this input carries a distance-1 coset, so the prefilter retires it with
+/// an XNOR-AND chain and no lane ever reaches Berlekamp–Massey); the
+/// previous sliced engine without the prefilter sustained ≈ 3.3–4.5e6 on the
+/// same machine (its committed floor was 1.5e6), and the pure
+/// scalar-fallback engine before that ≈ 4e5. The floor is roughly half the
+/// low end of the measurement band — more than 5× the *old* band's ceiling,
+/// so it catches losing the prefilter, not just a fall back to per-lane
+/// syndrome evaluation.
+const BCH_31_16_DECODE_FLOOR: f64 = 2.5e7;
+
+/// CI throughput floor for BCH(63,51) batch decode (messages/second) under
+/// the same one-error-per-word all-dirty input. Measured ≈ 3.6–5.4e7 msg/s
+/// when the registry member landed (prefilter path, as above, at twice the
+/// block length and `t = 2`).
+const BCH_63_51_DECODE_FLOOR: f64 = 1.8e7;
+
+/// CI throughput floor for BCH(63,45) batch decode (messages/second) under
+/// the same one-error-per-word all-dirty input. Measured ≈ 3.5–4.2e7 msg/s
+/// when the registry member landed — the deepest code in the suite
+/// (`t = 3`, 18 syndrome slices), and the one whose action-table baseline
+/// is slowest (its 2^18-entry table scans ≈ 3.3e4 msg/s).
+const BCH_63_45_DECODE_FLOOR: f64 = 1.7e7;
+
+/// CI throughput floor for LDPC(60,32) batch decode (messages/second) under
+/// the same one-error-per-word all-dirty input. Measured ≈ 3.1–4.7e7 msg/s
+/// when the bit-flip engine landed: every limb is dirty, so every limb pays
+/// at least one full synchronous round (30 XOR-chain parity slices + 60
+/// whole-limb majorities), which is the engine's worst case — there is no
+/// per-lane region to regress to, so this floor catches the rounds
+/// themselves getting slower (or the dirty screen being lost).
+const LDPC_60_32_DECODE_FLOOR: f64 = 1.5e7;
 
 /// Telemetry overhead gate, checked in `--quick` mode: SEC-DED(72,64)
 /// batch decode with recording ON must sustain at least this fraction of
@@ -237,15 +260,14 @@ struct Case {
 fn build_case<C: BlockCode + HardDecoder + Clone + Send + Sync + 'static>(
     slug: &'static str,
     code: &C,
+    // The shipping codec for this code (sliced-syndrome for BCH, bit-flip
+    // for LDPC, column-matching otherwise); the measured codec must be the
+    // shipping one, and only the caller knows which registry constructor
+    // that is.
+    codec: BatchCodec,
     link_kind: Option<EncoderKind>,
     rng: &mut StdRng,
 ) -> Case {
-    let codec = match code.syndrome_class() {
-        // The sliced-syndrome engine is what `BatchCodec::bch()` ships; the
-        // measured codec must be the shipping one.
-        ecc::SyndromeClass::Algebraic => BatchCodec::bch(),
-        _ => BatchCodec::new(code),
-    };
     // Measurement input: clean codewords with one random single-bit error
     // per word — the typical Monte-Carlo mix exercises the match path, not
     // just the all-clean fast path.
@@ -271,44 +293,84 @@ fn build_case<C: BlockCode + HardDecoder + Clone + Send + Sync + 'static>(
 }
 
 fn cases() -> Vec<Case> {
+    use ecc::BchSpec;
     let mut rng = StdRng::seed_from_u64(SEED);
     vec![
         build_case(
             "hamming_7_4",
             &ecc::Hamming74::new(),
+            BatchCodec::hamming74(),
             Some(EncoderKind::Hamming74),
             &mut rng,
         ),
         build_case(
             "hamming_8_4",
             &ecc::Hamming84::new(),
+            BatchCodec::hamming84(),
             Some(EncoderKind::Hamming84),
             &mut rng,
         ),
         build_case(
             "rm_1_3",
             &ecc::Rm13::new(),
+            BatchCodec::rm13(),
             Some(EncoderKind::Rm13),
             &mut rng,
         ),
-        build_case("secded_13_8", &ecc::SecDed::new(3), None, &mut rng),
-        build_case("secded_39_32", &ecc::SecDed::new(5), None, &mut rng),
+        build_case(
+            "secded_13_8",
+            &ecc::SecDed::new(3),
+            BatchCodec::sec_ded(3),
+            None,
+            &mut rng,
+        ),
+        build_case(
+            "secded_39_32",
+            &ecc::SecDed::new(5),
+            BatchCodec::sec_ded(5),
+            None,
+            &mut rng,
+        ),
         build_case(
             "secded_72_64",
             &ecc::SecDed::new(6),
+            BatchCodec::sec_ded(6),
             Some(EncoderKind::SecDed(6)),
             &mut rng,
         ),
         build_case(
             "shamming_85_64",
             &ecc::ShortenedHamming::wide_85_64(),
+            BatchCodec::wide_hamming_85_64(),
             Some(EncoderKind::WideHamming8564),
             &mut rng,
         ),
         build_case(
             "bch_31_16",
             &ecc::Bch::bch_31_16(),
-            Some(EncoderKind::Bch),
+            BatchCodec::bch_spec(BchSpec::BCH_31_16),
+            Some(EncoderKind::Bch(BchSpec::BCH_31_16)),
+            &mut rng,
+        ),
+        build_case(
+            "bch_63_51",
+            &ecc::Bch::bch_63_51(),
+            BatchCodec::bch_63_51(),
+            Some(EncoderKind::Bch(BchSpec::BCH_63_51)),
+            &mut rng,
+        ),
+        build_case(
+            "bch_63_45",
+            &ecc::Bch::bch_63_45(),
+            BatchCodec::bch_63_45(),
+            Some(EncoderKind::Bch(BchSpec::BCH_63_45)),
+            &mut rng,
+        ),
+        build_case(
+            "ldpc_60_32",
+            &ecc::Ldpc::gallager_60_32(),
+            BatchCodec::ldpc(),
+            Some(EncoderKind::Ldpc),
             &mut rng,
         ),
     ]
@@ -497,7 +559,7 @@ fn telemetry_overhead(quick: bool) -> (f64, f64) {
 
 fn bench_batch_decode(c: &mut Criterion) {
     let quick = std::env::args().any(|a| a == "--quick");
-    let fingerprint = Fingerprint::new("batch_suite(8 codes)", 0, LANES, SEED, 1);
+    let fingerprint = Fingerprint::new("batch_suite(11 codes)", 0, LANES, SEED, 1);
     let measurements = measure(quick, &fingerprint);
 
     if !quick {
@@ -521,14 +583,25 @@ fn bench_batch_decode(c: &mut Criterion) {
         "SEC-DED(72,64) decode {:.3e} msg/s (floor {SECDED_72_64_DECODE_FLOOR:.1e})",
         secded.decode
     );
-    let bch = measurements
-        .iter()
-        .find(|m| m.slug == "bch_31_16")
-        .expect("bch_31_16 measured");
-    println!(
-        "BCH(31,16) decode {:.3e} msg/s (floor {BCH_31_16_DECODE_FLOOR:.1e}, all-dirty input)",
-        bch.decode
-    );
+    // Every multi-error engine has its own committed all-dirty floor: the
+    // measurement input dirties every lane, so these are the worst-case
+    // rates of the sliced prefilter path and the bit-flip rounds.
+    let floors: [(&str, f64); 4] = [
+        ("bch_31_16", BCH_31_16_DECODE_FLOOR),
+        ("bch_63_51", BCH_63_51_DECODE_FLOOR),
+        ("bch_63_45", BCH_63_45_DECODE_FLOOR),
+        ("ldpc_60_32", LDPC_60_32_DECODE_FLOOR),
+    ];
+    for &(slug, floor) in &floors {
+        let m = measurements
+            .iter()
+            .find(|m| m.slug == slug)
+            .unwrap_or_else(|| panic!("{slug} measured"));
+        println!(
+            "{slug} decode {:.3e} msg/s (floor {floor:.1e}, all-dirty input)",
+            m.decode
+        );
+    }
     if quick {
         if secded.decode < SECDED_72_64_DECODE_FLOOR {
             eprintln!(
@@ -538,13 +611,16 @@ fn bench_batch_decode(c: &mut Criterion) {
             );
             std::process::exit(1);
         }
-        if bch.decode < BCH_31_16_DECODE_FLOOR {
-            eprintln!(
-                "THROUGHPUT REGRESSION: BCH(31,16) batch decode {:.3e} msg/s is below \
-                 the committed floor {BCH_31_16_DECODE_FLOOR:.1e}",
-                bch.decode
-            );
-            std::process::exit(1);
+        for &(slug, floor) in &floors {
+            let m = measurements.iter().find(|m| m.slug == slug).unwrap();
+            if m.decode < floor {
+                eprintln!(
+                    "THROUGHPUT REGRESSION: {slug} batch decode {:.3e} msg/s is below \
+                     the committed floor {floor:.1e} (all-dirty input)",
+                    m.decode
+                );
+                std::process::exit(1);
+            }
         }
         // No code with a measurable old-world baseline may decode slower
         // than that baseline: the direct-dispatch kernels exist precisely to

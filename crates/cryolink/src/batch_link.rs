@@ -492,7 +492,8 @@ pub fn batch_codec_for(design: &EncoderDesign) -> BatchCodec {
         EncoderKind::Rm13 => BatchCodec::rm13(),
         EncoderKind::SecDed(m) => BatchCodec::sec_ded(usize::from(m)),
         EncoderKind::WideHamming8564 => BatchCodec::wide_hamming_85_64(),
-        EncoderKind::Bch => BatchCodec::bch(),
+        EncoderKind::Bch(spec) => BatchCodec::bch_spec(spec),
+        EncoderKind::Ldpc => BatchCodec::ldpc(),
     }
 }
 

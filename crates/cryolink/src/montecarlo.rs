@@ -100,15 +100,17 @@ impl Fig5Experiment {
         }
     }
 
-    /// The multi-error scenario: BCH(31,16) (`t = 2`) against the classic
-    /// SEC-DED(72,64) under the correlated per-cell fault model.
+    /// The multi-error scenario: the BCH registry — radius-3 BCH(63,45) and
+    /// radius-2 BCH(31,16) — against the classic SEC-DED(72,64) under the
+    /// correlated per-cell fault model.
     ///
     /// Counting is [`ErrorCounting::AnyWrong`] — no retransmission path — so
     /// *correction* power decides the curve, not just detection: a faulty
     /// splitter that flips two codeword bits of one word is corrected by the
-    /// radius-2 BCH decoder but can only be flagged by SEC-DED. Under the
-    /// paper's `SilentOnly` counting both outcomes look alike and the
-    /// comparison degenerates.
+    /// radius-2 BCH decoders but can only be flagged by SEC-DED, and a
+    /// three-bit burst only by the radius-3 member. Under the paper's
+    /// `SilentOnly` counting both outcomes look alike and the comparison
+    /// degenerates.
     #[must_use]
     pub fn multi_error_setup() -> Self {
         Fig5Experiment {
@@ -120,18 +122,24 @@ impl Fig5Experiment {
         }
     }
 
-    /// Runs the multi-error comparison through the batch path: one curve for
-    /// BCH(31,16), one for SEC-DED(72,64) (the Fig. 5-style view of where
-    /// `t = 2` pays for its extra parity bits).
+    /// Runs the multi-error comparison through the batch path: one curve
+    /// each for BCH(63,45), BCH(31,16), and SEC-DED(72,64), strongest
+    /// decoder first (the Fig. 5-style view of where `t = 2` and `t = 3`
+    /// pay for their extra parity bits).
     #[must_use]
     pub fn run_multi_error_comparison(&self, library: &CellLibrary) -> Fig5Result {
-        let curves = [EncoderKind::Bch, EncoderKind::SecDed(6)]
-            .iter()
-            .map(|&kind| {
-                let design = EncoderDesign::build(kind);
-                self.run_design_batched(&design, library)
-            })
-            .collect();
+        use ecc::BchSpec;
+        let curves = [
+            EncoderKind::Bch(BchSpec::BCH_63_45),
+            EncoderKind::Bch(BchSpec::BCH_31_16),
+            EncoderKind::SecDed(6),
+        ]
+        .iter()
+        .map(|&kind| {
+            let design = EncoderDesign::build(kind);
+            self.run_design_batched(&design, library)
+        })
+        .collect();
         Fig5Result {
             experiment: *self,
             curves,
@@ -818,7 +826,8 @@ mod tests {
     }
 
     #[test]
-    fn multi_error_comparison_covers_bch_and_secded() {
+    fn multi_error_comparison_covers_the_bch_registry_and_secded() {
+        use ecc::BchSpec;
         let lib = CellLibrary::coldflux();
         let experiment = Fig5Experiment {
             chips: 60,
@@ -828,21 +837,30 @@ mod tests {
         };
         assert_eq!(experiment.counting, ErrorCounting::AnyWrong);
         let result = experiment.run_multi_error_comparison(&lib);
-        let bch = result.curve(EncoderKind::Bch).expect("BCH curve");
+        let bch63 = result
+            .curve(EncoderKind::Bch(BchSpec::BCH_63_45))
+            .expect("BCH(63,45) curve");
+        let bch31 = result
+            .curve(EncoderKind::Bch(BchSpec::BCH_31_16))
+            .expect("BCH(31,16) curve");
         let secded = result.curve(EncoderKind::SecDed(6)).expect("SEC-DED curve");
-        assert_eq!(bch.chips(), 60);
+        assert_eq!(bch63.chips(), 60);
+        assert_eq!(bch31.chips(), 60);
         assert_eq!(secded.chips(), 60);
         println!(
-            "bch zero-error {:.3} {:?} | secded {:.3} {:?}",
-            bch.zero_error_probability(),
-            bch.zero_error_wilson_interval(1.96),
+            "bch63 zero-error {:.3} {:?} | bch31 {:.3} {:?} | secded {:.3} {:?}",
+            bch63.zero_error_probability(),
+            bch63.zero_error_wilson_interval(1.96),
+            bch31.zero_error_probability(),
+            bch31.zero_error_wilson_interval(1.96),
             secded.zero_error_probability(),
             secded.zero_error_wilson_interval(1.96),
         );
-        // The radius-2 decoder never loses to SEC-DED at this scale; the
+        // The multi-error decoders never lose to SEC-DED at this scale; the
         // statistically rigorous separation claim (non-overlapping Wilson
         // intervals at the full chip count) lives in the workspace tests.
-        assert!(bch.zero_error_probability() >= secded.zero_error_probability());
+        assert!(bch63.zero_error_probability() >= secded.zero_error_probability());
+        assert!(bch31.zero_error_probability() >= secded.zero_error_probability());
     }
 
     #[test]

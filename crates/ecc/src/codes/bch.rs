@@ -42,10 +42,82 @@ use crate::decoder::Decoded;
 use crate::{validate_code_matrices, BlockCode, HardDecoder};
 use gf2::field::{poly_degree, poly_rem, Gf2m};
 use gf2::{BitMat, BitVec};
+use serde::{Deserialize, Serialize};
+
+/// A config-driven description of one binary primitive BCH family member:
+/// codes are *data*, not code. A spec names the field extension degree `m`
+/// (blocklength `2^m − 1`), the designed correction capability `t` (the
+/// generator has roots `α … α^{2t}`), and the bounded decoding radius
+/// (`≤ t`; capping below `t` trades correction for detection margin, see
+/// [`Bch::bch_31_16`]).
+///
+/// [`BchSpec::REGISTRY`] lists the members the workspace ships end-to-end
+/// (catalog, synthesis, batch engine, Monte-Carlo curves); any other valid
+/// spec still constructs through [`Bch::from_spec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BchSpec {
+    /// Field extension degree: the code lives in GF(2^m), `n = 2^m − 1`.
+    pub m: u8,
+    /// Designed correction capability (designed distance `2t + 1`).
+    pub t: u8,
+    /// Decoder radius: error patterns of weight ≤ `decode_radius` are
+    /// corrected; heavier patterns inside the design margin are detected.
+    pub decode_radius: u8,
+}
+
+impl BchSpec {
+    /// The flagship BCH(31,16): designed distance 7, decoded at radius 2 so
+    /// every double error corrects and every triple error is *detected*.
+    pub const BCH_31_16: BchSpec = BchSpec {
+        m: 5,
+        t: 3,
+        decode_radius: 2,
+    };
+
+    /// BCH(63,51): the high-rate `t = 2` member over GF(64).
+    pub const BCH_63_51: BchSpec = BchSpec {
+        m: 6,
+        t: 2,
+        decode_radius: 2,
+    };
+
+    /// BCH(63,45): the strongest shipped member — `t = 3` decoded at full
+    /// radius, correcting every ≤ 3-bit error pattern.
+    pub const BCH_63_45: BchSpec = BchSpec {
+        m: 6,
+        t: 3,
+        decode_radius: 3,
+    };
+
+    /// Every BCH member the workspace ships through all layers.
+    pub const REGISTRY: [BchSpec; 3] = [Self::BCH_31_16, Self::BCH_63_51, Self::BCH_63_45];
+
+    /// The `(n, k)` parameters this spec produces, computed from the
+    /// generator degree without building the full code matrices.
+    ///
+    /// # Panics
+    /// Panics on the same invalid specs as [`Bch::from_spec`].
+    #[must_use]
+    pub fn dimensions(&self) -> (usize, usize) {
+        let field = Gf2m::new(usize::from(self.m));
+        let n = field.order();
+        let r = poly_degree(field.bch_generator(usize::from(self.t)));
+        assert!(r < n, "generator degree {r} leaves no information bits");
+        (n, n - r)
+    }
+
+    /// Display name in the literature's `BCH(n,k)` convention.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let (n, k) = self.dimensions();
+        format!("BCH({n},{k})")
+    }
+}
 
 /// A binary primitive BCH code over GF(2^m) with a bounded-distance decoder.
 #[derive(Debug, Clone)]
 pub struct Bch {
+    spec: BchSpec,
     field: Gf2m,
     n: usize,
     k: usize,
@@ -130,6 +202,11 @@ impl Bch {
             .collect();
 
         Bch {
+            spec: BchSpec {
+                m: m as u8,
+                t: design_t as u8,
+                decode_radius: decode_t as u8,
+            },
             field,
             n,
             k,
@@ -142,12 +219,46 @@ impl Bch {
         }
     }
 
+    /// Constructs the family member a [`BchSpec`] describes — the
+    /// config-driven entry point behind the encoder catalog and the batch
+    /// codec registry.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`Bch::with_decode_radius`].
+    #[must_use]
+    pub fn from_spec(spec: BchSpec) -> Self {
+        Bch::with_decode_radius(
+            usize::from(spec.m),
+            usize::from(spec.t),
+            usize::from(spec.decode_radius),
+        )
+    }
+
+    /// The spec this code was built from (round-trips through
+    /// [`Bch::from_spec`]).
+    #[must_use]
+    pub fn spec(&self) -> BchSpec {
+        self.spec
+    }
+
     /// The flagship catalog member: BCH(31,16), designed distance 7
     /// (`g = m₁·m₃·m₅` over GF(32)), decoded with radius `t = 2` so every
     /// double error is corrected and every triple error is detected.
     #[must_use]
     pub fn bch_31_16() -> Self {
-        Bch::with_decode_radius(5, 3, 2)
+        Bch::from_spec(BchSpec::BCH_31_16)
+    }
+
+    /// The high-rate BCH(63,51) member (`t = 2` over GF(64)).
+    #[must_use]
+    pub fn bch_63_51() -> Self {
+        Bch::from_spec(BchSpec::BCH_63_51)
+    }
+
+    /// The strongest shipped member: BCH(63,45), `t = 3` at full radius.
+    #[must_use]
+    pub fn bch_63_45() -> Self {
+        Bch::from_spec(BchSpec::BCH_63_45)
     }
 
     /// The extension degree `m` of the underlying field GF(2^m).
@@ -718,6 +829,58 @@ mod tests {
                 }
                 (outcome, action) => panic!("{pattern:?}: {outcome:?} vs {action:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn registry_specs_round_trip_and_name_their_members() {
+        let expected = [
+            (BchSpec::BCH_31_16, (31, 16), 2),
+            (BchSpec::BCH_63_51, (63, 51), 2),
+            (BchSpec::BCH_63_45, (63, 45), 3),
+        ];
+        assert_eq!(BchSpec::REGISTRY.len(), expected.len());
+        for (spec, (n, k), radius) in expected {
+            assert!(BchSpec::REGISTRY.contains(&spec));
+            assert_eq!(spec.dimensions(), (n, k));
+            assert_eq!(spec.name(), format!("BCH({n},{k})"));
+            let code = Bch::from_spec(spec);
+            assert_eq!((code.n(), code.k()), (n, k));
+            assert_eq!(code.correction_radius(), radius);
+            assert_eq!(code.spec(), spec);
+        }
+        assert_eq!(Bch::bch_63_51().spec(), BchSpec::BCH_63_51);
+        assert_eq!(Bch::bch_63_45().spec(), BchSpec::BCH_63_45);
+    }
+
+    #[test]
+    fn bch_63_45_corrects_triples_and_detects_sampled_quadruples() {
+        let code = Bch::bch_63_45();
+        let msg = sample_messages(code.k(), 1).pop().unwrap();
+        let cw = code.encode(&msg);
+        for pattern in [[0usize, 31, 62], [5, 6, 7], [10, 30, 50]] {
+            let mut r = cw.clone();
+            for &p in &pattern {
+                r.flip(p);
+            }
+            let d = code.decode(&r);
+            assert_eq!(d.outcome, DecodeOutcome::Corrected { bits_flipped: 3 });
+            assert!(d.message_is(&msg), "{pattern:?}");
+        }
+        // Weight-4 patterns sit past the packing radius; a pattern inside
+        // another codeword's radius-3 sphere would miscorrect (d_min = 7
+        // admits weight-7 codewords), so these samples are ones checked to
+        // lie outside every sphere — the decoder must flag them.
+        for pattern in [[0usize, 1, 2, 3], [7, 19, 33, 60], [2, 20, 40, 62]] {
+            let mut r = cw.clone();
+            for &p in &pattern {
+                r.flip(p);
+            }
+            assert_eq!(
+                code.decode(&r).outcome,
+                DecodeOutcome::DetectedUncorrectable,
+                "{pattern:?}"
+            );
         }
     }
 

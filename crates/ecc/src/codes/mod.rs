@@ -3,6 +3,7 @@
 
 pub mod bch;
 pub mod hamming;
+pub mod ldpc;
 pub mod reed_muller;
 pub mod repetition;
 pub mod sec_ded;

@@ -71,6 +71,13 @@ pub enum SyndromeClass {
     /// scalar decoder on the rare *dirty* lanes only — the expected cost per
     /// limb stays near the all-clean XOR cost in Monte-Carlo traffic.
     Algebraic,
+    /// Iterative message-passing decoding (e.g. LDPC bit flipping): the
+    /// correction emerges from repeated whole-word check/flip rounds, not
+    /// from a per-syndrome lookup or a locator polynomial. Batch engines run
+    /// the *same synchronous schedule bit-sliced* — each round is whole-limb
+    /// AND/XOR/majority work shared by 64 lanes — so even all-dirty limbs
+    /// never leave the sliced domain (see `ecc::IterativeDecode`).
+    Iterative,
     /// Any other coset-invariant map (e.g. majority-vote repetition decoding,
     /// whose corrections flip several bits at once). Batch engines must
     /// interrogate the decoder once per syndrome value, which is only
@@ -88,13 +95,13 @@ impl SyndromeClass {
     /// construction — [`SyndromeClass::ColumnFlip`] and
     /// [`SyndromeClass::General`] with `r ≤ 8` (so the table has at most 256
     /// entries and a syndrome fits one byte). [`SyndromeClass::Algebraic`]
-    /// decoders compute corrections instead of looking them up, so they are
-    /// never eligible regardless of `r`.
+    /// and [`SyndromeClass::Iterative`] decoders compute corrections instead
+    /// of looking them up, so they are never eligible regardless of `r`.
     #[must_use]
     pub fn direct_dispatch_eligible(self, redundancy: usize) -> bool {
         match self {
             SyndromeClass::ColumnFlip | SyndromeClass::General => redundancy <= 8,
-            SyndromeClass::Algebraic => false,
+            SyndromeClass::Algebraic | SyndromeClass::Iterative => false,
         }
     }
 }

@@ -41,19 +41,22 @@ pub mod analysis;
 pub mod batch;
 pub mod codes;
 pub mod decoder;
+pub mod iterative;
 pub mod weight;
 
 pub use algebraic::{AlgebraicAction, AlgebraicDecode, SlicedSyndromePlan};
 pub use analysis::{CodeAnalysis, DecodingPolicy, ErrorPatternStats};
 pub use batch::{BatchDecode, BatchDecoded, BatchEncode, BatchScratch};
-pub use codes::bch::Bch;
+pub use codes::bch::{Bch, BchSpec};
 pub use codes::hamming::ShortenedHamming;
 pub use codes::hamming::{Hamming74, Hamming84, HammingCode, ShortenedHamming3832};
+pub use codes::ldpc::Ldpc;
 pub use codes::reed_muller::{ReedMuller, Rm13};
 pub use codes::repetition::Repetition;
 pub use codes::sec_ded::{SecDed, SECDED_MAX_M, SECDED_MIN_M};
 pub use codes::uncoded::Uncoded;
 pub use decoder::{DecodeOutcome, Decoded, SyndromeClass};
+pub use iterative::{BitFlipPlan, IterativeDecode};
 
 use gf2::{BitMat, BitVec};
 

@@ -43,11 +43,12 @@
 pub mod no_encoder;
 pub mod table2;
 
+pub use ecc::BchSpec;
 pub use table2::{catalog_table_rows, paper_table2, table2_row_for, table2_rows, Table2Row};
 
 use ecc::{
-    Bch, BlockCode, Decoded, Hamming74, Hamming84, HardDecoder, Rm13, SecDed, ShortenedHamming,
-    Uncoded,
+    Bch, BlockCode, Decoded, Hamming74, Hamming84, HardDecoder, Ldpc, Rm13, SecDed,
+    ShortenedHamming, Uncoded,
 };
 use gf2::{BitMat, BitVec};
 use serde::{Deserialize, Serialize};
@@ -87,13 +88,21 @@ pub enum EncoderKind {
     /// old 20-bit action-table limit, decodable only by column matching.
     /// Synthesized with the generic generator-matrix flow.
     WideHamming8564,
-    /// The multi-error BCH(31,16) code (designed distance 7, decoded at
-    /// radius `t = 2` with Berlekamp–Massey + Chien search). Its dense
-    /// degree-15 generator polynomial produces parity equations with far
-    /// more shared structure than the Hamming family — a genuine stress
-    /// test for the cancellation-aware factoring schedule candidates.
-    /// Synthesized with the generic generator-matrix flow.
-    Bch,
+    /// A multi-error BCH registry member, selected by its
+    /// [`BchSpec`] `(m, t, decode_radius)` triple (see
+    /// [`BchSpec::REGISTRY`]: BCH(31,16) `t = 2`, BCH(63,51) `t = 2`, and
+    /// BCH(63,45) `t = 3`). The dense cyclic generator polynomials produce
+    /// parity equations with far more shared structure than the Hamming
+    /// family — a genuine stress test for the cancellation-aware factoring
+    /// schedule candidates. Synthesized with the generic
+    /// generator-matrix flow.
+    Bch(BchSpec),
+    /// The regular Gallager LDPC(60,32) code (column weight 3, row weight
+    /// 6), decoded by synchronous bit flipping — the catalog's first
+    /// iteratively decoded member. Its sparse generator nonetheless has
+    /// dense systematic parity columns, so it goes through the same
+    /// generator-matrix synthesis flow.
+    Ldpc,
 }
 
 impl EncoderKind {
@@ -108,13 +117,15 @@ impl EncoderKind {
 
     /// Every buildable design: the paper's four, the SEC-DED family from
     /// (13,8) up to (72,64), the wide Shortened Hamming(85,64)
-    /// demonstration code, and the multi-error BCH(31,16) code.
+    /// demonstration code, the three multi-error BCH registry members, and
+    /// the regular LDPC(60,32) code.
     #[must_use]
     pub fn catalog() -> Vec<EncoderKind> {
         let mut kinds = Self::ALL.to_vec();
         kinds.extend((3..=ecc::SECDED_MAX_M as u8).map(EncoderKind::SecDed));
         kinds.push(EncoderKind::WideHamming8564);
-        kinds.push(EncoderKind::Bch);
+        kinds.extend(BchSpec::REGISTRY.map(EncoderKind::Bch));
+        kinds.push(EncoderKind::Ldpc);
         kinds
     }
 
@@ -132,7 +143,8 @@ impl EncoderKind {
                 format!("SEC-DED({},{k})", k + usize::from(*m) + 2)
             }
             EncoderKind::WideHamming8564 => "Shortened Hamming(85,64)".to_string(),
-            EncoderKind::Bch => "BCH(31,16)".to_string(),
+            EncoderKind::Bch(spec) => spec.name(),
+            EncoderKind::Ldpc => "LDPC(60,32)".to_string(),
         }
     }
 
@@ -206,7 +218,11 @@ impl EncoderKind {
                 format!("secded_{}_{k}_encoder", k + usize::from(*m) + 2)
             }
             EncoderKind::WideHamming8564 => "shamming_85_64_encoder".to_string(),
-            EncoderKind::Bch => "bch_31_16_encoder".to_string(),
+            EncoderKind::Bch(spec) => {
+                let (n, k) = spec.dimensions();
+                format!("bch_{n}_{k}_encoder")
+            }
+            EncoderKind::Ldpc => "ldpc_60_32_encoder".to_string(),
         }
     }
 }
@@ -220,7 +236,8 @@ fn reference_code(kind: EncoderKind) -> ReferenceCode {
         EncoderKind::Rm13 => ReferenceCode::Rm13(Rm13::new()),
         EncoderKind::SecDed(m) => ReferenceCode::SecDed(SecDed::new(usize::from(m))),
         EncoderKind::WideHamming8564 => ReferenceCode::WideHamming(ShortenedHamming::wide_85_64()),
-        EncoderKind::Bch => ReferenceCode::Bch(Bch::bch_31_16()),
+        EncoderKind::Bch(spec) => ReferenceCode::Bch(Bch::from_spec(spec)),
+        EncoderKind::Ldpc => ReferenceCode::Ldpc(Ldpc::gallager_60_32()),
     }
 }
 
@@ -233,6 +250,7 @@ enum ReferenceCode {
     SecDed(SecDed),
     WideHamming(ShortenedHamming),
     Bch(Bch),
+    Ldpc(Ldpc),
 }
 
 impl ReferenceCode {
@@ -245,6 +263,7 @@ impl ReferenceCode {
             ReferenceCode::SecDed(c) => c.encode(message),
             ReferenceCode::WideHamming(c) => c.encode(message),
             ReferenceCode::Bch(c) => c.encode(message),
+            ReferenceCode::Ldpc(c) => c.encode(message),
         }
     }
 
@@ -260,6 +279,7 @@ impl ReferenceCode {
             ReferenceCode::SecDed(c) => c.decode(received),
             ReferenceCode::WideHamming(c) => c.decode(received),
             ReferenceCode::Bch(c) => c.decode(received),
+            ReferenceCode::Ldpc(c) => c.decode(received),
         }
     }
 
@@ -272,6 +292,7 @@ impl ReferenceCode {
             ReferenceCode::SecDed(c) => c.n(),
             ReferenceCode::WideHamming(c) => c.n(),
             ReferenceCode::Bch(c) => c.n(),
+            ReferenceCode::Ldpc(c) => c.n(),
         }
     }
 
@@ -284,6 +305,7 @@ impl ReferenceCode {
             ReferenceCode::SecDed(c) => c.k(),
             ReferenceCode::WideHamming(c) => c.k(),
             ReferenceCode::Bch(c) => c.k(),
+            ReferenceCode::Ldpc(c) => c.k(),
         }
     }
 
@@ -296,6 +318,7 @@ impl ReferenceCode {
             ReferenceCode::SecDed(c) => c.generator(),
             ReferenceCode::WideHamming(c) => c.generator(),
             ReferenceCode::Bch(c) => c.generator(),
+            ReferenceCode::Ldpc(c) => c.generator(),
         }
     }
 }
@@ -724,7 +747,7 @@ mod tests {
     #[test]
     fn catalog_enumerates_paper_designs_and_secded_family() {
         let catalog = EncoderKind::catalog();
-        assert_eq!(catalog.len(), 10);
+        assert_eq!(catalog.len(), 13);
         for kind in EncoderKind::ALL {
             assert!(catalog.contains(&kind));
         }
@@ -732,14 +755,24 @@ mod tests {
             assert!(catalog.contains(&EncoderKind::SecDed(m)));
         }
         assert!(catalog.contains(&EncoderKind::WideHamming8564));
-        assert!(catalog.contains(&EncoderKind::Bch));
+        for spec in BchSpec::REGISTRY {
+            assert!(catalog.contains(&EncoderKind::Bch(spec)));
+        }
+        assert!(catalog.contains(&EncoderKind::Ldpc));
         assert_eq!(EncoderKind::SecDed(6).name(), "SEC-DED(72,64)");
         assert_eq!(
             EncoderKind::WideHamming8564.name(),
             "Shortened Hamming(85,64)"
         );
-        assert_eq!(EncoderKind::Bch.name(), "BCH(31,16)");
-        assert_eq!(EncoderDesign::build_catalog().len(), 10);
+        assert_eq!(EncoderKind::Bch(BchSpec::BCH_31_16).name(), "BCH(31,16)");
+        assert_eq!(EncoderKind::Bch(BchSpec::BCH_63_45).name(), "BCH(63,45)");
+        assert_eq!(
+            EncoderKind::Bch(BchSpec::BCH_63_45).netlist_name(),
+            "bch_63_45_encoder"
+        );
+        assert_eq!(EncoderKind::Ldpc.name(), "LDPC(60,32)");
+        assert_eq!(EncoderKind::Ldpc.netlist_name(), "ldpc_60_32_encoder");
+        assert_eq!(EncoderDesign::build_catalog().len(), 13);
     }
 
     #[test]
@@ -775,7 +808,7 @@ mod tests {
     #[test]
     fn bch_design_encodes_at_gate_level_and_decodes_through_radius_two() {
         use rand::SeedableRng;
-        let design = EncoderDesign::build(EncoderKind::Bch);
+        let design = EncoderDesign::build(EncoderKind::Bch(BchSpec::BCH_31_16));
         assert_eq!((design.n(), design.k()), (31, 16));
         assert_eq!(design.kind.netlist_name(), "bch_31_16_encoder");
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xBC4_3116);
@@ -807,9 +840,64 @@ mod tests {
     }
 
     #[test]
+    fn bch_63_45_design_encodes_at_gate_level_and_corrects_triples() {
+        use rand::SeedableRng;
+        let design = EncoderDesign::build(EncoderKind::Bch(BchSpec::BCH_63_45));
+        assert_eq!((design.n(), design.k()), (63, 45));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBC4_6345);
+        for _ in 0..3 {
+            let msg = seeded_message(45, &mut rng);
+            assert_eq!(
+                design.encode_gate_level(&msg),
+                design.encode_reference(&msg)
+            );
+        }
+        // t = 3: every sampled triple corrects; a probed quadruple flags.
+        let msg = seeded_message(45, &mut rng);
+        let cw = design.encode_reference(&msg);
+        for pattern in [[0usize, 31, 62], [5, 6, 7], [10, 30, 50]] {
+            let mut r = cw.clone();
+            for &p in &pattern {
+                r.flip(p);
+            }
+            assert_eq!(design.decode(&r).message, Some(msg.clone()), "{pattern:?}");
+        }
+        let mut r = cw.clone();
+        for p in [0usize, 1, 2, 3] {
+            r.flip(p);
+        }
+        assert_eq!(
+            design.decode(&r).outcome,
+            ecc::DecodeOutcome::DetectedUncorrectable
+        );
+    }
+
+    #[test]
+    fn ldpc_design_encodes_at_gate_level_and_decodes_singles() {
+        use rand::SeedableRng;
+        let design = EncoderDesign::build(EncoderKind::Ldpc);
+        assert_eq!((design.n(), design.k()), (60, 32));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x1D9C_6032);
+        for _ in 0..3 {
+            let msg = seeded_message(32, &mut rng);
+            assert_eq!(
+                design.encode_gate_level(&msg),
+                design.encode_reference(&msg)
+            );
+        }
+        let msg = seeded_message(32, &mut rng);
+        let cw = design.encode_reference(&msg);
+        for pos in [0usize, 29, 59] {
+            let mut r = cw.clone();
+            r.flip(pos);
+            assert_eq!(design.decode(&r).message, Some(msg.clone()), "pos {pos}");
+        }
+    }
+
+    #[test]
     fn bch_dense_generator_rewards_factoring_over_plain_trees() {
         use sfq_netlist::pass::FactoringKind;
-        let design = EncoderDesign::build(EncoderKind::Bch);
+        let design = EncoderDesign::build(EncoderKind::Bch(BchSpec::BCH_31_16));
         let plan = design.schedule_plan().expect("coded design has a plan");
         let paar = plan.best_xor_for(FactoringKind::Paar).unwrap();
         let cancel = plan.best_xor_for(FactoringKind::Cancellation).unwrap();

@@ -159,9 +159,10 @@ pub fn table2_row_for(design: &EncoderDesign, library: &CellLibrary) -> Table2Ro
 
 /// Table-II-style circuit costs for **every coded catalog member**: the
 /// paper's three encoders, the synthesized SEC-DED family up to (72,64), the
-/// wide Shortened Hamming(85,64), and the multi-error BCH(31,16), each with
-/// the naive sharing-free synthesis cost alongside the pipeline's. The
-/// uncoded baseline is omitted (it has no encoder logic to cost).
+/// wide Shortened Hamming(85,64), the BCH registry — (31,16), (63,51) and
+/// (63,45) — and the iterative LDPC(60,32), each with the naive sharing-free
+/// synthesis cost alongside the pipeline's. The uncoded baseline is omitted
+/// (it has no encoder logic to cost).
 #[must_use]
 pub fn catalog_table_rows(library: &CellLibrary) -> Vec<Table2Row> {
     EncoderDesign::build_catalog()
@@ -276,8 +277,9 @@ mod tests {
         let lib = CellLibrary::coldflux();
         let rows = catalog_table_rows(&lib);
         // Three paper encoders + four SEC-DED members + the wide Shortened
-        // Hamming(85,64) + BCH(31,16); no uncoded row.
-        assert_eq!(rows.len(), 9);
+        // Hamming(85,64) + the three BCH registry members + LDPC(60,32); no
+        // uncoded row.
+        assert_eq!(rows.len(), 12);
         assert!(rows.iter().all(|r| r.encoder != "No encoder"));
         let jj_of = |name: &str| {
             rows.iter()
@@ -298,6 +300,21 @@ mod tests {
         .collect();
         assert!(family.windows(2).all(|w| w[0] < w[1]), "{family:?}");
         assert!(family[3] > jj_of("Hamming(8,4)"));
+        // The multi-error registry members and the LDPC member are costed
+        // too. Both length-63 BCH codes dwarf BCH(31,16); within length 63
+        // the stronger t=3 member buys its extra parity logic back in message
+        // flip-flops (k=45 vs 51), so its XOR count is higher even though its
+        // JJ total is not.
+        assert!(jj_of("BCH(63,51)") > jj_of("BCH(31,16)"));
+        assert!(jj_of("BCH(63,45)") > jj_of("BCH(31,16)"));
+        assert!(jj_of("LDPC(60,32)") > jj_of("BCH(31,16)"));
+        let xor_of = |name: &str| {
+            rows.iter()
+                .find(|r| r.encoder == name)
+                .unwrap_or_else(|| panic!("missing row {name}"))
+                .xor_gates
+        };
+        assert!(xor_of("BCH(63,45)") > xor_of("BCH(63,51)"));
         // Every row carries a positive power/area estimate.
         for row in &rows {
             assert!(row.power_uw > 0.0 && row.area_mm2 > 0.0, "{}", row.encoder);

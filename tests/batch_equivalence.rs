@@ -14,8 +14,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sfq_ecc::batch::{BatchCodec, KernelKind};
 use sfq_ecc::ecc::{
-    validate_code_matrices, BatchDecode, BatchEncode, BlockCode, DecodeOutcome, Decoded, Hamming74,
-    Hamming84, HardDecoder, Repetition, Rm13, SecDed, ShortenedHamming, SyndromeClass, Uncoded,
+    validate_code_matrices, BatchDecode, BatchEncode, BchSpec, BlockCode, DecodeOutcome, Decoded,
+    Hamming74, Hamming84, HardDecoder, Repetition, Rm13, SecDed, ShortenedHamming, SyndromeClass,
+    Uncoded,
 };
 use sfq_ecc::gf2::{
     syndrome_bytes, syndrome_bytes_inverse, BitMat, BitSlice64, BitVec, WeightPatterns,
@@ -426,6 +427,151 @@ fn bch_31_16_batch_is_bit_exact_on_all_zero_one_and_two_bit_patterns() {
     assert_eq!(decoded.corrected_count(), received.len() - 2);
 }
 
+/// The always-on exhaustive differential tier for the t = 2 registry member:
+/// every one of the C(63,1) = 63 singles and C(63,2) = 1953 doubles on each
+/// sampled BCH(63,51) codeword, scalar vs batch, bit-identical — and every
+/// corrupted word corrected, never flagged (radius 2 covers the corpus).
+#[test]
+fn bch_63_51_batch_is_bit_exact_on_all_zero_one_and_two_bit_patterns() {
+    let code = sfq_ecc::ecc::Bch::bch_63_51();
+    let codec = BatchCodec::bch_63_51();
+    let received = bch_exhaustive_double_error_corpus(&code, 2);
+    assert_eq!(received.len(), 2 * (1 + 63 + 1953));
+    assert_codec_matches_scalar_on(&codec, &code, &received);
+    let decoded = codec.decode_batch(&BitSlice64::pack(&received));
+    assert_eq!(decoded.flagged_count(), 0);
+    assert_eq!(decoded.corrected_count(), received.len() - 2);
+}
+
+/// The radius-3 member corrects *triples*: a seeded sample of distinct
+/// 3-position patterns on random BCH(63,45) codewords must come back
+/// `Corrected` with the transmitted message on the scalar path, and the
+/// batch path must agree word for word. (The full C(63,3) = 39 711 sweep is
+/// the `#[ignore]`d nightly tier below.)
+#[test]
+fn bch_63_45_batch_corrects_seeded_triple_errors_identically() {
+    let code = sfq_ecc::ecc::Bch::bch_63_45();
+    let mut rng = StdRng::seed_from_u64(0xBC43_6345);
+    let mut received = Vec::new();
+    let mut messages = Vec::new();
+    for _ in 0..80 {
+        let msg: BitVec = (0..code.k())
+            .map(|_| rng.random::<u64>() & 1 == 1)
+            .collect();
+        let mut r = code.encode(&msg);
+        let mut positions = std::collections::BTreeSet::new();
+        while positions.len() < 3 {
+            positions.insert(rng.random_range(0..code.n()));
+        }
+        for &pos in &positions {
+            r.flip(pos);
+        }
+        received.push(r);
+        messages.push(msg);
+    }
+    for (word, msg) in received.iter().zip(&messages) {
+        let scalar = code.decode(word);
+        assert_eq!(
+            scalar.outcome,
+            DecodeOutcome::Corrected { bits_flipped: 3 },
+            "radius 3 must correct every triple"
+        );
+        assert_eq!(scalar.message.as_ref(), Some(msg));
+    }
+    let codec = BatchCodec::bch_63_45();
+    assert_codec_matches_scalar_on(&codec, &code, &received);
+    let decoded = codec.decode_batch(&BitSlice64::pack(&received));
+    assert_eq!(decoded.flagged_count(), 0);
+    assert_eq!(decoded.corrected_count(), received.len());
+}
+
+/// Beyond the radius: sampled weight-4 patterns must be *flagged* by both
+/// paths, not silently miscorrected. Syndrome decoding makes the verdict
+/// codeword-independent (the outcome is a function of the error pattern
+/// alone), so three fixed patterns × several random codewords is a real
+/// sample of the flag path.
+#[test]
+fn bch_63_45_flags_sampled_four_bit_patterns_identically() {
+    let code = sfq_ecc::ecc::Bch::bch_63_45();
+    let codec = BatchCodec::bch_63_45();
+    let mut rng = StdRng::seed_from_u64(0xBC43_6346);
+    let mut received = Vec::new();
+    for positions in [[0usize, 1, 2, 3], [7, 19, 33, 60], [2, 20, 40, 62]] {
+        for _ in 0..4 {
+            let msg: BitVec = (0..code.k())
+                .map(|_| rng.random::<u64>() & 1 == 1)
+                .collect();
+            let mut r = code.encode(&msg);
+            for pos in positions {
+                r.flip(pos);
+            }
+            received.push(r);
+        }
+    }
+    for word in &received {
+        assert_eq!(
+            code.decode(word).outcome,
+            DecodeOutcome::DetectedUncorrectable,
+            "these weight-4 patterns have no weight-≤3 locator solution"
+        );
+    }
+    assert_codec_matches_scalar_on(&codec, &code, &received);
+    let decoded = codec.decode_batch(&BitSlice64::pack(&received));
+    assert_eq!(decoded.flagged_count(), received.len());
+}
+
+/// The nightly `bch` tier (CI matrix flag, `--include-ignored bch`): the
+/// *full* C(63,3) = 39 711 triple sweep on a seeded BCH(63,45) codeword —
+/// plus all singles and doubles — every pattern corrected back to the
+/// transmitted message, scalar and batch in bit-identical agreement.
+#[test]
+#[ignore = "heavy exhaustive tier; run with --include-ignored bch (nightly CI leg)"]
+fn bch_63_45_exhaustive_triple_error_tier_is_bit_exact() {
+    let code = sfq_ecc::ecc::Bch::bch_63_45();
+    let codec = BatchCodec::bch_63_45();
+    let mut rng = StdRng::seed_from_u64(0xBC43_6347);
+    let msg: BitVec = (0..code.k())
+        .map(|_| rng.random::<u64>() & 1 == 1)
+        .collect();
+    let cw = code.encode(&msg);
+    let mut received = vec![cw.clone()];
+    for weight in 1..=3usize {
+        for pattern in WeightPatterns::new(code.n(), weight) {
+            let mut r = cw.clone();
+            for pos in 0..code.n() {
+                if (pattern >> pos) & 1 == 1 {
+                    r.flip(pos);
+                }
+            }
+            received.push(r);
+        }
+    }
+    assert_eq!(received.len(), 1 + 63 + 1953 + 39_711);
+    assert_codec_matches_scalar_on(&codec, &code, &received);
+    let decoded = codec.decode_batch(&BitSlice64::pack(&received));
+    assert_eq!(decoded.flagged_count(), 0);
+    assert_eq!(decoded.corrected_count(), received.len() - 1);
+    for i in 1..received.len() {
+        assert_eq!(
+            decoded.messages.extract(i),
+            msg,
+            "word {i} must decode back to the transmitted message"
+        );
+    }
+}
+
+/// The nightly `bch` tier, t = 2 member: the exhaustive single + double
+/// sweep over a much wider message sample — 20 seeded messages ×
+/// (1 + 63 + 1953) patterns = 40 340 words.
+#[test]
+#[ignore = "heavy exhaustive tier; run with --include-ignored bch (nightly CI leg)"]
+fn bch_63_51_exhaustive_double_error_tier_over_widened_message_sample() {
+    let code = sfq_ecc::ecc::Bch::bch_63_51();
+    let received = bch_exhaustive_double_error_corpus(&code, 20);
+    assert_eq!(received.len(), 20 * (1 + 63 + 1953));
+    assert_codec_matches_scalar_on(&BatchCodec::bch_63_51(), &code, &received);
+}
+
 /// The nightly `bch` tier (CI matrix flag, `--include-ignored bch`): the
 /// same exhaustive single + double sweep over a much wider message sample —
 /// 40 seeded messages × (1 + 31 + 465) patterns = 19 880 words.
@@ -693,17 +839,68 @@ fn every_catalog_code_decodes_identically_under_every_forced_kernel() {
     assert_every_kernel_matches_the_scalar_walk(&ShortenedHamming::wide_85_64(), 0xD15_0020);
 }
 
-/// The kernel override must not change the algebraic engine's output: the
-/// sliced BCH codec produces bit-identical results under every forced
-/// kernel, and all of them agree with the scalar-fallback engine (which
-/// re-derives each dirty lane from scratch through the `ecc` decoder).
+/// The kernel override must not change the algebraic engine's output: for
+/// every BCH registry member, the sliced codec produces bit-identical
+/// results under every forced kernel, and all of them agree with the
+/// scalar-fallback engine (which re-derives each dirty lane from scratch
+/// through the `ecc` decoder). Error weights run up to `radius + 1`, so the
+/// flag path of each member is exercised too.
 #[test]
-fn bch_sliced_engine_is_kernel_invariant_and_matches_the_scalar_fallback() {
-    let code = sfq_ecc::ecc::Bch::bch_31_16();
-    let mut rng = StdRng::seed_from_u64(0xBC43_2001);
+fn bch_sliced_engines_are_kernel_invariant_and_match_the_scalar_fallback() {
+    for (s, spec) in BchSpec::REGISTRY.into_iter().enumerate() {
+        let code = sfq_ecc::ecc::Bch::from_spec(spec);
+        let mut rng = StdRng::seed_from_u64(0xBC43_2001 + s as u64);
+        for batch_size in RAGGED_BATCH_SIZES {
+            let words: Vec<BitVec> = (0..batch_size)
+                .map(|i| {
+                    let msg: BitVec = (0..code.k())
+                        .map(|_| rng.random::<u64>() & 1 == 1)
+                        .collect();
+                    let mut w = code.encode(&msg);
+                    for _ in 0..(i % (spec.decode_radius as usize + 2)) {
+                        w.flip(rng.random_range(0..code.n()));
+                    }
+                    w
+                })
+                .collect();
+            let batch = BitSlice64::pack(&words);
+            let reference = BatchCodec::with_scalar_fallback(&code, code.n()).decode_batch(&batch);
+            for kind in [KernelKind::ScalarU64].into_iter().chain(FORCED_KERNELS) {
+                let decoded = BatchCodec::bch_spec(spec)
+                    .with_kernel(kind)
+                    .decode_batch(&batch);
+                let label = format!("{} {kind:?} batch {batch_size}", spec.name());
+                assert_eq!(decoded.messages, reference.messages, "{label}: messages");
+                assert_eq!(decoded.codewords, reference.codewords, "{label}: codewords");
+                assert_eq!(decoded.flagged, reference.flagged, "{label}: flag mask");
+                assert_eq!(
+                    decoded.corrected, reference.corrected,
+                    "{label}: correction mask"
+                );
+            }
+        }
+    }
+}
+
+/// The bit-flip engine through the same contract: LDPC(60,32) words with
+/// 0–3 seeded flips plus dense random noise decode identically through
+/// every forced kernel override, and agree word for word with the scalar
+/// `HardDecoder` (the same synchronous schedule and iteration cap, so the
+/// agreement is exact — including non-convergent words, which both paths
+/// must flag).
+#[test]
+fn ldpc_bit_flip_engine_is_kernel_invariant_and_matches_scalar_decode() {
+    let code = sfq_ecc::ecc::Ldpc::gallager_60_32();
+    let mut rng = StdRng::seed_from_u64(0xBC43_2002);
     for batch_size in RAGGED_BATCH_SIZES {
         let words: Vec<BitVec> = (0..batch_size)
             .map(|i| {
+                if i % 5 == 4 {
+                    // Dense random noise: exercises the non-convergence flag.
+                    return (0..code.n())
+                        .map(|_| rng.random::<u64>() & 1 == 1)
+                        .collect();
+                }
                 let msg: BitVec = (0..code.k())
                     .map(|_| rng.random::<u64>() & 1 == 1)
                     .collect();
@@ -714,11 +911,14 @@ fn bch_sliced_engine_is_kernel_invariant_and_matches_the_scalar_fallback() {
                 w
             })
             .collect();
+        assert_codec_matches_scalar_on(&BatchCodec::ldpc(), &code, &words);
         let batch = BitSlice64::pack(&words);
-        let reference = BatchCodec::with_scalar_fallback(&code, code.n()).decode_batch(&batch);
-        for kind in [KernelKind::ScalarU64].into_iter().chain(FORCED_KERNELS) {
-            let decoded = BatchCodec::bch().with_kernel(kind).decode_batch(&batch);
-            let label = format!("bch {kind:?} batch {batch_size}");
+        let reference = BatchCodec::ldpc()
+            .with_kernel(KernelKind::ScalarU64)
+            .decode_batch(&batch);
+        for kind in FORCED_KERNELS {
+            let decoded = BatchCodec::ldpc().with_kernel(kind).decode_batch(&batch);
+            let label = format!("ldpc {kind:?} batch {batch_size}");
             assert_eq!(decoded.messages, reference.messages, "{label}: messages");
             assert_eq!(decoded.codewords, reference.codewords, "{label}: codewords");
             assert_eq!(decoded.flagged, reference.flagged, "{label}: flag mask");

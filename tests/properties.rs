@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use sfq_ecc::ecc::{
-    generator_right_inverse, Bch, BlockCode, DecodeOutcome, Hamming74, Hamming84, HardDecoder,
-    ReedMuller, Rm13, SecDed, ShortenedHamming, Uncoded,
+    generator_right_inverse, Bch, BchSpec, BlockCode, DecodeOutcome, Hamming74, Hamming84,
+    HardDecoder, Ldpc, ReedMuller, Rm13, SecDed, ShortenedHamming, Uncoded,
 };
 use sfq_ecc::encoders::{EncoderDesign, EncoderKind};
 use sfq_ecc::gf2::{BitMat, BitSlice64, BitVec, Gf2m};
@@ -29,7 +29,8 @@ fn catalog_codes() -> Vec<Box<dyn HardDecoder>> {
                 EncoderKind::Rm13 => Box::new(Rm13::new()),
                 EncoderKind::SecDed(m) => Box::new(SecDed::new(usize::from(m))),
                 EncoderKind::WideHamming8564 => Box::new(ShortenedHamming::wide_85_64()),
-                EncoderKind::Bch => Box::new(Bch::bch_31_16()),
+                EncoderKind::Bch(spec) => Box::new(Bch::from_spec(spec)),
+                EncoderKind::Ldpc => Box::new(Ldpc::gallager_60_32()),
             }
         })
         .collect()
@@ -235,13 +236,14 @@ proptest! {
         }
     }
 
-    /// GF(2^m) field axioms for every extension degree the BCH layer uses
-    /// (m ∈ 4..=6): addition and multiplication are associative and
-    /// commutative, multiplication distributes over addition, 1 is the
-    /// multiplicative identity, and every non-zero element's inverse
-    /// round-trips through `inv` and `div`.
+    /// GF(2^m) field axioms for every extension degree the field layer
+    /// supports beyond the toy sizes (m ∈ 4..=8, covering both registry
+    /// fields GF(2^5) and GF(2^6) and the headroom degrees): addition and
+    /// multiplication are associative and commutative, multiplication
+    /// distributes over addition, 1 is the multiplicative identity, and
+    /// every non-zero element's inverse round-trips through `inv` and `div`.
     #[test]
-    fn gf2m_field_axioms(m in 4usize..=6, ra in any::<u16>(), rb in any::<u16>(), rc in any::<u16>()) {
+    fn gf2m_field_axioms(m in 4usize..=8, ra in any::<u16>(), rb in any::<u16>(), rc in any::<u16>()) {
         let field = Gf2m::new(m);
         let mask = (field.size() - 1) as u16;
         let (a, b, c) = (ra & mask, rb & mask, rc & mask);
@@ -306,6 +308,97 @@ proptest! {
             DecodeOutcome::Corrected { bits_flipped: flips }
         };
         prop_assert_eq!(decoded.outcome, expected);
+    }
+
+    /// Every BCH registry member's encode ∘ decode is the identity under any
+    /// error pattern whose weight is within the member's decode radius: the
+    /// decoder returns exactly the transmitted message and codeword, with
+    /// the outcome matching the number of flips. Randomizing over the spec
+    /// itself keeps the property honest for whatever the registry grows to
+    /// hold — a member whose radius its decoder cannot actually deliver
+    /// fails here.
+    #[test]
+    fn bch_registry_decode_inverts_encode_within_radius(
+        spec_index in 0usize..BchSpec::REGISTRY.len(),
+        seed in any::<u64>(),
+        weight_seed in any::<u32>(),
+    ) {
+        let spec = BchSpec::REGISTRY[spec_index];
+        let code = Bch::from_spec(spec);
+        let radius = usize::from(spec.decode_radius);
+        let weight = weight_seed as usize % (radius + 1);
+        let msg = seeded_message(code.k(), seed);
+        let cw = code.encode(&msg);
+        prop_assert!(code.is_codeword(&cw));
+
+        let mut received = cw.clone();
+        let mut positions = std::collections::BTreeSet::new();
+        let mut state = seed | 1;
+        while positions.len() < weight {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            positions.insert((state >> 32) as usize % code.n());
+        }
+        for &p in &positions {
+            received.flip(p);
+        }
+
+        let decoded = code.decode(&received);
+        prop_assert!(
+            decoded.message_is(&msg),
+            "{}: weight-{} pattern {:?} must correct", code.name(), weight, positions
+        );
+        prop_assert_eq!(decoded.codeword, Some(cw));
+        let expected = if weight == 0 {
+            DecodeOutcome::NoErrorDetected
+        } else {
+            DecodeOutcome::Corrected { bits_flipped: weight }
+        };
+        prop_assert_eq!(decoded.outcome, expected);
+    }
+
+    /// LDPC(60,32) bit-flip decoding always terminates within its iteration
+    /// cap and classifies honestly: single errors converge (in one round)
+    /// back to the transmitted message, and any heavier pattern either
+    /// converges to a *valid* codeword or reports its non-convergence as
+    /// `DetectedUncorrectable` — a stalled or oscillating pattern is never
+    /// delivered silently as data.
+    #[test]
+    fn ldpc_bit_flip_converges_or_flags(
+        seed in any::<u64>(),
+        single in 0usize..60,
+        weight in 0usize..=5,
+    ) {
+        let code = Ldpc::gallager_60_32();
+        let msg = seeded_message(code.k(), seed);
+        let cw = code.encode(&msg);
+        prop_assert!(code.is_codeword(&cw));
+
+        let one = {
+            let mut r = cw.clone();
+            r.flip(single);
+            r
+        };
+        let decoded = code.decode(&one);
+        prop_assert!(decoded.message_is(&msg), "single error at {} must correct", single);
+        prop_assert_eq!(decoded.outcome, DecodeOutcome::Corrected { bits_flipped: 1 });
+
+        let mut received = cw.clone();
+        let mut state = seed | 1;
+        for _ in 0..weight {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            received.flip((state >> 32) as usize % code.n());
+        }
+        let decoded = code.decode(&received);
+        match decoded.outcome {
+            DecodeOutcome::DetectedUncorrectable => {
+                // Explicit non-convergence: no message is delivered.
+                prop_assert!(decoded.message.is_none());
+            }
+            _ => {
+                let corrected = decoded.codeword.as_ref().expect("converged codeword");
+                prop_assert!(code.is_codeword(corrected), "converged word must satisfy every check");
+            }
+        }
     }
 
     /// Lane interleaving restores single-error correctability under

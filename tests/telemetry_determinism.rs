@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sfq_ecc::batch::BatchCodec;
 use sfq_ecc::cells::CellLibrary;
-use sfq_ecc::ecc::{BatchDecode, BatchEncode};
+use sfq_ecc::ecc::{BatchDecode, BatchEncode, BchSpec};
 use sfq_ecc::encoders::{EncoderDesign, EncoderKind};
 use sfq_ecc::gf2::{BitSlice64, BitVec};
 use sfq_ecc::link::Fig5Experiment;
@@ -79,6 +79,84 @@ fn secded_decode_fingerprint() -> u64 {
     words.extend_from_slice(&decoded.flagged);
     words.extend_from_slice(&decoded.corrected);
     fnv1a(words)
+}
+
+/// Committed fingerprint of the multi-error registry batch-decode output
+/// below: all three BCH registry members plus LDPC(60,32), each decoding a
+/// seeded corpus that mixes clean lanes with error weights 0–4 (covering
+/// the correct, flag, and — for the radius-2 members at weight 4 —
+/// miscorrect paths).
+const REGISTRY_DECODE_FNV: u64 = 0x659d_be88_a366_4393;
+
+fn registry_decode_fingerprint() -> u64 {
+    let mut words: Vec<u64> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0xBC4_1D9C);
+    for codec in [
+        BatchCodec::bch(),
+        BatchCodec::bch_63_51(),
+        BatchCodec::bch_63_45(),
+        BatchCodec::ldpc(),
+    ] {
+        let (n, k) = (codec.n(), codec.k());
+        let messages: Vec<BitVec> = (0..192)
+            .map(|_| (0..k).map(|_| rng.random::<u64>() & 1 == 1).collect())
+            .collect();
+        let mut received = codec.encode_batch(&BitSlice64::pack(&messages));
+        for i in 0..192 {
+            for flip in 0..(i % 5) {
+                let pos = (i * 11 + flip * 17) % n;
+                received.set(i, pos, !received.get(i, pos));
+            }
+        }
+        let decoded = codec.decode_batch(&received);
+        for j in 0..k {
+            words.extend_from_slice(decoded.messages.lane(j));
+        }
+        words.extend_from_slice(&decoded.flagged);
+        words.extend_from_slice(&decoded.corrected);
+    }
+    fnv1a(words)
+}
+
+#[test]
+fn registry_batch_decode_matches_the_committed_fingerprint() {
+    assert_eq!(
+        registry_decode_fingerprint(),
+        REGISTRY_DECODE_FNV,
+        "BCH registry / LDPC batch-decode output changed; if the decoder \
+         change is intentional, update REGISTRY_DECODE_FNV (and never \
+         because of telemetry)"
+    );
+}
+
+/// The per-chip seeding contract extends to the multi-error members: the
+/// batched Fig. 5 curves of the strongest BCH member and the iterative
+/// LDPC member are bit-identical at every worker count.
+#[test]
+fn multi_error_fig5_outputs_are_identical_across_worker_counts() {
+    let library = CellLibrary::coldflux();
+    for kind in [EncoderKind::Bch(BchSpec::BCH_63_45), EncoderKind::Ldpc] {
+        let design = EncoderDesign::build(kind);
+        let fingerprint = |threads: usize| {
+            let curve = Fig5Experiment {
+                chips: 24,
+                messages_per_chip: 30,
+                threads,
+                ..Fig5Experiment::multi_error_setup()
+            }
+            .run_design_batched(&design, &library);
+            fnv1a(curve.errors_per_chip.iter().map(|&e| e as u64))
+        };
+        let serial = fingerprint(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                fingerprint(threads),
+                serial,
+                "{}: {threads}-worker run diverged from the serial run",
+                design.name()
+            );
+        }
+    }
 }
 
 #[test]
